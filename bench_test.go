@@ -1,0 +1,143 @@
+// Package repro's root benchmarks regenerate every experiment table (one
+// benchmark per table/figure, E1-E12; see DESIGN.md for the mapping onto
+// the paper) plus end-to-end throughput benches for the SDR-feasibility
+// numbers. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks execute each experiment at reduced (Quick) Monte-Carlo
+// settings so `go test -bench` terminates promptly; use cmd/mimonet-sim for
+// full-resolution tables.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+func benchOptions(i int) sim.Options {
+	return sim.Options{Seed: int64(1 + i), Packets: 20, PayloadLen: 300, Quick: true}
+}
+
+// benchExperiment runs one experiment table per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := sim.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := runner(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := table.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1UncodedBER(b *testing.B)        { benchExperiment(b, "e1") }
+func BenchmarkE2FECGain(b *testing.B)           { benchExperiment(b, "e2") }
+func BenchmarkE3Detectors(b *testing.B)         { benchExperiment(b, "e3") }
+func BenchmarkE4Throughput(b *testing.B)        { benchExperiment(b, "e4") }
+func BenchmarkE5PERvsSNR(b *testing.B)          { benchExperiment(b, "e5") }
+func BenchmarkE6Synchronization(b *testing.B)   { benchExperiment(b, "e6") }
+func BenchmarkE7PhaseTracking(b *testing.B)     { benchExperiment(b, "e7") }
+func BenchmarkE8ChannelEstimation(b *testing.B) { benchExperiment(b, "e8") }
+func BenchmarkE9SNREstimation(b *testing.B)     { benchExperiment(b, "e9") }
+func BenchmarkE10PacketDetection(b *testing.B)  { benchExperiment(b, "e10") }
+func BenchmarkE11NetworkedLink(b *testing.B)    { benchExperiment(b, "e11") }
+func BenchmarkE12Pipeline(b *testing.B)         { benchExperiment(b, "e12") }
+
+// BenchmarkTXChain measures raw transmit-chain throughput per MCS family —
+// the numbers behind E12's feasibility row, at testing.B resolution.
+func BenchmarkTXChain(b *testing.B) {
+	for _, mcs := range []int{0, 7, 15, 31} {
+		mcs := mcs
+		b.Run(fmt.Sprintf("mcs%d", mcs), func(b *testing.B) {
+			tx, err := phy.NewTransmitter(phy.TxConfig{MCS: mcs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			psdu := make([]byte, 1500)
+			samples := phy.BurstLen(tx.MCS(), len(psdu))
+			b.SetBytes(int64(samples * 16))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tx.Transmit(psdu); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRXChain measures full receive-chain throughput (sync + channel
+// estimation + detection + Viterbi) per detector.
+func BenchmarkRXChain(b *testing.B) {
+	for _, det := range []string{"zf", "mmse", "ml"} {
+		det := det
+		b.Run(det, func(b *testing.B) {
+			mcs := 9 // 2ss QPSK keeps ML tractable
+			tx, err := phy.NewTransmitter(phy.TxConfig{MCS: mcs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			psdu := make([]byte, 1500)
+			burst, err := tx.Transmit(psdu)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch, err := channel.New(channel.Config{NumTX: 2, NumRX: 2,
+				Model: channel.Identity, SNRdB: 30, Seed: 1,
+				TimingOffset: 100, TrailingSilence: 50})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rxs, err := ch.Apply(burst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rcv, err := phy.NewReceiver(phy.RxConfig{NumAntennas: 2, Detector: det})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(rxs[0]) * 16 * 2))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cp := make([][]complex128, len(rxs))
+				for a := range rxs {
+					cp[a] = append([]complex128(nil), rxs[a]...)
+				}
+				if _, err := rcv.Receive(cp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE13STBCvsSM(b *testing.B) { benchExperiment(b, "e13") }
+
+func BenchmarkE14LinkAdaptation(b *testing.B) { benchExperiment(b, "e14") }
+
+func BenchmarkE15TransmitSpectrum(b *testing.B) { benchExperiment(b, "e15") }
+
+func BenchmarkE16Aggregation(b *testing.B) { benchExperiment(b, "e16") }
+
+func BenchmarkE17GuardInterval(b *testing.B) { benchExperiment(b, "e17") }
+
+func BenchmarkE18Mobility(b *testing.B) { benchExperiment(b, "e18") }
+
+func BenchmarkE19ReliableDelivery(b *testing.B) { benchExperiment(b, "e19") }
+
+func BenchmarkE20RankAdaptation(b *testing.B) { benchExperiment(b, "e20") }
+
+func BenchmarkE21SyncModes(b *testing.B) { benchExperiment(b, "e21") }

@@ -1,0 +1,49 @@
+// Command mimonet-info prints the transceiver's static structure: the MCS
+// table, the HT-mixed PPDU layout, and the 20 MHz tone maps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/ofdm"
+	"repro/internal/phy"
+	"repro/internal/preamble"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mimonet-info: ")
+	payload := flag.Int("payload", 1500, "PSDU size used for the duration column")
+	flag.Parse()
+
+	fmt.Println("MCS table (20 MHz, long GI, equal modulation)")
+	fmt.Printf("%4s  %4s  %-7s  %-4s  %6s  %6s  %7s  %8s  %9s\n",
+		"mcs", "nss", "scheme", "rate", "ncbps", "ndbps", "mbps", "sgi_mbps", "dur_us")
+	for idx := 0; idx <= 31; idx++ {
+		m, err := phy.Lookup(idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		durUs := float64(phy.BurstLen(m, *payload)) / ofdm.SampleRate * 1e6
+		fmt.Printf("%4d  %4d  %-7v  %-4v  %6d  %6d  %7.1f  %8.1f  %9.1f\n",
+			idx, m.NSS, m.Scheme, m.Rate, m.NCBPS(), m.NDBPS(), m.DataRateMbps(), m.DataRateMbpsGI(true), durUs)
+	}
+
+	fmt.Println("\nHT-mixed PPDU layout (samples at 20 MHz)")
+	fmt.Printf("  %-8s  %5d..%d\n", "L-STF", phy.OffLSTF, phy.OffLLTF-1)
+	fmt.Printf("  %-8s  %5d..%d\n", "L-LTF", phy.OffLLTF, phy.OffLSIG-1)
+	fmt.Printf("  %-8s  %5d..%d\n", "L-SIG", phy.OffLSIG, phy.OffHTSIG-1)
+	fmt.Printf("  %-8s  %5d..%d\n", "HT-SIG", phy.OffHTSIG, phy.OffHTSTF-1)
+	fmt.Printf("  %-8s  %5d..%d\n", "HT-STF", phy.OffHTSTF, phy.OffHTLTF-1)
+	for nss := 1; nss <= 4; nss++ {
+		fmt.Printf("  HT-LTFs (N_SS=%d): %d symbols, data starts at %d\n",
+			nss, preamble.NumHTLTF(nss), phy.PreambleLen(nss))
+	}
+
+	fmt.Println("\nTone maps (FFT bins)")
+	fmt.Printf("  legacy: %d data + %d pilots\n", ofdm.LegacyToneMap.NumData(), ofdm.NumPilots)
+	fmt.Printf("  ht20:   %d data + %d pilots\n", ofdm.HTToneMap.NumData(), ofdm.NumPilots)
+	fmt.Printf("  pilot bins: %v\n", ofdm.HTToneMap.Pilot)
+}

@@ -1,0 +1,51 @@
+// Command mimonet-sim runs the paper's reconstructed experiments (E1-E12,
+// see DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	mimonet-sim -exp e5 -packets 500
+//	mimonet-sim -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mimonet-sim: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment id (e1..e12) or \"all\"")
+		packets = flag.Int("packets", 200, "Monte-Carlo packets/trials per sweep point")
+		payload = flag.Int("payload", 500, "MAC payload size in octets")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	)
+	flag.Parse()
+
+	opt := sim.Options{Seed: *seed, Packets: *packets, PayloadLen: *payload, Quick: *quick}
+	ids := []string{strings.ToLower(*exp)}
+	if ids[0] == "all" {
+		ids = sim.IDs()
+	}
+	for _, id := range ids {
+		runner, err := sim.Lookup(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := runner(opt)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// Spatialmux demonstrates the paper's motivating claim: spatial
+// multiplexing multiplies throughput without extra bandwidth. It runs the
+// same payload stream over one- and two-stream MCS at several SNRs and
+// prints the delivered goodput of each.
+//
+//	go run ./examples/spatialmux
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/mimonet"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		packets    = 60
+		payloadLen = 1000
+	)
+	fmt.Printf("%8s  %22s  %22s  %7s\n", "snr(dB)", "1 stream (MCS4, 39Mb/s)", "2 streams (MCS12, 78Mb/s)", "gain")
+	for _, snr := range []float64{8, 14, 20, 26, 32} {
+		g1 := goodput(4, snr, packets, payloadLen)
+		g2 := goodput(12, snr, packets, payloadLen)
+		gain := 0.0
+		if g1 > 0 {
+			gain = g2 / g1
+		}
+		fmt.Printf("%8.0f  %18.1f Mb/s  %18.1f Mb/s  %6.2fx\n", snr, g1, g2, gain)
+	}
+	fmt.Println("\nsame bandwidth, same constellation and code rate — the second")
+	fmt.Println("antenna pair carries the extra bits once SNR supports separation.")
+}
+
+// goodput returns delivered Mbit/s: PHY rate × (1 − PER).
+func goodput(mcs int, snrDB float64, packets, payloadLen int) float64 {
+	link, err := mimonet.NewLink(mimonet.LinkConfig{
+		MCS:      mcs,
+		Detector: "mmse",
+		Channel: mimonet.ChannelConfig{
+			Model: mimonet.TGnB,
+			SNRdB: snrDB,
+			Seed:  int64(mcs)*1000 + int64(snrDB),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	payload := make([]byte, payloadLen)
+	ok := 0
+	for p := 0; p < packets; p++ {
+		r.Read(payload)
+		rep, err := link.Send(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.OK {
+			ok++
+		}
+	}
+	m := link.MCS()
+	return m.DataRateMbps() * float64(ok) / float64(packets)
+}

@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/mimonet"
+)
+
+// TestIntegrationMatrix sweeps the public API across the configuration
+// space a downstream user will hit: every stream count, every detector
+// compatible with it, several channel models, both guard intervals —
+// asserting every combination delivers frames at a comfortable SNR.
+func TestIntegrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep skipped in -short mode")
+	}
+	type combo struct {
+		mcs      int
+		detector string
+		model    mimonet.ChannelModel
+		shortGI  bool
+	}
+	var combos []combo
+	for _, mcs := range []int{0, 7, 9, 12, 16, 25} { // 1-3 streams, all schemes
+		for _, det := range []string{"zf", "mmse", "sic", "ml"} {
+			nss := mcs/8 + 1
+			scheme, _ := mimonet.LookupMCS(mcs)
+			// ML joint search caps at 16 bits: skip oversized combos.
+			if det == "ml" && nss*scheme.Scheme.BitsPerSymbol() > 16 {
+				continue
+			}
+			for _, model := range []mimonet.ChannelModel{mimonet.Identity, mimonet.FlatRayleigh, mimonet.TGnB} {
+				combos = append(combos, combo{mcs, det, model, false})
+			}
+		}
+	}
+	// Short-GI spot checks.
+	combos = append(combos,
+		combo{9, "mmse", mimonet.TGnB, true},
+		combo{12, "zf", mimonet.Identity, true},
+	)
+
+	r := rand.New(rand.NewSource(99))
+	for i, c := range combos {
+		c := c
+		name := fmt.Sprintf("mcs%d_%s_%v_sgi%v", c.mcs, c.detector, c.model, c.shortGI)
+		t.Run(name, func(t *testing.T) {
+			nss := c.mcs/8 + 1
+			nrx := nss + 1 // one diversity antenna of headroom
+			if nrx > 4 {
+				nrx = 4
+			}
+			link, err := mimonet.NewLink(mimonet.LinkConfig{
+				MCS:           c.mcs,
+				Detector:      c.detector,
+				ShortGI:       c.shortGI,
+				NumRXAntennas: nrx,
+				Channel: mimonet.ChannelConfig{
+					Model: c.model,
+					SNRdB: 38,
+					Seed:  int64(1000 + i),
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, 300)
+			r.Read(payload)
+			ok := 0
+			const packets = 3
+			for p := 0; p < packets; p++ {
+				rep, err := link.Send(payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.OK && bytes.Equal(rep.Received, payload) {
+					ok++
+				}
+			}
+			// At 38 dB with a spare antenna, allow at most one deep-fade
+			// loss out of three on fading models; none on identity.
+			min := packets
+			if c.model != mimonet.Identity {
+				min = packets - 1
+			}
+			if ok < min {
+				t.Errorf("delivered %d/%d", ok, packets)
+			}
+		})
+	}
+}
+
+// TestIntegrationSoundingAndRateControl drives the CSI and rate-control
+// surfaces of the public API together: receive a packet, read the sounding
+// report, feed the SNR estimate to the rate selector.
+func TestIntegrationSoundingAndRateControl(t *testing.T) {
+	sel, err := mimonet.NewRateSelector(mimonet.DefaultRateThresholds(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := mimonet.NewTransmitter(mimonet.TxConfig{MCS: sel.Current()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := mimonet.NewChannel(mimonet.ChannelConfig{
+		NumTX: tx.NumChains(), NumRX: 2, Model: mimonet.FlatRayleigh,
+		SNRdB: 28, Seed: 7, TimingOffset: 220, TrailingSilence: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := mimonet.NewReceiver(mimonet.RxConfig{NumAntennas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := tx.Transmit(make([]byte, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := ch.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rcv.Receive(rxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sounding == nil {
+		t.Fatal("no sounding report on RxResult")
+	}
+	next := sel.Observe(res.SNRdB)
+	if _, err := mimonet.LookupMCS(next); err != nil {
+		t.Errorf("selector returned invalid MCS %d", next)
+	}
+	if next == 0 && res.SNRdB > 20 {
+		t.Errorf("selector stuck at MCS 0 despite %g dB", res.SNRdB)
+	}
+}

@@ -1,0 +1,84 @@
+// Package bitutil provides the bit-level plumbing of the 802.11n PHY:
+// byte↔bit conversion (LSB-first, as the standard transmits), CRC-32 frame
+// check sequences, the CRC-8 used by HT-SIG, and the self-synchronizing
+// 127-periodic scrambler.
+package bitutil
+
+import "fmt"
+
+// BytesToBits unpacks bytes into bits, LSB first within each byte, per the
+// 802.11 convention (clause 18/20 transmit order). Each output element is
+// 0 or 1.
+func BytesToBits(data []byte) []byte {
+	bits := make([]byte, len(data)*8)
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			bits[i*8+j] = (b >> uint(j)) & 1
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs bits (LSB first) into bytes. len(bits) must be a
+// multiple of 8.
+func BitsToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("bitutil: bit count %d not a multiple of 8", len(bits))
+	}
+	data := make([]byte, len(bits)/8)
+	for i := range data {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b |= (bits[i*8+j] & 1) << uint(j)
+		}
+		data[i] = b
+	}
+	return data, nil
+}
+
+// Uint16ToBits writes the low n bits of v, LSB first, used to serialize SIG
+// field subfields.
+func Uint16ToBits(v uint16, n int) []byte {
+	bits := make([]byte, n)
+	for i := 0; i < n; i++ {
+		bits[i] = byte((v >> uint(i)) & 1)
+	}
+	return bits
+}
+
+// BitsToUint reads up to 32 bits, LSB first.
+func BitsToUint(bits []byte) uint32 {
+	if len(bits) > 32 {
+		panic("bitutil: BitsToUint supports at most 32 bits")
+	}
+	var v uint32
+	for i, b := range bits {
+		v |= uint32(b&1) << uint(i)
+	}
+	return v
+}
+
+// CountDiffer returns the number of positions where a and b differ, i.e. the
+// raw bit-error count between two equal-length bit slices.
+func CountDiffer(a, b []byte) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("bitutil: CountDiffer length mismatch %d vs %d", len(a), len(b))
+	}
+	n := 0
+	for i := range a {
+		if a[i]&1 != b[i]&1 {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// EvenParity returns 1 if the number of set bits is odd (so that appending
+// the returned bit makes total parity even). L-SIG uses even parity.
+func EvenParity(bits []byte) byte {
+	var p byte
+	for _, b := range bits {
+		p ^= b & 1
+	}
+	return p
+}

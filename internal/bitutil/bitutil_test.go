@@ -1,0 +1,194 @@
+package bitutil
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesToBitsLSBFirst(t *testing.T) {
+	bits := BytesToBits([]byte{0x01, 0x80})
+	want := []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	if !bytes.Equal(bits, want) {
+		t.Errorf("BytesToBits = %v, want %v", bits, want)
+	}
+}
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	prop := func(data []byte) bool {
+		got, err := BitsToBytes(BytesToBits(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsToBytesRejectsPartial(t *testing.T) {
+	if _, err := BitsToBytes(make([]byte, 7)); err == nil {
+		t.Error("want error for non-multiple-of-8")
+	}
+}
+
+func TestUintBitConversions(t *testing.T) {
+	bits := Uint16ToBits(0xB5, 8) // 10110101
+	want := []byte{1, 0, 1, 0, 1, 1, 0, 1}
+	if !bytes.Equal(bits, want) {
+		t.Errorf("Uint16ToBits = %v, want %v", bits, want)
+	}
+	if got := BitsToUint(bits); got != 0xB5 {
+		t.Errorf("BitsToUint = %#x, want 0xB5", got)
+	}
+}
+
+func TestCountDiffer(t *testing.T) {
+	n, err := CountDiffer([]byte{0, 1, 1, 0}, []byte{1, 1, 0, 0})
+	if err != nil || n != 2 {
+		t.Errorf("CountDiffer = %d, %v; want 2, nil", n, err)
+	}
+	if _, err := CountDiffer([]byte{0}, []byte{0, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestEvenParity(t *testing.T) {
+	if got := EvenParity([]byte{1, 0, 1, 1}); got != 1 {
+		t.Errorf("parity of 3 ones = %d, want 1", got)
+	}
+	if got := EvenParity([]byte{1, 1}); got != 0 {
+		t.Errorf("parity of 2 ones = %d, want 0", got)
+	}
+}
+
+func TestFCSRoundTrip(t *testing.T) {
+	prop := func(data []byte) bool {
+		framed := AppendFCS(data)
+		body, ok := CheckFCS(framed)
+		return ok && bytes.Equal(body, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFCSDetectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	data := make([]byte, 100)
+	r.Read(data)
+	framed := AppendFCS(data)
+	for trial := 0; trial < 50; trial++ {
+		corrupted := append([]byte(nil), framed...)
+		pos := r.Intn(len(corrupted))
+		corrupted[pos] ^= 1 << uint(r.Intn(8))
+		if _, ok := CheckFCS(corrupted); ok {
+			t.Fatalf("single-bit corruption at byte %d not detected", pos)
+		}
+	}
+	if _, ok := CheckFCS([]byte{1, 2, 3}); ok {
+		t.Error("short frame should fail FCS")
+	}
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	// All-zero input: state stays 0xFF through... verify self-consistency
+	// and the standard's linearity property instead of a table: the CRC of
+	// a message with its (complemented) CRC appended, recomputed with the
+	// complement undone, must be zero-residue. Simpler robust checks:
+	// determinism and sensitivity.
+	m1 := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 1, 0}
+	c1 := CRC8(m1)
+	if c1 != CRC8(m1) {
+		t.Error("CRC8 not deterministic")
+	}
+	m2 := append([]byte(nil), m1...)
+	m2[5] ^= 1
+	if CRC8(m2) == c1 {
+		t.Error("CRC8 insensitive to single-bit flip")
+	}
+}
+
+func TestCRC8BitsOrdering(t *testing.T) {
+	m := []byte{1, 1, 0, 1}
+	c := CRC8(m)
+	bits := CRC8Bits(m)
+	if len(bits) != 8 {
+		t.Fatalf("len = %d", len(bits))
+	}
+	var rebuilt byte
+	for i, b := range bits {
+		rebuilt |= (b & 1) << uint(7-i)
+	}
+	if rebuilt != c {
+		t.Errorf("CRC8Bits reassembles to %#x, want %#x", rebuilt, c)
+	}
+}
+
+func TestScramblerPeriod127(t *testing.T) {
+	s := NewScrambler(0x7F)
+	seq := s.Sequence(254)
+	for i := 0; i < 127; i++ {
+		if seq[i] != seq[i+127] {
+			t.Fatalf("sequence not 127-periodic at %d", i)
+		}
+	}
+	// The 127-bit sequence must be balanced: 64 ones, 63 zeros (maximal
+	// length LFSR property).
+	ones := 0
+	for _, b := range seq[:127] {
+		ones += int(b)
+	}
+	if ones != 64 {
+		t.Errorf("ones in one period = %d, want 64", ones)
+	}
+}
+
+func TestScramblerKnownPrefix(t *testing.T) {
+	// IEEE 802.11-2012 §18.3.5.5: with all-ones seed the first bits of the
+	// scrambling sequence are 0000 1110 1111 0010 ...
+	s := NewScrambler(0x7F)
+	got := s.Sequence(16)
+	want := []byte{0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0}
+	if !bytes.Equal(got, want) {
+		t.Errorf("scrambler prefix = %v, want %v", got, want)
+	}
+}
+
+func TestScrambleDescrambleInvolution(t *testing.T) {
+	prop := func(data []byte, seed byte) bool {
+		bits := BytesToBits(data)
+		orig := append([]byte(nil), bits...)
+		NewScrambler(seed).Scramble(bits)
+		NewScrambler(seed).Scramble(bits)
+		return bytes.Equal(bits, orig)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScramblerZeroSeedCoerced(t *testing.T) {
+	s := NewScrambler(0)
+	if s.State() == 0 {
+		t.Error("zero seed must be coerced to nonzero")
+	}
+	seq := s.Sequence(127)
+	allZero := true
+	for _, b := range seq {
+		if b != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("scrambler output stuck at zero")
+	}
+}
+
+func TestSequencePreservesState(t *testing.T) {
+	s := NewScrambler(0x5A)
+	before := s.State()
+	s.Sequence(100)
+	if s.State() != before {
+		t.Error("Sequence must not consume state")
+	}
+}

@@ -1,0 +1,69 @@
+package bitutil
+
+import "hash/crc32"
+
+// FCS computes the 32-bit frame check sequence appended to every MPDU
+// (IEEE 802.11-2012 §8.2.4.8): CRC-32/IEEE over the frame body, transmitted
+// complement-first. hash/crc32's IEEE table implements exactly the required
+// polynomial and reflection; the standard's complement and bit ordering are
+// already folded into that definition.
+func FCS(data []byte) uint32 {
+	return crc32.ChecksumIEEE(data)
+}
+
+// AppendFCS returns data with its 4-byte FCS appended, little-endian, the
+// order the PHY serializes it.
+func AppendFCS(data []byte) []byte {
+	f := FCS(data)
+	out := make([]byte, len(data)+4)
+	copy(out, data)
+	out[len(data)] = byte(f)
+	out[len(data)+1] = byte(f >> 8)
+	out[len(data)+2] = byte(f >> 16)
+	out[len(data)+3] = byte(f >> 24)
+	return out
+}
+
+// CheckFCS verifies and strips a trailing FCS. It returns the payload and
+// true when the checksum matches.
+func CheckFCS(frame []byte) ([]byte, bool) {
+	if len(frame) < 4 {
+		return nil, false
+	}
+	body := frame[:len(frame)-4]
+	tail := frame[len(frame)-4:]
+	want := FCS(body)
+	got := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if want != got {
+		return nil, false
+	}
+	return body, true
+}
+
+// CRC8 computes the 8-bit CRC protecting the HT-SIG field
+// (IEEE 802.11-2012 §20.3.9.4.4): generator x⁸+x²+x+1, initial state all
+// ones, output complemented, computed over a bit sequence (b0 first).
+func CRC8(bits []byte) byte {
+	var state byte = 0xFF
+	for _, b := range bits {
+		// MSB of the shift register XOR input bit feeds back through the
+		// generator taps.
+		fb := ((state >> 7) & 1) ^ (b & 1)
+		state <<= 1
+		if fb == 1 {
+			state ^= 0x07 // x²+x+1 taps (x⁸ is the implicit feedback)
+		}
+	}
+	return ^state
+}
+
+// CRC8Bits returns the CRC8 of bits as 8 bits, MSB (c7) first, the order
+// HT-SIG transmits the CRC subfield.
+func CRC8Bits(bits []byte) []byte {
+	c := CRC8(bits)
+	out := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		out[i] = (c >> uint(7-i)) & 1
+	}
+	return out
+}

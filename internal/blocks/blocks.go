@@ -1,0 +1,165 @@
+// Package blocks adapts the MIMONet transceiver pieces into flowgraph
+// blocks, mirroring how the paper packages its work as GNU Radio blocks:
+// a packet source feeding the PHY transmitter, a MIMO channel block, and a
+// receiver sink that emits decode reports. Multi-antenna signals travel as
+// one port per antenna.
+package blocks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/channel"
+	"repro/internal/flowgraph"
+	"repro/internal/mac"
+	"repro/internal/phy"
+)
+
+// TXBlock turns payloads into PPDU bursts: a 0-in, N_SS-out block. Payloads
+// are pulled from NextPayload until it returns io.EOF.
+type TXBlock struct {
+	TX *phy.Transmitter
+	// NextPayload supplies the next MAC payload; io.EOF ends the stream.
+	NextPayload func() ([]byte, error)
+	seq         uint16
+}
+
+// Name implements flowgraph.Block.
+func (b *TXBlock) Name() string { return "mimonet-tx" }
+
+// Inputs implements flowgraph.Block.
+func (b *TXBlock) Inputs() int { return 0 }
+
+// Outputs implements flowgraph.Block.
+func (b *TXBlock) Outputs() int { return b.TX.NumChains() }
+
+// Run implements flowgraph.Block.
+func (b *TXBlock) Run(ctx context.Context, _ []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	if b.NextPayload == nil {
+		return errors.New("blocks: TXBlock.NextPayload is nil")
+	}
+	for {
+		payload, err := b.NextPayload()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		frame := &mac.Frame{Seq: b.seq, Payload: payload}
+		b.seq = (b.seq + 1) & 0x0FFF
+		psdu, err := frame.Encode()
+		if err != nil {
+			return err
+		}
+		burst, err := b.TX.Transmit(psdu)
+		if err != nil {
+			return err
+		}
+		for c, stream := range burst {
+			if !flowgraph.Send(ctx, out[c], stream) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// ChannelBlock applies the channel simulator: N_TX in, N_RX out. It consumes
+// one chunk per input port (one burst per antenna) and emits the faded
+// streams.
+type ChannelBlock struct {
+	Ch *channel.Channel
+}
+
+// Name implements flowgraph.Block.
+func (b *ChannelBlock) Name() string { return "mimonet-channel" }
+
+// Inputs implements flowgraph.Block.
+func (b *ChannelBlock) Inputs() int { return b.Ch.Config().NumTX }
+
+// Outputs implements flowgraph.Block.
+func (b *ChannelBlock) Outputs() int { return b.Ch.Config().NumRX }
+
+// Run implements flowgraph.Block.
+func (b *ChannelBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	for {
+		tx := make([][]complex128, len(in))
+		for c := range in {
+			chunk, ok := flowgraph.Recv(ctx, in[c])
+			if !ok {
+				if c == 0 {
+					return ctx.Err() // clean end of stream
+				}
+				return fmt.Errorf("blocks: channel input %d ended mid-burst", c)
+			}
+			tx[c] = chunk
+		}
+		rx, err := b.Ch.Apply(tx)
+		if err != nil {
+			return err
+		}
+		for a, stream := range rx {
+			if !flowgraph.Send(ctx, out[a], stream) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// RXReport is what the receiver block emits per burst.
+type RXReport struct {
+	Frame *mac.Frame
+	Res   *phy.RxResult
+	Err   error
+}
+
+// RXBlock decodes bursts: N_RX in, 0 out, reports delivered via OnReport.
+type RXBlock struct {
+	RX *phy.Receiver
+	// Antennas must match the receiver's configuration.
+	Antennas int
+	// OnReport is called for every burst (decode success or failure).
+	OnReport func(RXReport)
+}
+
+// Name implements flowgraph.Block.
+func (b *RXBlock) Name() string { return "mimonet-rx" }
+
+// Inputs implements flowgraph.Block.
+func (b *RXBlock) Inputs() int { return b.Antennas }
+
+// Outputs implements flowgraph.Block.
+func (b *RXBlock) Outputs() int { return 0 }
+
+// Run implements flowgraph.Block.
+func (b *RXBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, _ []chan<- flowgraph.Chunk) error {
+	if b.OnReport == nil {
+		return errors.New("blocks: RXBlock.OnReport is nil")
+	}
+	for {
+		rx := make([][]complex128, len(in))
+		for a := range in {
+			chunk, ok := flowgraph.Recv(ctx, in[a])
+			if !ok {
+				if a == 0 {
+					return ctx.Err()
+				}
+				return fmt.Errorf("blocks: rx input %d ended mid-burst", a)
+			}
+			rx[a] = chunk
+		}
+		res, err := b.RX.Receive(rx)
+		rep := RXReport{Res: res, Err: err}
+		if err == nil {
+			frame, derr := mac.Decode(res.PSDU)
+			if derr != nil {
+				rep.Err = derr
+			} else {
+				rep.Frame = frame
+			}
+		}
+		b.OnReport(rep)
+	}
+}

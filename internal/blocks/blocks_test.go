@@ -1,0 +1,103 @@
+package blocks
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/flowgraph"
+	"repro/internal/phy"
+)
+
+func TestFlowgraphLinkEndToEnd(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const numPackets = 5
+	payloads := make([][]byte, numPackets)
+	for i := range payloads {
+		payloads[i] = make([]byte, 300)
+		r.Read(payloads[i])
+	}
+
+	tx, err := phy.NewTransmitter(phy.TxConfig{MCS: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(channel.Config{NumTX: 2, NumRX: 2, Model: channel.FlatRayleigh,
+		SNRdB: 35, Seed: 2, TimingOffset: 250, TrailingSilence: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := phy.NewReceiver(phy.RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := 0
+	txBlock := &TXBlock{TX: tx, NextPayload: func() ([]byte, error) {
+		if next >= numPackets {
+			return nil, io.EOF
+		}
+		p := payloads[next]
+		next++
+		return p, nil
+	}}
+	chBlock := &ChannelBlock{Ch: ch}
+	var mu sync.Mutex
+	var reports []RXReport
+	rxBlock := &RXBlock{RX: rx, Antennas: 2, OnReport: func(rep RXReport) {
+		mu.Lock()
+		reports = append(reports, rep)
+		mu.Unlock()
+	}}
+
+	g := flowgraph.New()
+	for _, b := range []flowgraph.Block{txBlock, chBlock, rxBlock} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if err := g.Connect(txBlock, c, chBlock, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(chBlock, c, rxBlock, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(reports) != numPackets {
+		t.Fatalf("%d reports, want %d", len(reports), numPackets)
+	}
+	for i, rep := range reports {
+		if rep.Err != nil {
+			t.Errorf("packet %d: %v", i, rep.Err)
+			continue
+		}
+		if !bytes.Equal(rep.Frame.Payload, payloads[i]) {
+			t.Errorf("packet %d: payload mismatch", i)
+		}
+		if rep.Frame.Seq != uint16(i) {
+			t.Errorf("packet %d: seq %d", i, rep.Frame.Seq)
+		}
+	}
+}
+
+func TestBlockValidation(t *testing.T) {
+	tx, _ := phy.NewTransmitter(phy.TxConfig{MCS: 0})
+	b := &TXBlock{TX: tx}
+	if err := b.Run(context.Background(), nil, make([]chan<- flowgraph.Chunk, 1)); err == nil {
+		t.Error("nil NextPayload should fail")
+	}
+	rx, _ := phy.NewReceiver(phy.RxConfig{NumAntennas: 1})
+	rb := &RXBlock{RX: rx, Antennas: 1}
+	if err := rb.Run(context.Background(), make([]<-chan flowgraph.Chunk, 1), nil); err == nil {
+		t.Error("nil OnReport should fail")
+	}
+}

@@ -1,0 +1,261 @@
+// Package chanest implements the receiver-side channel estimation of the
+// paper's transceiver: least-squares estimation of the per-subcarrier MIMO
+// channel matrix from the P-matrix-mapped HT-LTF symbols, optional frequency
+// smoothing, legacy (L-LTF) single-stream estimation with noise-variance
+// extraction, and pilot-driven common-phase-error tracking across the data
+// symbols.
+package chanest
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/cmatrix"
+	"repro/internal/ofdm"
+	"repro/internal/preamble"
+)
+
+// LegacyEstimate is the result of L-LTF processing for one receive antenna
+// set: a scalar channel per occupied bin per antenna, plus the noise
+// variance measured from the difference of the two identical long symbols.
+type LegacyEstimate struct {
+	// H[rx][bin] is the complex channel gain at each FFT bin occupied by
+	// the L-LTF; unoccupied bins are zero.
+	H [][]complex128
+	// NoiseVar is the estimated complex noise variance per subcarrier.
+	NoiseVar float64
+	// SignalPower is the mean received power over occupied bins.
+	SignalPower float64
+}
+
+// SNR returns the estimated linear signal-to-noise ratio.
+func (e *LegacyEstimate) SNR() float64 {
+	if e.NoiseVar <= 0 {
+		return 0
+	}
+	return e.SignalPower / e.NoiseVar
+}
+
+// EstimateLegacy processes the two demodulated L-LTF symbol spectra of each
+// receive antenna. ltf[rx][0] and ltf[rx][1] are 64-bin vectors (from
+// ofdm.Demodulator.Bins). The two repetitions allow both an averaged LS
+// channel estimate and an unbiased noise-variance estimate — this is the
+// paper's "fine grained SNR estimation" anchor.
+func EstimateLegacy(ltf [][][]complex128) (*LegacyEstimate, error) {
+	if len(ltf) == 0 {
+		return nil, fmt.Errorf("chanest: no receive antennas")
+	}
+	est := &LegacyEstimate{H: make([][]complex128, len(ltf))}
+	var noiseAcc, sigAcc float64
+	var nBins int
+	for rx, pair := range ltf {
+		if len(pair) != 2 || len(pair[0]) != ofdm.FFTSize || len(pair[1]) != ofdm.FFTSize {
+			return nil, fmt.Errorf("chanest: antenna %d: want two 64-bin L-LTF spectra", rx)
+		}
+		h := make([]complex128, ofdm.FFTSize)
+		for bin, ref := range preamble.LLTFFreq {
+			if ref == 0 {
+				continue
+			}
+			avg := (pair[0][bin] + pair[1][bin]) / 2
+			diff := pair[0][bin] - pair[1][bin]
+			h[bin] = avg / ref
+			// Var(diff) = 2σ²; halve to recover σ².
+			noiseAcc += (real(diff)*real(diff) + imag(diff)*imag(diff)) / 2
+			sigAcc += real(avg)*real(avg) + imag(avg)*imag(avg)
+			nBins++
+		}
+		est.H[rx] = h
+	}
+	if nBins == 0 {
+		return nil, fmt.Errorf("chanest: no occupied bins")
+	}
+	est.NoiseVar = noiseAcc / float64(nBins)
+	est.SignalPower = sigAcc / float64(nBins)
+	return est, nil
+}
+
+// HTEstimate holds the MIMO channel estimate produced from the HT-LTFs:
+// one N_RX × N_SS matrix per occupied FFT bin.
+type HTEstimate struct {
+	nss int
+	// perBin[bin] is nil for unoccupied bins.
+	perBin []*cmatrix.Matrix
+}
+
+// NSS returns the number of spatial streams the estimate resolves.
+func (e *HTEstimate) NSS() int { return e.nss }
+
+// AtBin returns the channel matrix at an FFT bin, or nil if the bin carries
+// neither data nor pilots.
+func (e *HTEstimate) AtBin(bin int) *cmatrix.Matrix { return e.perBin[bin] }
+
+// DataMatrices returns the channel matrices for the HT data subcarriers in
+// tone-map order, ready for mimo.Detector.Prepare.
+func (e *HTEstimate) DataMatrices() []*cmatrix.Matrix {
+	out := make([]*cmatrix.Matrix, len(ofdm.HTToneMap.Data))
+	for i, bin := range ofdm.HTToneMap.Data {
+		out[i] = e.perBin[bin]
+	}
+	return out
+}
+
+// PilotMatrices returns the channel matrices at the four pilot bins.
+func (e *HTEstimate) PilotMatrices() []*cmatrix.Matrix {
+	out := make([]*cmatrix.Matrix, len(ofdm.HTToneMap.Pilot))
+	for i, bin := range ofdm.HTToneMap.Pilot {
+		out[i] = e.perBin[bin]
+	}
+	return out
+}
+
+// EstimateHT computes the per-subcarrier LS MIMO channel estimate from the
+// demodulated HT-LTF spectra. y[rx][n] is the 64-bin spectrum of HT-LTF
+// symbol n at antenna rx (n ranges over preamble.NumHTLTF(nss) symbols).
+//
+// The transmitted HT-LTF of stream iss in symbol n is P[iss][n]·L_k (with
+// the per-stream cyclic shift and 1/√N_SS power split folded into the
+// effective channel, exactly as they are for the data symbols), so
+//
+//	Ĥ[rx][iss](k) = (1/N_LTF·L_k) Σ_n y[rx][n](k)·P[iss][n].
+func EstimateHT(y [][][]complex128, nss int) (*HTEstimate, error) {
+	if nss < 1 || nss > 4 {
+		return nil, fmt.Errorf("chanest: N_SS %d out of range [1,4]", nss)
+	}
+	if len(y) == 0 {
+		return nil, fmt.Errorf("chanest: no receive antennas")
+	}
+	nltf := preamble.NumHTLTF(nss)
+	for rx := range y {
+		if len(y[rx]) != nltf {
+			return nil, fmt.Errorf("chanest: antenna %d has %d HT-LTF spectra, want %d", rx, len(y[rx]), nltf)
+		}
+		for n := range y[rx] {
+			if len(y[rx][n]) != ofdm.FFTSize {
+				return nil, fmt.Errorf("chanest: antenna %d LTF %d is not a 64-bin spectrum", rx, n)
+			}
+		}
+	}
+	est := &HTEstimate{nss: nss, perBin: make([]*cmatrix.Matrix, ofdm.FFTSize)}
+	for bin, ref := range preamble.HTLTFFreq {
+		if ref == 0 {
+			continue
+		}
+		h := cmatrix.New(len(y), nss)
+		for rx := range y {
+			for iss := 0; iss < nss; iss++ {
+				var acc complex128
+				for n := 0; n < nltf; n++ {
+					acc += y[rx][n][bin] * complex(preamble.PMatrix[iss][n], 0)
+				}
+				h.Set(rx, iss, acc/(complex(float64(nltf), 0)*ref))
+			}
+		}
+		est.perBin[bin] = h
+	}
+	return est, nil
+}
+
+// Smooth applies a moving-average across adjacent occupied bins to every
+// entry of the channel estimate, in place. window must be odd. Smoothing
+// trades noise reduction against bias on frequency-selective channels —
+// the HT-SIG smoothing bit advertises when it is safe.
+func (e *HTEstimate) Smooth(window int) error {
+	if window < 1 || window%2 == 0 {
+		return fmt.Errorf("chanest: smoothing window must be odd and positive, got %d", window)
+	}
+	if window == 1 {
+		return nil
+	}
+	// Collect occupied bins in spectral order (negative frequencies first).
+	var bins []int
+	for k := -ofdm.FFTSize / 2; k < ofdm.FFTSize/2; k++ {
+		bin := (k + ofdm.FFTSize) % ofdm.FFTSize
+		if e.perBin[bin] != nil {
+			bins = append(bins, bin)
+		}
+	}
+	if len(bins) == 0 {
+		return nil
+	}
+	rows, cols := e.perBin[bins[0]].Rows, e.perBin[bins[0]].Cols
+	half := window / 2
+	smoothed := make([]*cmatrix.Matrix, len(bins))
+	for i := range bins {
+		m := cmatrix.New(rows, cols)
+		count := 0
+		for j := i - half; j <= i+half; j++ {
+			if j < 0 || j >= len(bins) {
+				continue
+			}
+			src := e.perBin[bins[j]]
+			for idx := range m.Data {
+				m.Data[idx] += src.Data[idx]
+			}
+			count++
+		}
+		m.ScaleInPlace(complex(1/float64(count), 0))
+		smoothed[i] = m
+	}
+	for i, bin := range bins {
+		e.perBin[bin] = smoothed[i]
+	}
+	return nil
+}
+
+// PhaseTracker estimates and removes the common phase error (CPE) that
+// residual CFO and phase noise impose on every subcarrier of a data symbol,
+// using the four pilot tones — the paper's second added feature. One
+// tracker serves a whole packet; it remembers nothing between symbols
+// (CPE is re-estimated per symbol).
+type PhaseTracker struct {
+	nss     int
+	hPilots []*cmatrix.Matrix
+}
+
+// NewPhaseTracker builds a tracker from the channel estimate.
+func NewPhaseTracker(est *HTEstimate) *PhaseTracker {
+	return &PhaseTracker{nss: est.NSS(), hPilots: est.PilotMatrices()}
+}
+
+// Estimate computes the common phase error of one data symbol.
+// rxPilots[rx][i] is the received value of pilot i at antenna rx;
+// txPilots[iss][i] is the known transmitted pilot of stream iss
+// (from ofdm.HTPilots). The returned angle is in radians.
+func (p *PhaseTracker) Estimate(rxPilots [][]complex128, txPilots [][]complex128) (float64, error) {
+	if len(txPilots) != p.nss {
+		return 0, fmt.Errorf("chanest: %d pilot streams, want %d", len(txPilots), p.nss)
+	}
+	var acc complex128
+	for rx := range rxPilots {
+		if len(rxPilots[rx]) != ofdm.NumPilots {
+			return 0, fmt.Errorf("chanest: antenna %d has %d pilots, want %d", rx, len(rxPilots[rx]), ofdm.NumPilots)
+		}
+		for i := 0; i < ofdm.NumPilots; i++ {
+			h := p.hPilots[i]
+			if h == nil || h.Rows <= rx {
+				return 0, fmt.Errorf("chanest: missing pilot channel estimate")
+			}
+			var expect complex128
+			for iss := 0; iss < p.nss; iss++ {
+				expect += h.At(rx, iss) * txPilots[iss][i]
+			}
+			acc += rxPilots[rx][i] * cmplx.Conj(expect)
+		}
+	}
+	if acc == 0 {
+		return 0, fmt.Errorf("chanest: zero pilot correlation")
+	}
+	return cmplx.Phase(acc), nil
+}
+
+// Correct derotates a symbol's subcarrier values by the estimated CPE, in
+// place across all antennas.
+func Correct(data [][]complex128, cpe float64) {
+	rot := cmplx.Exp(complex(0, -cpe))
+	for _, d := range data {
+		for i := range d {
+			d[i] *= rot
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package chanest
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cmatrix"
+	"repro/internal/ofdm"
+	"repro/internal/preamble"
+)
+
+// randH draws a random flat MIMO channel.
+func randH(r *rand.Rand, nrx, nss int) *cmatrix.Matrix {
+	h := cmatrix.New(nrx, nss)
+	for i := range h.Data {
+		h.Data[i] = complex(r.NormFloat64(), r.NormFloat64()) * complex(math.Sqrt(0.5), 0)
+	}
+	return h
+}
+
+// htltfSpectra simulates reception of the HT-LTFs through a flat channel H
+// plus AWGN: y[rx][n][bin] = Σ_iss H[rx][iss]·P[iss][n]·L_bin + noise.
+func htltfSpectra(r *rand.Rand, h *cmatrix.Matrix, nss int, noiseStd float64) [][][]complex128 {
+	nltf := preamble.NumHTLTF(nss)
+	nrx := h.Rows
+	y := make([][][]complex128, nrx)
+	for rx := 0; rx < nrx; rx++ {
+		y[rx] = make([][]complex128, nltf)
+		for n := 0; n < nltf; n++ {
+			spec := make([]complex128, ofdm.FFTSize)
+			for bin, ref := range preamble.HTLTFFreq {
+				if ref == 0 {
+					continue
+				}
+				var acc complex128
+				for iss := 0; iss < nss; iss++ {
+					acc += h.At(rx, iss) * complex(preamble.PMatrix[iss][n], 0) * ref
+				}
+				spec[bin] = acc + complex(r.NormFloat64()*noiseStd, r.NormFloat64()*noiseStd)
+			}
+			y[rx][n] = spec
+		}
+	}
+	return y
+}
+
+func TestEstimateHTExactOnCleanChannel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct{ nrx, nss int }{{1, 1}, {2, 2}, {3, 2}, {4, 3}, {4, 4}} {
+		h := randH(r, cfg.nrx, cfg.nss)
+		y := htltfSpectra(r, h, cfg.nss, 0)
+		est, err := EstimateHT(y, cfg.nss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bin := range ofdm.HTToneMap.Data {
+			got := est.AtBin(bin)
+			if got == nil {
+				t.Fatalf("nrx=%d nss=%d: no estimate at bin %d", cfg.nrx, cfg.nss, bin)
+			}
+			if !cmatrix.ApproxEqual(got, h, 1e-9) {
+				t.Fatalf("nrx=%d nss=%d: estimate at bin %d differs from truth", cfg.nrx, cfg.nss, bin)
+			}
+		}
+		for _, bin := range ofdm.HTToneMap.Pilot {
+			if est.AtBin(bin) == nil {
+				t.Fatalf("no pilot-bin estimate at %d", bin)
+			}
+		}
+	}
+}
+
+func TestEstimateHTNoiseAveraging(t *testing.T) {
+	// With N_LTF = 4 (nss=3), the LS estimate averages 4 observations, so
+	// its error variance must be ~4x below the per-observation noise.
+	r := rand.New(rand.NewSource(2))
+	h := randH(r, 4, 3)
+	const noiseStd = 0.1
+	var mse float64
+	var count int
+	for trial := 0; trial < 20; trial++ {
+		y := htltfSpectra(r, h, 3, noiseStd)
+		est, err := EstimateHT(y, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bin := range ofdm.HTToneMap.Data {
+			d := cmatrix.Sub(est.AtBin(bin), h)
+			mse += d.FrobeniusNorm() * d.FrobeniusNorm()
+			count += d.Rows * d.Cols
+		}
+	}
+	mse /= float64(count)
+	perObs := 2 * noiseStd * noiseStd // complex noise variance
+	want := perObs / 4
+	if mse > want*1.3 || mse < want*0.7 {
+		t.Errorf("estimation MSE %g, want ≈ %g (σ²/N_LTF)", mse, want)
+	}
+}
+
+func TestEstimateHTValidation(t *testing.T) {
+	if _, err := EstimateHT(nil, 2); err == nil {
+		t.Error("no antennas should fail")
+	}
+	if _, err := EstimateHT([][][]complex128{{make([]complex128, 64)}}, 5); err == nil {
+		t.Error("nss=5 should fail")
+	}
+	if _, err := EstimateHT([][][]complex128{{make([]complex128, 64)}}, 2); err == nil {
+		t.Error("wrong LTF count should fail")
+	}
+	bad := [][][]complex128{{make([]complex128, 64), make([]complex128, 32)}}
+	if _, err := EstimateHT(bad, 2); err == nil {
+		t.Error("short spectrum should fail")
+	}
+}
+
+func TestEstimateLegacy(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	hTrue := complex(0.8, -0.6)
+	const noiseStd = 0.05
+	mk := func() []complex128 {
+		spec := make([]complex128, ofdm.FFTSize)
+		for bin, ref := range preamble.LLTFFreq {
+			if ref == 0 {
+				continue
+			}
+			spec[bin] = hTrue*ref + complex(r.NormFloat64()*noiseStd, r.NormFloat64()*noiseStd)
+		}
+		return spec
+	}
+	est, err := EstimateLegacy([][][]complex128{{mk(), mk()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel estimate near truth at an occupied bin.
+	bin := ofdm.LegacyToneMap.Data[10]
+	if cmplx.Abs(est.H[0][bin]-hTrue) > 0.1 {
+		t.Errorf("H = %v, want %v", est.H[0][bin], hTrue)
+	}
+	// Noise variance near 2σ².
+	wantNoise := 2 * noiseStd * noiseStd
+	if est.NoiseVar < wantNoise*0.6 || est.NoiseVar > wantNoise*1.6 {
+		t.Errorf("NoiseVar = %g, want ≈ %g", est.NoiseVar, wantNoise)
+	}
+	// SNR near |h|²/2σ² = 1/0.005 = 200 (23 dB).
+	snr := est.SNR()
+	if snr < 100 || snr > 400 {
+		t.Errorf("SNR = %g, want ≈ 200", snr)
+	}
+}
+
+func TestEstimateLegacyValidation(t *testing.T) {
+	if _, err := EstimateLegacy(nil); err == nil {
+		t.Error("no antennas should fail")
+	}
+	if _, err := EstimateLegacy([][][]complex128{{make([]complex128, 64)}}); err == nil {
+		t.Error("single repetition should fail")
+	}
+}
+
+func TestSmoothReducesNoiseOnFlatChannel(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	h := randH(r, 2, 2)
+	y := htltfSpectra(r, h, 2, 0.2)
+	rough, err := EstimateHT(y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := EstimateHT(y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smooth.Smooth(5); err != nil {
+		t.Fatal(err)
+	}
+	mseOf := func(e *HTEstimate) float64 {
+		var acc float64
+		n := 0
+		for _, bin := range ofdm.HTToneMap.Data {
+			d := cmatrix.Sub(e.AtBin(bin), h)
+			acc += d.FrobeniusNorm() * d.FrobeniusNorm()
+			n++
+		}
+		return acc / float64(n)
+	}
+	if mseOf(smooth) >= mseOf(rough) {
+		t.Errorf("smoothing made flat-channel MSE worse: %g vs %g", mseOf(smooth), mseOf(rough))
+	}
+}
+
+func TestSmoothValidation(t *testing.T) {
+	est := &HTEstimate{nss: 1, perBin: make([]*cmatrix.Matrix, ofdm.FFTSize)}
+	if err := est.Smooth(2); err == nil {
+		t.Error("even window should fail")
+	}
+	if err := est.Smooth(-1); err == nil {
+		t.Error("negative window should fail")
+	}
+	if err := est.Smooth(1); err != nil {
+		t.Errorf("window 1 is a no-op, got %v", err)
+	}
+}
+
+func TestPhaseTrackerRecoversCPE(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const nss, nrx = 2, 2
+	h := randH(r, nrx, nss)
+	y := htltfSpectra(r, h, nss, 0)
+	estH, err := EstimateHT(y, nss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := NewPhaseTracker(estH)
+	for _, cpe := range []float64{-1.0, -0.2, 0, 0.4, 1.3} {
+		// Build received pilots for symbol n=0 with the CPE applied.
+		tx := make([][]complex128, nss)
+		for iss := 0; iss < nss; iss++ {
+			p, err := ofdm.HTPilots(nss, iss, 0, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx[iss] = p
+		}
+		rot := cmplx.Exp(complex(0, cpe))
+		rxp := make([][]complex128, nrx)
+		for rx := 0; rx < nrx; rx++ {
+			rxp[rx] = make([]complex128, ofdm.NumPilots)
+			for i := 0; i < ofdm.NumPilots; i++ {
+				var acc complex128
+				for iss := 0; iss < nss; iss++ {
+					acc += h.At(rx, iss) * tx[iss][i]
+				}
+				rxp[rx][i] = acc * rot
+			}
+		}
+		got, err := tracker.Estimate(rxp, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-cpe) > 1e-9 {
+			t.Errorf("cpe=%g: estimated %g", cpe, got)
+		}
+		// Correct must undo the rotation.
+		data := [][]complex128{{1 * rot, 2 * rot}}
+		Correct(data, got)
+		if cmplx.Abs(data[0][0]-1) > 1e-9 || cmplx.Abs(data[0][1]-2) > 1e-9 {
+			t.Error("Correct did not remove the CPE")
+		}
+	}
+}
+
+func TestPhaseTrackerValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	h := randH(r, 2, 2)
+	y := htltfSpectra(r, h, 2, 0)
+	estH, _ := EstimateHT(y, 2)
+	tr := NewPhaseTracker(estH)
+	if _, err := tr.Estimate([][]complex128{{1, 2, 3, 4}}, [][]complex128{{1, 1, 1, 1}}); err == nil {
+		t.Error("wrong tx stream count should fail")
+	}
+	if _, err := tr.Estimate([][]complex128{{1, 2}}, [][]complex128{{1, 1, 1, 1}, {1, 1, 1, 1}}); err == nil {
+		t.Error("short pilot vector should fail")
+	}
+}
+
+func TestDataAndPilotMatrixOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	h := randH(r, 2, 2)
+	y := htltfSpectra(r, h, 2, 0)
+	est, _ := EstimateHT(y, 2)
+	dm := est.DataMatrices()
+	if len(dm) != len(ofdm.HTToneMap.Data) {
+		t.Fatalf("%d data matrices", len(dm))
+	}
+	for i, bin := range ofdm.HTToneMap.Data {
+		if dm[i] != est.AtBin(bin) {
+			t.Fatalf("data matrix %d not aligned with tone map", i)
+		}
+	}
+	pm := est.PilotMatrices()
+	if len(pm) != ofdm.NumPilots {
+		t.Fatalf("%d pilot matrices", len(pm))
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/ofdm"
+)
+
+func TestLinkShortGI(t *testing.T) {
+	link, err := NewLink(LinkConfig{
+		MCS:     10,
+		ShortGI: true,
+		Channel: channel.Config{Model: channel.TGnB, SNRdB: 30, Seed: 21},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 800)
+	rep, err := link.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("short-GI link transfer failed: %v", rep.PHYError)
+	}
+}
+
+func TestLinkSICDetector(t *testing.T) {
+	link, err := NewLink(LinkConfig{
+		MCS:      12,
+		Detector: "sic",
+		Channel:  channel.Config{Model: channel.FlatRayleigh, SNRdB: 32, Seed: 22},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	const packets = 8
+	for i := 0; i < packets; i++ {
+		rep, err := link.Send(make([]byte, 300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK {
+			ok++
+		}
+	}
+	// Block fading redraws per packet; the occasional deep fade is
+	// physics, a majority must still decode at 32 dB.
+	if ok < packets*3/4 {
+		t.Errorf("SIC link delivered only %d/%d at 32 dB", ok, packets)
+	}
+}
+
+func TestLinkSyncFailureReported(t *testing.T) {
+	// At absurdly low SNR the packet detector never fires; the report must
+	// say so rather than erroring out.
+	link, err := NewLink(LinkConfig{
+		MCS:     0,
+		Channel: channel.Config{Model: channel.Identity, SNRdB: -25, Seed: 23},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := link.Send(make([]byte, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("decode at -25 dB cannot succeed")
+	}
+	if !rep.SyncError {
+		t.Error("sync failure not flagged")
+	}
+	if rep.BitErrors != rep.PayloadBits {
+		t.Errorf("lost packet should count all %d bits errored, got %d", rep.PayloadBits, rep.BitErrors)
+	}
+}
+
+func TestLinkDopplerWithTracking(t *testing.T) {
+	link, err := NewLink(LinkConfig{
+		MCS: 9,
+		Channel: channel.Config{Model: channel.FlatRayleigh, SNRdB: 30, Seed: 24,
+			DopplerHz: 400, SampleRate: ofdm.SampleRate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 0; i < 5; i++ {
+		rep, err := link.Send(make([]byte, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK {
+			ok++
+		}
+	}
+	if ok < 3 {
+		t.Errorf("only %d/5 packets over a 400 Hz Doppler channel", ok)
+	}
+}

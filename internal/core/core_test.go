@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+)
+
+func TestLinkCleanTransfer(t *testing.T) {
+	link, err := NewLink(LinkConfig{
+		MCS:     11,
+		Channel: channel.Config{Model: channel.Identity, SNRdB: 30, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("mimonet"), 40)
+	rep, err := link.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("transfer failed: sync=%v phy=%v bitErrs=%d", rep.SyncError, rep.PHYError, rep.BitErrors)
+	}
+	if !bytes.Equal(rep.Received, payload) {
+		t.Error("payload mismatch")
+	}
+	if rep.BitErrors != 0 {
+		t.Errorf("bit errors %d on clean channel", rep.BitErrors)
+	}
+	if math.Abs(rep.SNRdB-30) > 3 {
+		t.Errorf("SNR estimate %g, want ≈ 30", rep.SNRdB)
+	}
+}
+
+func TestLinkSequenceAdvances(t *testing.T) {
+	link, err := NewLink(LinkConfig{
+		MCS:     8,
+		Channel: channel.Config{Model: channel.Identity, SNRdB: 30, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := link.Send([]byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := link.Send([]byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seq == r2.Seq {
+		t.Error("sequence number did not advance")
+	}
+	if !r1.OK || !r2.OK {
+		t.Error("transfers failed")
+	}
+}
+
+func TestLinkFailsAtVeryLowSNR(t *testing.T) {
+	link, err := NewLink(LinkConfig{
+		MCS:     15, // 64-QAM 5/6: hopeless at -5 dB
+		Channel: channel.Config{Model: channel.FlatRayleigh, SNRdB: -5, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for i := 0; i < 5; i++ {
+		rep, err := link.Send(make([]byte, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("MCS15 at -5 dB should fail at least sometimes")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	if _, err := NewLink(LinkConfig{MCS: 99}); err == nil {
+		t.Error("bad MCS should fail")
+	}
+	if _, err := NewLink(LinkConfig{MCS: 0, Detector: "nope"}); err == nil {
+		t.Error("bad detector should fail")
+	}
+	link, err := NewLink(LinkConfig{MCS: 0, Channel: channel.Config{Model: channel.Identity, SNRdB: 20, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.Send(nil); err == nil {
+		t.Error("empty payload should fail")
+	}
+}
+
+func TestLinkExtraRXAntenna(t *testing.T) {
+	link, err := NewLink(LinkConfig{
+		MCS:           9,
+		NumRXAntennas: 3,
+		Channel:       channel.Config{Model: channel.FlatRayleigh, SNRdB: 25, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := link.Send(make([]byte, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("2x3 transfer failed: %v", rep.PHYError)
+	}
+}

@@ -1,0 +1,81 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// AGC is a feedback automatic gain control that drives the output power
+// toward a target level — the front-end stage that hands the PHY a
+// consistently-scaled signal when the channel gain is unknown. The loop is
+// the standard log-domain integrator: g ← g·(target/|y|²)^µ per sample,
+// implemented multiplicatively for stability.
+type AGC struct {
+	target float64
+	mu     float64
+	gain   float64
+	// MaxGain bounds the gain so idle-channel noise is not amplified
+	// without limit.
+	MaxGain float64
+}
+
+// NewAGC returns a controller targeting the given output power with loop
+// rate mu (typical 1e-3..1e-2; larger locks faster but gain-pumps on
+// modulated signals).
+func NewAGC(targetPower, mu float64) (*AGC, error) {
+	if targetPower <= 0 {
+		return nil, fmt.Errorf("dsp: AGC target power must be positive")
+	}
+	if mu <= 0 || mu > 0.5 {
+		return nil, fmt.Errorf("dsp: AGC rate %g outside (0, 0.5]", mu)
+	}
+	return &AGC{target: targetPower, mu: mu, gain: 1, MaxGain: 1e6}, nil
+}
+
+// Gain returns the current linear gain.
+func (a *AGC) Gain() float64 { return a.gain }
+
+// Reset returns the gain to unity.
+func (a *AGC) Reset() { a.gain = 1 }
+
+// Process scales src into dst (may alias) while adapting the gain.
+func (a *AGC) Process(dst, src []complex128) {
+	if len(dst) != len(src) {
+		panic("dsp: AGC length mismatch")
+	}
+	for i, x := range src {
+		y := x * complex(a.gain, 0)
+		dst[i] = y
+		p := real(y)*real(y) + imag(y)*imag(y)
+		// Multiplicative update; the +eps keeps silence from stalling it.
+		err := a.target - p
+		a.gain *= 1 + a.mu*err/a.target
+		if a.gain > a.MaxGain {
+			a.gain = a.MaxGain
+		}
+		if a.gain < 1/a.MaxGain {
+			a.gain = 1 / a.MaxGain
+		}
+	}
+}
+
+// NormalizeBurst is the feed-forward alternative suited to packet
+// processing: scale the whole burst so its average power over the
+// measurement window [from, to) equals target. Returns the applied gain.
+func NormalizeBurst(burst []complex128, from, to int, target float64) (float64, error) {
+	if from < 0 || to > len(burst) || to <= from {
+		return 0, fmt.Errorf("dsp: normalize window [%d, %d) invalid for %d samples", from, to, len(burst))
+	}
+	if target <= 0 {
+		return 0, fmt.Errorf("dsp: target power must be positive")
+	}
+	p := Power(burst[from:to])
+	if p == 0 {
+		return 0, fmt.Errorf("dsp: zero power in measurement window")
+	}
+	g := complex(math.Sqrt(target/p), 0)
+	for i := range burst {
+		burst[i] *= g
+	}
+	return real(g), nil
+}

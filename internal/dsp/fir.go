@@ -1,0 +1,152 @@
+package dsp
+
+import "math"
+
+// FIR is a streaming finite-impulse-response filter over complex samples.
+// The zero value is not usable; create one with NewFIR. A FIR is not safe
+// for concurrent use.
+type FIR struct {
+	taps  []complex128
+	delay []complex128
+	pos   int
+}
+
+// NewFIR returns a filter with the given taps. The taps slice is copied.
+func NewFIR(taps []complex128) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: FIR requires at least one tap")
+	}
+	f := &FIR{
+		taps:  make([]complex128, len(taps)),
+		delay: make([]complex128, len(taps)),
+	}
+	copy(f.taps, taps)
+	return f
+}
+
+// NewFIRReal returns a filter with real-valued taps.
+func NewFIRReal(taps []float64) *FIR {
+	c := make([]complex128, len(taps))
+	for i, t := range taps {
+		c[i] = complex(t, 0)
+	}
+	return NewFIR(c)
+}
+
+// Reset clears the delay line.
+func (f *FIR) Reset() {
+	for i := range f.delay {
+		f.delay[i] = 0
+	}
+	f.pos = 0
+}
+
+// Push feeds one sample and returns one filtered output sample.
+func (f *FIR) Push(x complex128) complex128 {
+	f.delay[f.pos] = x
+	var acc complex128
+	idx := f.pos
+	for _, t := range f.taps {
+		acc += t * f.delay[idx]
+		idx--
+		if idx < 0 {
+			idx = len(f.delay) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.delay) {
+		f.pos = 0
+	}
+	return acc
+}
+
+// Filter runs the filter over src, writing len(src) output samples into dst.
+// dst and src may be the same slice. The filter state carries across calls,
+// so a long stream may be processed in chunks.
+func (f *FIR) Filter(dst, src []complex128) {
+	if len(dst) != len(src) {
+		panic("dsp: FIR Filter length mismatch")
+	}
+	for i, x := range src {
+		dst[i] = f.Push(x)
+	}
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.taps) }
+
+// LowPassTaps designs a windowed-sinc low-pass filter with the given number
+// of taps and normalized cutoff frequency (cutoff = f_c / f_s, in (0, 0.5)),
+// using a Hamming window. The taps are normalized for unity DC gain.
+func LowPassTaps(n int, cutoff float64) []float64 {
+	if n <= 0 {
+		panic("dsp: LowPassTaps needs n > 0")
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		panic("dsp: LowPassTaps cutoff must be in (0, 0.5)")
+	}
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	var sum float64
+	for i := range taps {
+		t := float64(i) - mid
+		var s float64
+		if t == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*t) / (math.Pi * t)
+		}
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		if n == 1 {
+			w = 1
+		}
+		taps[i] = s * w
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// MovingAverage is a streaming boxcar filter over real values with O(1)
+// updates, used for smoothing detector metrics.
+type MovingAverage struct {
+	buf    []float64
+	pos    int
+	filled int
+	sum    float64
+}
+
+// NewMovingAverage returns an averager over windows of n samples.
+func NewMovingAverage(n int) *MovingAverage {
+	if n <= 0 {
+		panic("dsp: MovingAverage needs n > 0")
+	}
+	return &MovingAverage{buf: make([]float64, n)}
+}
+
+// Push feeds one value and returns the mean of the last min(pushed, n)
+// values.
+func (m *MovingAverage) Push(x float64) float64 {
+	if m.filled == len(m.buf) {
+		m.sum -= m.buf[m.pos]
+	} else {
+		m.filled++
+	}
+	m.buf[m.pos] = x
+	m.sum += x
+	m.pos++
+	if m.pos == len(m.buf) {
+		m.pos = 0
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Reset clears the averager.
+func (m *MovingAverage) Reset() {
+	for i := range m.buf {
+		m.buf[i] = 0
+	}
+	m.pos, m.filled, m.sum = 0, 0, 0
+}

@@ -1,0 +1,167 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFIRImpulseResponse(t *testing.T) {
+	taps := []complex128{1, 2, 3}
+	f := NewFIR(taps)
+	in := []complex128{1, 0, 0, 0}
+	out := make([]complex128, len(in))
+	f.Filter(out, in)
+	want := []complex128{1, 2, 3, 0}
+	if !approxEqualVec(out, want, eps) {
+		t.Errorf("impulse response = %v, want %v", out, want)
+	}
+}
+
+func TestFIRStateAcrossChunks(t *testing.T) {
+	taps := []complex128{0.5, 0.25, 0.125, 0.0625}
+	r := rand.New(rand.NewSource(10))
+	x := randVec(r, 64)
+
+	whole := NewFIR(taps)
+	wantOut := make([]complex128, len(x))
+	whole.Filter(wantOut, x)
+
+	chunked := NewFIR(taps)
+	gotOut := make([]complex128, len(x))
+	for i := 0; i < len(x); i += 7 {
+		end := min(i+7, len(x))
+		chunked.Filter(gotOut[i:end], x[i:end])
+	}
+	if !approxEqualVec(gotOut, wantOut, eps) {
+		t.Error("chunked filtering differs from whole-stream filtering")
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	f := NewFIR([]complex128{1, 1})
+	f.Push(5)
+	f.Reset()
+	if got := f.Push(1); got != 1 {
+		t.Errorf("after Reset, Push(1) = %v, want 1 (no residue)", got)
+	}
+}
+
+func TestLowPassTapsDCGainAndAttenuation(t *testing.T) {
+	taps := LowPassTaps(63, 0.1)
+	var dc float64
+	for _, v := range taps {
+		dc += v
+	}
+	if math.Abs(dc-1) > 1e-12 {
+		t.Errorf("DC gain = %g, want 1", dc)
+	}
+	// Response at a stopband frequency (0.3) should be strongly attenuated.
+	gPass := tapsGainAt(taps, 0.02)
+	gStop := tapsGainAt(taps, 0.3)
+	if gPass < 0.9 {
+		t.Errorf("passband gain = %g, want near 1", gPass)
+	}
+	if gStop > 0.01 {
+		t.Errorf("stopband gain = %g, want < 0.01", gStop)
+	}
+}
+
+// tapsGainAt evaluates |H(e^{j2πf})| for real taps.
+func tapsGainAt(taps []float64, f float64) float64 {
+	var re, im float64
+	for n, h := range taps {
+		re += h * math.Cos(2*math.Pi*f*float64(n))
+		im -= h * math.Sin(2*math.Pi*f*float64(n))
+	}
+	return math.Hypot(re, im)
+}
+
+func TestLowPassTapsPanics(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		f float64
+	}{{0, 0.1}, {8, 0}, {8, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LowPassTaps(%d, %g): want panic", c.n, c.f)
+				}
+			}()
+			LowPassTaps(c.n, c.f)
+		}()
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(3)
+	steps := []struct{ in, want float64 }{
+		{3, 3}, {6, 4.5}, {9, 6}, {12, 9}, {0, 7},
+	}
+	for i, s := range steps {
+		if got := m.Push(s.in); math.Abs(got-s.want) > eps {
+			t.Errorf("step %d: Push(%g) = %g, want %g", i, s.in, got, s.want)
+		}
+	}
+	m.Reset()
+	if got := m.Push(10); got != 10 {
+		t.Errorf("after Reset: %g, want 10", got)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func(int) []float64
+		ends float64
+	}{
+		{"Hamming", Hamming, 0.08},
+		{"Hann", Hann, 0},
+		{"Blackman", Blackman, 0},
+	} {
+		w := tc.fn(9)
+		if len(w) != 9 {
+			t.Errorf("%s: length %d", tc.name, len(w))
+		}
+		if math.Abs(w[0]-tc.ends) > 1e-12 || math.Abs(w[8]-tc.ends) > 1e-12 {
+			t.Errorf("%s: endpoints %g, %g; want %g", tc.name, w[0], w[8], tc.ends)
+		}
+		if math.Abs(w[4]-1) > 0.01 {
+			t.Errorf("%s: midpoint %g, want ≈ 1", tc.name, w[4])
+		}
+		// Symmetry.
+		for i := 0; i < 4; i++ {
+			if math.Abs(w[i]-w[8-i]) > 1e-12 {
+				t.Errorf("%s: asymmetric at %d", tc.name, i)
+			}
+		}
+		one := tc.fn(1)
+		if len(one) != 1 || one[0] != 1 {
+			t.Errorf("%s(1) = %v, want [1]", tc.name, one)
+		}
+	}
+	r := Rectangular(4)
+	for _, v := range r {
+		if v != 1 {
+			t.Errorf("Rectangular = %v", r)
+		}
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []complex128{2, 2i}
+	ApplyWindow(x, []float64{0.5, 2})
+	if x[0] != 1 || x[1] != 4i {
+		t.Errorf("ApplyWindow: got %v", x)
+	}
+}
+
+func BenchmarkFIR64Taps(b *testing.B) {
+	f := NewFIRReal(LowPassTaps(64, 0.25))
+	x := randVec(rand.New(rand.NewSource(11)), 1024)
+	y := make([]complex128, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Filter(y, x)
+	}
+}

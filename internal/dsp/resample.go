@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resampler converts between sample rates by the rational factor L/M
+// (upsample by L, polyphase low-pass filter, downsample by M) — the
+// front-end utility that matches an SDR's ADC rate to the 20 MHz baseband
+// this transceiver runs at. The anti-aliasing filter is a windowed sinc
+// with cutoff at the narrower of the two Nyquist bands.
+type Resampler struct {
+	l, m  int
+	taps  []float64
+	phase [][]float64 // polyphase decomposition: phase[p][k] = taps[k*L + p]
+	// hist holds the last len(taps)/L input samples.
+	hist []complex128
+	// t is the output-phase accumulator in input units scaled by L.
+	t int
+}
+
+// NewResampler returns a resampler with interpolation l and decimation m
+// (both ≥ 1, coprime factors recommended), using tapsPerPhase filter taps
+// per polyphase branch (higher = sharper transition; 8-16 is typical).
+func NewResampler(l, m, tapsPerPhase int) (*Resampler, error) {
+	if l < 1 || m < 1 {
+		return nil, fmt.Errorf("dsp: resampler factors %d/%d must be ≥ 1", l, m)
+	}
+	if tapsPerPhase < 2 {
+		return nil, fmt.Errorf("dsp: need at least 2 taps per phase")
+	}
+	n := l * tapsPerPhase
+	// Cutoff at min(1/(2L), 1/(2M)) of the upsampled rate.
+	cutoff := 0.5 / float64(l)
+	if c := 0.5 / float64(m); c < cutoff {
+		cutoff = c
+	}
+	// Slightly inside the band to leave transition room.
+	taps := lowPassTapsAt(n, cutoff*0.92)
+	// Gain L compensates the zero-stuffing loss.
+	for i := range taps {
+		taps[i] *= float64(l)
+	}
+	r := &Resampler{l: l, m: m, taps: taps, hist: make([]complex128, tapsPerPhase)}
+	r.phase = make([][]float64, l)
+	for p := 0; p < l; p++ {
+		br := make([]float64, tapsPerPhase)
+		for k := 0; k < tapsPerPhase; k++ {
+			br[k] = taps[k*l+p]
+		}
+		r.phase[p] = br
+	}
+	return r, nil
+}
+
+// lowPassTapsAt is LowPassTaps without the unity-DC normalization (the
+// resampler normalizes by gain L instead) but with the same Hamming window.
+func lowPassTapsAt(n int, cutoff float64) []float64 {
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	var sum float64
+	for i := range taps {
+		t := float64(i) - mid
+		var s float64
+		if t == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*t) / (math.Pi * t)
+		}
+		w := 1.0
+		if n > 1 {
+			w = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		}
+		taps[i] = s * w
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// Ratio returns the resampling factor L/M.
+func (r *Resampler) Ratio() float64 { return float64(r.l) / float64(r.m) }
+
+// Reset clears the filter history.
+func (r *Resampler) Reset() {
+	for i := range r.hist {
+		r.hist[i] = 0
+	}
+	r.t = 0
+}
+
+// Process consumes input samples and appends the resampled output to dst,
+// returning the extended slice. State carries across calls, so a long
+// stream may be processed in chunks.
+func (r *Resampler) Process(dst []complex128, src []complex128) []complex128 {
+	for _, x := range src {
+		// Shift the new input into the history (newest at index 0).
+		copy(r.hist[1:], r.hist)
+		r.hist[0] = x
+		// Emit outputs whose (upsampled) time index falls within this
+		// input sample: output j is at phase t = j*M; it belongs to input
+		// i = t/L with polyphase branch p = t mod L.
+		for r.t < r.l {
+			br := r.phase[r.t]
+			var acc complex128
+			for k, h := range br {
+				acc += r.hist[k] * complex(h, 0)
+			}
+			dst = append(dst, acc)
+			r.t += r.m
+		}
+		r.t -= r.l
+	}
+	return dst
+}

@@ -1,0 +1,205 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestResamplerValidation(t *testing.T) {
+	if _, err := NewResampler(0, 1, 8); err == nil {
+		t.Error("L=0 should fail")
+	}
+	if _, err := NewResampler(1, 0, 8); err == nil {
+		t.Error("M=0 should fail")
+	}
+	if _, err := NewResampler(2, 1, 1); err == nil {
+		t.Error("1 tap per phase should fail")
+	}
+}
+
+func TestResamplerOutputCount(t *testing.T) {
+	for _, c := range []struct{ l, m int }{{1, 1}, {2, 1}, {1, 2}, {3, 2}, {5, 4}} {
+		r, err := NewResampler(c.l, c.m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]complex128, 1000)
+		out := r.Process(nil, in)
+		want := 1000 * c.l / c.m
+		if d := len(out) - want; d < -1 || d > 1 {
+			t.Errorf("L/M=%d/%d: %d outputs, want ≈ %d", c.l, c.m, len(out), want)
+		}
+	}
+}
+
+func TestResamplerIdentity(t *testing.T) {
+	// L = M = 1 is a pure FIR delay: output equals input shifted by the
+	// filter's group delay, which for the single-branch polyphase is
+	// (tapsPerPhase-1)/2 samples. Check a DC signal reproduces exactly.
+	r, err := NewResampler(1, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]complex128, 100)
+	for i := range in {
+		in[i] = 1
+	}
+	out := r.Process(nil, in)
+	for i := 20; i < len(out); i++ {
+		if cmplx.Abs(out[i]-1) > 1e-6 {
+			t.Fatalf("DC not preserved at %d: %v", i, out[i])
+		}
+	}
+}
+
+func TestResamplerPreservesTone(t *testing.T) {
+	// A low-frequency tone must survive 2/1 upsampling at half the
+	// original normalized frequency and unit amplitude.
+	r, err := NewResampler(2, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f = 0.05 // cycles per input sample
+	n := 2000
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = cmplx.Exp(complex(0, 2*math.Pi*f*float64(i)))
+	}
+	out := r.Process(nil, in)
+	if len(out) < 2*n-2 {
+		t.Fatalf("only %d outputs", len(out))
+	}
+	// Steady-state region: measure amplitude and per-sample phase step.
+	var amp float64
+	var steps float64
+	count := 0
+	for i := 500; i < len(out)-500; i++ {
+		amp += cmplx.Abs(out[i])
+		steps += cmplx.Phase(out[i+1] * cmplx.Conj(out[i]))
+		count++
+	}
+	amp /= float64(count)
+	step := steps / float64(count)
+	if math.Abs(amp-1) > 0.02 {
+		t.Errorf("tone amplitude %g after 2x upsampling, want 1", amp)
+	}
+	want := 2 * math.Pi * f / 2
+	if math.Abs(step-want) > 1e-3 {
+		t.Errorf("phase step %g, want %g (tone frequency halved)", step, want)
+	}
+}
+
+func TestResamplerAntiAliasing(t *testing.T) {
+	// Decimation by 2 must suppress a tone above the output Nyquist.
+	r, err := NewResampler(1, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f = 0.35 // above output Nyquist (0.25 of input rate)
+	n := 4000
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = cmplx.Exp(complex(0, 2*math.Pi*f*float64(i)))
+	}
+	out := r.Process(nil, in)
+	var p float64
+	for _, v := range out[200:] {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p /= float64(len(out) - 200)
+	if p > 0.01 {
+		t.Errorf("aliasing tone leaked with power %g, want < 0.01", p)
+	}
+}
+
+func TestResamplerChunkedEqualsWhole(t *testing.T) {
+	r1, _ := NewResampler(3, 2, 8)
+	r2, _ := NewResampler(3, 2, 8)
+	rng := rand.New(rand.NewSource(1))
+	in := randVec(rng, 500)
+	whole := r1.Process(nil, in)
+	var chunked []complex128
+	for i := 0; i < len(in); i += 37 {
+		end := i + 37
+		if end > len(in) {
+			end = len(in)
+		}
+		chunked = r2.Process(chunked, in[i:end])
+	}
+	if len(whole) != len(chunked) {
+		t.Fatalf("whole %d vs chunked %d outputs", len(whole), len(chunked))
+	}
+	for i := range whole {
+		if cmplx.Abs(whole[i]-chunked[i]) > 1e-12 {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	r2.Reset()
+	if r2.Ratio() != 1.5 {
+		t.Errorf("Ratio = %g", r2.Ratio())
+	}
+}
+
+func TestAGCValidation(t *testing.T) {
+	if _, err := NewAGC(0, 0.01); err == nil {
+		t.Error("zero target should fail")
+	}
+	if _, err := NewAGC(1, 0.9); err == nil {
+		t.Error("huge mu should fail")
+	}
+}
+
+func TestAGCConverges(t *testing.T) {
+	a, err := NewAGC(1.0, 5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Input at power 0.01 (−20 dB): AGC must pull it to ≈ 1.
+	n := 20000
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * complex(math.Sqrt(0.005), 0)
+	}
+	out := make([]complex128, n)
+	a.Process(out, in)
+	var p float64
+	for _, v := range out[n-4000:] {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p /= 4000
+	if p < 0.7 || p > 1.4 {
+		t.Errorf("steady-state power %g, want ≈ 1", p)
+	}
+	if a.Gain() < 5 {
+		t.Errorf("gain %g should have grown toward 10", a.Gain())
+	}
+	a.Reset()
+	if a.Gain() != 1 {
+		t.Error("Reset did not restore unity gain")
+	}
+}
+
+func TestNormalizeBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	burst := randVec(rng, 1000)
+	Scale(burst, 0.1)
+	g, err := NormalizeBurst(burst, 100, 500, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 1 {
+		t.Errorf("gain %g should exceed 1 for a quiet burst", g)
+	}
+	if p := Power(burst[100:500]); math.Abs(p-1) > 1e-9 {
+		t.Errorf("window power %g after normalization", p)
+	}
+	if _, err := NormalizeBurst(burst, 500, 100, 1); err == nil {
+		t.Error("inverted window should fail")
+	}
+	if _, err := NormalizeBurst(make([]complex128, 10), 0, 10, 1); err == nil {
+		t.Error("zero-power window should fail")
+	}
+}

@@ -1,0 +1,203 @@
+package est
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/modem"
+)
+
+func awgn(r *rand.Rand, x []complex128, snrDB float64) []complex128 {
+	sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = v + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+	}
+	return out
+}
+
+func qpskBlock(r *rand.Rand, n int) []complex128 {
+	m := modem.NewMapper(modem.QPSK)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = m.MapOne([]byte{byte(r.Intn(2)), byte(r.Intn(2))})
+	}
+	return out
+}
+
+func TestDataAidedUnbiasedAcrossSNR(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, snrDB := range []float64{0, 5, 10, 15, 20, 25, 30} {
+		var acc float64
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			x := qpskBlock(r, 52)
+			r1 := awgn(r, x, snrDB)
+			r2 := awgn(r, x, snrDB)
+			snr, err := DataAided(r1, r2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += snr
+		}
+		gotDB := DB(acc / trials)
+		if math.Abs(gotDB-snrDB) > 1.0 {
+			t.Errorf("true %g dB: estimated %g dB", snrDB, gotDB)
+		}
+	}
+}
+
+func TestDataAidedValidation(t *testing.T) {
+	if _, err := DataAided(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := DataAided(make([]complex128, 3), make([]complex128, 4)); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	// Identical repetitions → infinite SNR.
+	x := []complex128{1, 2, 3}
+	snr, err := DataAided(x, x)
+	if err != nil || !math.IsInf(snr, 1) {
+		t.Errorf("identical reps: snr=%g err=%v", snr, err)
+	}
+}
+
+func TestEVM(t *testing.T) {
+	ref := []complex128{1, 1i, -1, -1i}
+	rx := []complex128{1.1, 1i, -1, -1i}
+	evm, snr, err := EVM(rx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(0.01 / 4)
+	if math.Abs(evm-want) > 1e-12 {
+		t.Errorf("EVM = %g, want %g", evm, want)
+	}
+	if math.Abs(snr-1/(want*want)) > 1e-6 {
+		t.Errorf("SNR = %g", snr)
+	}
+	if _, _, err := EVM(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, _, err := EVM([]complex128{1}, []complex128{0}); err == nil {
+		t.Error("zero reference power should fail")
+	}
+	_, snr, err = EVM(ref, ref)
+	if err != nil || !math.IsInf(snr, 1) {
+		t.Error("perfect EVM should give infinite SNR")
+	}
+}
+
+func TestM2M4TracksQPSK(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, snrDB := range []float64{5, 10, 15, 20} {
+		var acc float64
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			x := qpskBlock(r, 2000)
+			rx := awgn(r, x, snrDB)
+			snr, err := M2M4(rx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += snr
+		}
+		gotDB := DB(acc / trials)
+		if math.Abs(gotDB-snrDB) > 1.5 {
+			t.Errorf("QPSK true %g dB: M2M4 %g dB", snrDB, gotDB)
+		}
+	}
+}
+
+func TestM2M4BiasedFor64QAM(t *testing.T) {
+	// The known limitation: non-constant-modulus constellations violate the
+	// ka=1 assumption, so the estimate departs from truth at high SNR.
+	r := rand.New(rand.NewSource(3))
+	m := modem.NewMapper(modem.QAM64)
+	x := make([]complex128, 20000)
+	for i := range x {
+		bits := make([]byte, 6)
+		for j := range bits {
+			bits[j] = byte(r.Intn(2))
+		}
+		x[i] = m.MapOne(bits)
+	}
+	rx := awgn(r, x, 30)
+	snr, err := M2M4(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDB := DB(snr)
+	if math.Abs(gotDB-30) < 2 {
+		t.Errorf("M2M4 on 64-QAM at 30 dB returned %g dB; expected visible bias", gotDB)
+	}
+}
+
+func TestM2M4Degenerate(t *testing.T) {
+	if _, err := M2M4(make([]complex128, 4)); err == nil {
+		t.Error("too few samples should fail")
+	}
+	r := rand.New(rand.NewSource(4))
+	noise := make([]complex128, 1000)
+	for i := range noise {
+		noise[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	snr, err := M2M4(noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr > 0.5 {
+		t.Errorf("pure noise: M2M4 = %g, want ≈ 0", snr)
+	}
+}
+
+func TestPilotSNR(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var p PilotSNR
+	if _, err := p.SNR(); err == nil {
+		t.Error("empty accumulator should fail")
+	}
+	const snrDB = 12.0
+	sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+	for i := 0; i < 5000; i++ {
+		exp := complex(1, 0)
+		rx := exp + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+		p.Add(rx, exp)
+	}
+	if p.Count() != 5000 {
+		t.Errorf("Count = %d", p.Count())
+	}
+	snr, err := p.SNR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(DB(snr)-snrDB) > 0.5 {
+		t.Errorf("PilotSNR = %g dB, want %g", DB(snr), snrDB)
+	}
+	p.Reset()
+	if p.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestNoiseVarFromSymbols(t *testing.T) {
+	rx := []complex128{1.1, 2}
+	ref := []complex128{1, 2}
+	v, err := NoiseVarFromSymbols(rx, ref)
+	if err != nil || math.Abs(v-0.005) > 1e-12 {
+		t.Errorf("NoiseVar = %g, err %v", v, err)
+	}
+	if _, err := NoiseVarFromSymbols(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestDB(t *testing.T) {
+	if got := DB(100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("DB(100) = %g", got)
+	}
+	if !math.IsInf(DB(0), -1) {
+		t.Error("DB(0) should be -Inf")
+	}
+}

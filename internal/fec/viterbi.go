@@ -1,0 +1,174 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Viterbi is a reusable maximum-likelihood decoder for the 802.11 BCC. It
+// accepts soft inputs as log-likelihood ratios with the convention
+// llr > 0 ⇒ the coded bit is more likely 0; the magnitude expresses
+// confidence. Hard-decision decoding is the special case llr ∈ {+1, −1}.
+//
+// A Viterbi value is not safe for concurrent use; create one per goroutine.
+// The decoder reuses its metric arrays across calls and grows its traceback
+// matrix on demand, so steady-state decoding does not allocate.
+type Viterbi struct {
+	metric     []float64
+	nextMetric []float64
+	// survivors[t][ns] is the low bit of the best predecessor of state ns
+	// at trellis step t. Together with ns it reconstructs the predecessor:
+	// with nextState = in<<5 | s>>1, the predecessor is
+	// s = (ns&31)<<1 | survivor, and the step-t input bit is ns>>5.
+	survivors [][numStates]uint8
+}
+
+// NewViterbi returns a decoder.
+func NewViterbi() *Viterbi {
+	return &Viterbi{
+		metric:     make([]float64, numStates),
+		nextMetric: make([]float64, numStates),
+	}
+}
+
+// Depuncture expands coded values received at the given rate back to the
+// mother-code stream of 2·dataBits values, inserting zeros (erasures) at
+// punctured positions. dataBits is the number of trellis steps the decoder
+// will run.
+func Depuncture(llr []float64, dataBits int, rate Rate) ([]float64, error) {
+	pa, pb := rate.puncturePattern()
+	period := len(pa)
+	want := codedLen(dataBits, rate)
+	if len(llr) != want {
+		return nil, fmt.Errorf("fec: depuncture got %d values, want %d for %d data bits at rate %v",
+			len(llr), want, dataBits, rate)
+	}
+	out := make([]float64, 2*dataBits)
+	src := 0
+	for i := 0; i < dataBits; i++ {
+		p := i % period
+		if pa[p] {
+			out[2*i] = llr[src]
+			src++
+		}
+		if pb[p] {
+			out[2*i+1] = llr[src]
+			src++
+		}
+	}
+	return out, nil
+}
+
+// DecodeSoft runs Viterbi decoding over a depunctured mother-code LLR stream
+// (length must be even; 2 values per trellis step) and returns the decoded
+// data bits, one per trellis step. If terminated is true the trellis is
+// assumed driven back to the all-zero state by tail bits and traceback
+// starts from state 0; otherwise traceback starts from the best-metric end
+// state.
+func (v *Viterbi) DecodeSoft(llr []float64, terminated bool) ([]byte, error) {
+	if len(llr)%2 != 0 {
+		return nil, fmt.Errorf("fec: soft input length %d is odd", len(llr))
+	}
+	steps := len(llr) / 2
+	if steps == 0 {
+		return nil, nil
+	}
+	v.ensureTraceback(steps)
+
+	const unreachable = math.MaxFloat64 / 4
+	for s := range v.metric {
+		v.metric[s] = -unreachable
+	}
+	v.metric[0] = 0 // encoder starts in state 0
+
+	for t := 0; t < steps; t++ {
+		la, lb := llr[2*t], llr[2*t+1]
+		for s := range v.nextMetric {
+			v.nextMetric[s] = -unreachable
+		}
+		surv := &v.survivors[t]
+		for s := 0; s < numStates; s++ {
+			m := v.metric[s]
+			if m <= -unreachable {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				o := outputs[s][in]
+				// Correlation metric: +llr if the expected coded bit is 0,
+				// −llr if it is 1. Erasures (llr 0) contribute nothing.
+				bm := m
+				if o&1 == 0 {
+					bm += la
+				} else {
+					bm -= la
+				}
+				if o&2 == 0 {
+					bm += lb
+				} else {
+					bm -= lb
+				}
+				ns := nextState[s][in]
+				if bm > v.nextMetric[ns] {
+					v.nextMetric[ns] = bm
+					surv[ns] = uint8(s & 1)
+				}
+			}
+		}
+		v.metric, v.nextMetric = v.nextMetric, v.metric
+	}
+
+	state := 0
+	if !terminated {
+		best := math.Inf(-1)
+		for s, m := range v.metric {
+			if m > best {
+				best, state = m, s
+			}
+		}
+	}
+	bits := make([]byte, steps)
+	for t := steps - 1; t >= 0; t-- {
+		bits[t] = uint8(state >> (ConstraintLength - 2)) // input bit sits at the register top
+		state = ((state << 1) & (numStates - 1)) | int(v.survivors[t][state])
+	}
+	return bits, nil
+}
+
+// DecodeHard decodes hard-decision coded bits (0/1, one per byte) by mapping
+// them to unit-confidence LLRs. The scratch LLR buffer is reused across
+// calls.
+func (v *Viterbi) DecodeHard(coded []byte, terminated bool) ([]byte, error) {
+	llr := make([]float64, len(coded))
+	for i, b := range coded {
+		if b&1 == 0 {
+			llr[i] = 1
+		} else {
+			llr[i] = -1
+		}
+	}
+	return v.DecodeSoft(llr, terminated)
+}
+
+func (v *Viterbi) ensureTraceback(steps int) {
+	if cap(v.survivors) < steps {
+		v.survivors = make([][numStates]uint8, steps)
+	}
+	v.survivors = v.survivors[:steps]
+}
+
+// HardToLLR converts hard bits to ±1 LLRs into dst (allocating if dst is
+// short), exposed for the PHY's hard-decision receive path.
+func HardToLLR(dst []float64, bits []byte) []float64 {
+	if cap(dst) < len(bits) {
+		dst = make([]float64, len(bits))
+	}
+	dst = dst[:len(bits)]
+	for i, b := range bits {
+		if b&1 == 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = -1
+		}
+	}
+	return dst
+}

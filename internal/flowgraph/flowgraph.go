@@ -1,0 +1,234 @@
+// Package flowgraph is a small GNU-Radio-style stream-processing engine: a
+// graph of blocks connected by typed sample streams, each block running in
+// its own goroutine with backpressure provided by bounded channels. It is
+// the substrate that stands in for the GNU Radio runtime the paper builds
+// on — the paper's "modified and added blocks" map onto Block
+// implementations (see package blocks).
+//
+// Design notes, following Effective Go: blocks share memory by
+// communicating. A chunk ([]complex128) is owned by the receiver once sent;
+// senders must not retain or reuse it.
+package flowgraph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Chunk is the unit of streaming: a slice of baseband samples.
+type Chunk []complex128
+
+// Block is a node in the flowgraph. Run reads from its input streams and
+// writes to its output streams until the inputs are exhausted (closed), the
+// context is cancelled, or an error occurs. On return the scheduler closes
+// the block's outputs, which cascades shutdown downstream.
+//
+// Inputs and Outputs declare the port counts; Connect validates against
+// them.
+type Block interface {
+	Name() string
+	Inputs() int
+	Outputs() int
+	Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error
+}
+
+// DefaultBufferDepth is the per-edge channel buffer (in chunks).
+const DefaultBufferDepth = 8
+
+// Graph assembles blocks and edges and executes them.
+type Graph struct {
+	mu      sync.Mutex
+	blocks  []Block
+	edges   map[edgeKey]chan Chunk
+	inUsed  map[portKey]bool
+	outUsed map[portKey]bool
+	depth   int
+	started bool
+}
+
+type edgeKey struct {
+	from    Block
+	fromOut int
+	to      Block
+	toIn    int
+}
+
+type portKey struct {
+	b    Block
+	port int
+}
+
+// New returns an empty graph with the default buffer depth.
+func New() *Graph {
+	return &Graph{
+		edges:   make(map[edgeKey]chan Chunk),
+		inUsed:  make(map[portKey]bool),
+		outUsed: make(map[portKey]bool),
+		depth:   DefaultBufferDepth,
+	}
+}
+
+// SetBufferDepth changes the per-edge channel capacity for subsequently
+// added connections. Must be called before Run.
+func (g *Graph) SetBufferDepth(depth int) error {
+	if depth < 1 {
+		return fmt.Errorf("flowgraph: buffer depth %d < 1", depth)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.depth = depth
+	return nil
+}
+
+// Add registers a block. Adding the same block twice is an error.
+func (g *Graph) Add(b Block) error {
+	if b == nil {
+		return errors.New("flowgraph: nil block")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return errors.New("flowgraph: graph already started")
+	}
+	for _, have := range g.blocks {
+		if have == b {
+			return fmt.Errorf("flowgraph: block %q added twice", b.Name())
+		}
+	}
+	g.blocks = append(g.blocks, b)
+	return nil
+}
+
+// Connect wires output port fromOut of block from to input port toIn of
+// block to. Every port may be connected at most once (use an explicit
+// fan-out block to duplicate a stream).
+func (g *Graph) Connect(from Block, fromOut int, to Block, toIn int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return errors.New("flowgraph: graph already started")
+	}
+	if !g.has(from) || !g.has(to) {
+		return errors.New("flowgraph: connect blocks must be added first")
+	}
+	if fromOut < 0 || fromOut >= from.Outputs() {
+		return fmt.Errorf("flowgraph: %q has no output %d", from.Name(), fromOut)
+	}
+	if toIn < 0 || toIn >= to.Inputs() {
+		return fmt.Errorf("flowgraph: %q has no input %d", to.Name(), toIn)
+	}
+	ok := portKey{from, fromOut}
+	ik := portKey{to, toIn}
+	if g.outUsed[ok] {
+		return fmt.Errorf("flowgraph: output %q:%d already connected", from.Name(), fromOut)
+	}
+	if g.inUsed[ik] {
+		return fmt.Errorf("flowgraph: input %q:%d already connected", to.Name(), toIn)
+	}
+	g.outUsed[ok] = true
+	g.inUsed[ik] = true
+	g.edges[edgeKey{from, fromOut, to, toIn}] = make(chan Chunk, g.depth)
+	return nil
+}
+
+func (g *Graph) has(b Block) bool {
+	for _, have := range g.blocks {
+		if have == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Run validates that every declared port is connected, starts one goroutine
+// per block, and waits for completion. The first block error cancels the
+// context seen by all blocks; Run returns that error (or the context's, if
+// cancelled externally).
+func (g *Graph) Run(ctx context.Context) error {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return errors.New("flowgraph: graph already started")
+	}
+	for _, b := range g.blocks {
+		for p := 0; p < b.Inputs(); p++ {
+			if !g.inUsed[portKey{b, p}] {
+				g.mu.Unlock()
+				return fmt.Errorf("flowgraph: input %q:%d unconnected", b.Name(), p)
+			}
+		}
+		for p := 0; p < b.Outputs(); p++ {
+			if !g.outUsed[portKey{b, p}] {
+				g.mu.Unlock()
+				return fmt.Errorf("flowgraph: output %q:%d unconnected", b.Name(), p)
+			}
+		}
+	}
+	g.started = true
+	blocks := append([]Block(nil), g.blocks...)
+	// Snapshot per-block port channels.
+	ins := make(map[Block][]<-chan Chunk)
+	outs := make(map[Block][]chan<- Chunk)
+	outOwned := make(map[Block][]chan Chunk)
+	for _, b := range blocks {
+		ins[b] = make([]<-chan Chunk, b.Inputs())
+		outs[b] = make([]chan<- Chunk, b.Outputs())
+		outOwned[b] = make([]chan Chunk, b.Outputs())
+	}
+	for k, ch := range g.edges {
+		outs[k.from][k.fromOut] = ch
+		outOwned[k.from][k.fromOut] = ch
+		ins[k.to][k.toIn] = ch
+	}
+	g.mu.Unlock()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(blocks))
+	for _, b := range blocks {
+		wg.Add(1)
+		go func(b Block) {
+			defer wg.Done()
+			err := b.Run(runCtx, ins[b], outs[b])
+			// Close outputs so downstream blocks drain and finish.
+			for _, ch := range outOwned[b] {
+				close(ch)
+			}
+			if err != nil && !errors.Is(err, context.Canceled) {
+				errCh <- fmt.Errorf("flowgraph: block %q: %w", b.Name(), err)
+				cancel()
+			}
+		}(b)
+	}
+	wg.Wait()
+	close(errCh)
+	if err, ok := <-errCh; ok {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Send delivers one chunk with cancellation, for use inside Block.Run.
+// It returns false when the context ended before delivery.
+func Send(ctx context.Context, out chan<- Chunk, c Chunk) bool {
+	select {
+	case out <- c:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Recv receives one chunk with cancellation. ok is false when the stream is
+// closed or the context ended.
+func Recv(ctx context.Context, in <-chan Chunk) (Chunk, bool) {
+	select {
+	case c, ok := <-in:
+		return c, ok
+	case <-ctx.Done():
+		return nil, false
+	}
+}

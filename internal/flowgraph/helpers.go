@@ -1,0 +1,148 @@
+package flowgraph
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// SourceFunc adapts a generator function into a 0-in/1-out block. The
+// function returns chunks until it returns io.EOF (clean end of stream) or
+// another error (aborts the graph).
+type SourceFunc struct {
+	BlockName string
+	Next      func() (Chunk, error)
+}
+
+// Name implements Block.
+func (s *SourceFunc) Name() string { return s.BlockName }
+
+// Inputs implements Block.
+func (s *SourceFunc) Inputs() int { return 0 }
+
+// Outputs implements Block.
+func (s *SourceFunc) Outputs() int { return 1 }
+
+// Run implements Block.
+func (s *SourceFunc) Run(ctx context.Context, _ []<-chan Chunk, out []chan<- Chunk) error {
+	if s.Next == nil {
+		return errors.New("flowgraph: SourceFunc.Next is nil")
+	}
+	for {
+		c, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !Send(ctx, out[0], c) {
+			return ctx.Err()
+		}
+	}
+}
+
+// SinkFunc adapts a consumer function into a 1-in/0-out block.
+type SinkFunc struct {
+	BlockName string
+	Consume   func(Chunk) error
+}
+
+// Name implements Block.
+func (s *SinkFunc) Name() string { return s.BlockName }
+
+// Inputs implements Block.
+func (s *SinkFunc) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (s *SinkFunc) Outputs() int { return 0 }
+
+// Run implements Block.
+func (s *SinkFunc) Run(ctx context.Context, in []<-chan Chunk, _ []chan<- Chunk) error {
+	if s.Consume == nil {
+		return errors.New("flowgraph: SinkFunc.Consume is nil")
+	}
+	for {
+		c, ok := Recv(ctx, in[0])
+		if !ok {
+			return ctx.Err()
+		}
+		if err := s.Consume(c); err != nil {
+			return err
+		}
+	}
+}
+
+// TransformFunc adapts a chunk transformer into a 1-in/1-out block. The
+// function may return a nil chunk to drop input.
+type TransformFunc struct {
+	BlockName string
+	Apply     func(Chunk) (Chunk, error)
+}
+
+// Name implements Block.
+func (t *TransformFunc) Name() string { return t.BlockName }
+
+// Inputs implements Block.
+func (t *TransformFunc) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (t *TransformFunc) Outputs() int { return 1 }
+
+// Run implements Block.
+func (t *TransformFunc) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	if t.Apply == nil {
+		return errors.New("flowgraph: TransformFunc.Apply is nil")
+	}
+	for {
+		c, ok := Recv(ctx, in[0])
+		if !ok {
+			return ctx.Err()
+		}
+		o, err := t.Apply(c)
+		if err != nil {
+			return err
+		}
+		if o == nil {
+			continue
+		}
+		if !Send(ctx, out[0], o) {
+			return ctx.Err()
+		}
+	}
+}
+
+// Fanout duplicates one input stream onto N outputs, copying each chunk so
+// downstream blocks own independent data.
+type Fanout struct {
+	BlockName string
+	N         int
+}
+
+// Name implements Block.
+func (f *Fanout) Name() string { return f.BlockName }
+
+// Inputs implements Block.
+func (f *Fanout) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (f *Fanout) Outputs() int { return f.N }
+
+// Run implements Block.
+func (f *Fanout) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	for {
+		c, ok := Recv(ctx, in[0])
+		if !ok {
+			return ctx.Err()
+		}
+		for i, o := range out {
+			cp := c
+			if i > 0 {
+				cp = append(Chunk(nil), c...)
+			}
+			if !Send(ctx, o, cp) {
+				return ctx.Err()
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package mac
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// A-MPDU aggregation (IEEE 802.11n §8.6): multiple MPDUs are packed into
+// one PSDU, each preceded by a delimiter carrying the MPDU length, a CRC-8
+// over the delimiter, and a signature byte. Each MPDU keeps its own FCS, so
+// a bit error localized to one subframe costs only that subframe — the
+// property experiment E16 measures against sending one monolithic frame.
+
+const (
+	delimiterLen = 4
+	// delimiterSignature is the ASCII 'N' pattern the standard uses to
+	// resynchronize delimiter scanning after a corrupted subframe.
+	delimiterSignature = 0x4E
+	// padTo aligns each subframe start to a 4-octet boundary.
+	padTo = 4
+)
+
+// Aggregate packs frames into one A-MPDU PSDU. Each frame is encoded
+// (header + FCS) and wrapped in a delimiter; subframes are padded to
+// 4-octet alignment as the standard requires.
+func Aggregate(frames []*Frame) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("mac: empty aggregate")
+	}
+	var out []byte
+	for i, f := range frames {
+		mpdu, err := f.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("mac: subframe %d: %w", i, err)
+		}
+		if len(mpdu) > 0x3FFF {
+			return nil, fmt.Errorf("mac: subframe %d: MPDU %d exceeds the 14-bit delimiter length", i, len(mpdu))
+		}
+		delim := make([]byte, delimiterLen)
+		// Reserved(2) | length(14) packed little-endian, CRC, signature.
+		binary.LittleEndian.PutUint16(delim[0:], uint16(len(mpdu)))
+		delim[2] = delimiterCRC(delim[:2])
+		delim[3] = delimiterSignature
+		out = append(out, delim...)
+		out = append(out, mpdu...)
+		for len(out)%padTo != 0 {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}
+
+// delimiterCRC computes the CRC-8 over the two delimiter length octets,
+// reusing the HT-SIG generator.
+func delimiterCRC(b []byte) byte {
+	return bitutil.CRC8(bitutil.BytesToBits(b))
+}
+
+// DeaggregateResult reports one recovered subframe slot.
+type DeaggregateResult struct {
+	// Frame is non-nil when the subframe's FCS verified.
+	Frame *Frame
+	// Err explains a failed slot (delimiter or FCS errors).
+	Err error
+}
+
+// Deaggregate walks an A-MPDU PSDU and returns one result per delimiter
+// found. Corrupted delimiters are skipped by scanning forward for the next
+// valid signature+CRC at 4-octet alignment, so one damaged subframe does
+// not discard the rest — the error-containment property of aggregation.
+func Deaggregate(psdu []byte) []DeaggregateResult {
+	var out []DeaggregateResult
+	pos := 0
+	for pos+delimiterLen <= len(psdu) {
+		d := psdu[pos : pos+delimiterLen]
+		length := int(binary.LittleEndian.Uint16(d[0:]) & 0x3FFF)
+		if d[3] != delimiterSignature || delimiterCRC(d[:2]) != d[2] ||
+			length == 0 || pos+delimiterLen+length > len(psdu) {
+			// Bad delimiter: resynchronize at the next aligned position.
+			if len(out) == 0 || out[len(out)-1].Err == nil {
+				out = append(out, DeaggregateResult{Err: fmt.Errorf("mac: bad delimiter at %d", pos)})
+			}
+			pos += padTo
+			continue
+		}
+		body := psdu[pos+delimiterLen : pos+delimiterLen+length]
+		frame, err := Decode(body)
+		out = append(out, DeaggregateResult{Frame: frame, Err: err})
+		pos += delimiterLen + length
+		for pos%padTo != 0 {
+			pos++
+		}
+	}
+	return out
+}

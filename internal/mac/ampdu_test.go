@@ -1,0 +1,116 @@
+package mac
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func mkFrames(r *rand.Rand, n, payloadLen int) []*Frame {
+	frames := make([]*Frame, n)
+	for i := range frames {
+		p := make([]byte, payloadLen)
+		r.Read(p)
+		frames[i] = &Frame{Seq: uint16(i), Payload: p}
+	}
+	return frames
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	frames := mkFrames(r, 5, 120)
+	psdu, err := Aggregate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psdu)%4 != 0 {
+		t.Errorf("A-MPDU length %d not 4-octet aligned", len(psdu))
+	}
+	results := Deaggregate(psdu)
+	if len(results) != 5 {
+		t.Fatalf("%d subframes recovered, want 5", len(results))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Errorf("subframe %d: %v", i, res.Err)
+			continue
+		}
+		if res.Frame.Seq != uint16(i) || !bytes.Equal(res.Frame.Payload, frames[i].Payload) {
+			t.Errorf("subframe %d content mismatch", i)
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("empty aggregate should fail")
+	}
+	big := &Frame{Payload: make([]byte, 0x4000)}
+	if _, err := Aggregate([]*Frame{big}); err == nil {
+		t.Error("oversized subframe should fail")
+	}
+}
+
+func TestDeaggregateContainsDamage(t *testing.T) {
+	// Corrupt one middle subframe's payload: only that slot errors, the
+	// rest decode.
+	r := rand.New(rand.NewSource(2))
+	frames := mkFrames(r, 4, 200)
+	psdu, err := Aggregate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate subframe 1's payload region: slot 0 occupies
+	// 4 + (24+200+4) rounded up to 4.
+	slot := 4 + 228
+	slot = (slot + 3) / 4 * 4
+	psdu[slot+30] ^= 0xFF // inside subframe 1's body
+	results := Deaggregate(psdu)
+	if len(results) != 4 {
+		t.Fatalf("%d results, want 4", len(results))
+	}
+	for i, res := range results {
+		if i == 1 {
+			if res.Err == nil {
+				t.Error("corrupted subframe 1 passed FCS")
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Errorf("undamaged subframe %d failed: %v", i, res.Err)
+		}
+	}
+}
+
+func TestDeaggregateResyncAfterDelimiterDamage(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	frames := mkFrames(r, 3, 64)
+	psdu, err := Aggregate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the first delimiter completely.
+	psdu[0], psdu[1], psdu[2], psdu[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	results := Deaggregate(psdu)
+	ok := 0
+	for _, res := range results {
+		if res.Err == nil {
+			ok++
+		}
+	}
+	if ok < 2 {
+		t.Errorf("resync recovered %d subframes, want the 2 undamaged ones", ok)
+	}
+}
+
+func TestDeaggregateGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	junk := make([]byte, 500)
+	r.Read(junk)
+	results := Deaggregate(junk)
+	for _, res := range results {
+		if res.Err == nil {
+			t.Fatal("pure garbage produced a valid subframe")
+		}
+	}
+}

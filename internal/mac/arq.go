@@ -1,0 +1,125 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Selective-repeat ARQ in the style of 802.11n Block Ack: the sender
+// aggregates up to a window of MPDUs per round (an A-MPDU), the receiver
+// responds with a compressed bitmap acknowledging the subframes whose FCS
+// verified, and only the missing ones are retransmitted. Combined with
+// package-level Aggregate/Deaggregate this is the network-level payoff of
+// per-subframe FCS.
+
+// BlockAck is a compressed acknowledgement: sequence numbers in
+// [Start, Start+64) are acknowledged by bits of the bitmap.
+type BlockAck struct {
+	Start  uint16
+	Bitmap uint64
+}
+
+// Acked reports whether seq is acknowledged.
+func (b BlockAck) Acked(seq uint16) bool {
+	off := int(seq-b.Start) & 0x0FFF
+	if off >= 64 {
+		return false
+	}
+	return b.Bitmap&(1<<uint(off)) != 0
+}
+
+// AckFrom builds a BlockAck from deaggregated results, anchored at start.
+func AckFrom(start uint16, results []DeaggregateResult) BlockAck {
+	ack := BlockAck{Start: start}
+	for _, res := range results {
+		if res.Err != nil || res.Frame == nil {
+			continue
+		}
+		off := int(res.Frame.Seq-start) & 0x0FFF
+		if off < 64 {
+			ack.Bitmap |= 1 << uint(off)
+		}
+	}
+	return ack
+}
+
+// ARQSender manages a selective-repeat transmit window over payloads.
+// Not safe for concurrent use.
+type ARQSender struct {
+	window  int
+	nextSeq uint16
+	// pending maps sequence → payload awaiting acknowledgement.
+	pending map[uint16][]byte
+	// retries tracks transmissions per sequence for the give-up policy.
+	retries    map[uint16]int
+	MaxRetries int
+	// Delivered and Dropped count terminal payload outcomes.
+	Delivered, Dropped int
+}
+
+// NewARQSender returns a sender with a window of up to `window` outstanding
+// MPDUs per round (≤ 64, the Block Ack bitmap size).
+func NewARQSender(window int) (*ARQSender, error) {
+	if window < 1 || window > 64 {
+		return nil, fmt.Errorf("mac: ARQ window %d outside [1, 64]", window)
+	}
+	return &ARQSender{
+		window:     window,
+		pending:    make(map[uint16][]byte),
+		retries:    make(map[uint16]int),
+		MaxRetries: 7,
+	}, nil
+}
+
+// Queue accepts a payload for reliable delivery and returns its assigned
+// sequence number.
+func (s *ARQSender) Queue(payload []byte) uint16 {
+	seq := s.nextSeq
+	s.nextSeq = (s.nextSeq + 1) & 0x0FFF
+	s.pending[seq] = payload
+	return seq
+}
+
+// Outstanding returns the number of unacknowledged payloads.
+func (s *ARQSender) Outstanding() int { return len(s.pending) }
+
+// Round returns the frames to transmit this round: the oldest pending
+// sequences up to the window, in order. It also records the attempt against
+// each frame's retry budget, dropping frames that exhausted it.
+func (s *ARQSender) Round() []*Frame {
+	seqs := make([]int, 0, len(s.pending))
+	for seq := range s.pending {
+		seqs = append(seqs, int(seq))
+	}
+	// Order by age: sequence distance from the oldest modulo 4096. With
+	// windows ≤ 64 and in-order Queue calls, plain numeric order with
+	// wraparound handling suffices.
+	sort.Ints(seqs)
+	frames := make([]*Frame, 0, s.window)
+	for _, si := range seqs {
+		if len(frames) == s.window {
+			break
+		}
+		seq := uint16(si)
+		if s.retries[seq] >= s.MaxRetries {
+			delete(s.pending, seq)
+			delete(s.retries, seq)
+			s.Dropped++
+			continue
+		}
+		s.retries[seq]++
+		frames = append(frames, &Frame{Seq: seq, Payload: s.pending[seq]})
+	}
+	return frames
+}
+
+// Apply consumes a BlockAck, releasing acknowledged payloads.
+func (s *ARQSender) Apply(ack BlockAck) {
+	for seq := range s.pending {
+		if ack.Acked(seq) {
+			delete(s.pending, seq)
+			delete(s.retries, seq)
+			s.Delivered++
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockAckBitmap(t *testing.T) {
+	ack := BlockAck{Start: 100, Bitmap: 0b1011}
+	for seq, want := range map[uint16]bool{
+		100: true, 101: true, 102: false, 103: true,
+		104: false, 164: false, 99: false,
+	} {
+		if ack.Acked(seq) != want {
+			t.Errorf("Acked(%d) = %v, want %v", seq, ack.Acked(seq), want)
+		}
+	}
+}
+
+func TestAckFromResults(t *testing.T) {
+	results := []DeaggregateResult{
+		{Frame: &Frame{Seq: 10}},
+		{Err: errFake},
+		{Frame: &Frame{Seq: 12}},
+	}
+	ack := AckFrom(10, results)
+	if !ack.Acked(10) || ack.Acked(11) || !ack.Acked(12) {
+		t.Errorf("ack bitmap %b", ack.Bitmap)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestARQSenderValidation(t *testing.T) {
+	if _, err := NewARQSender(0); err == nil {
+		t.Error("window 0 should fail")
+	}
+	if _, err := NewARQSender(65); err == nil {
+		t.Error("window 65 should fail")
+	}
+}
+
+func TestARQSelectiveRetransmit(t *testing.T) {
+	s, err := NewARQSender(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Queue([]byte{byte(i)})
+	}
+	round1 := s.Round()
+	if len(round1) != 8 {
+		t.Fatalf("round 1 has %d frames", len(round1))
+	}
+	// Receiver got frames 0,1,2,5,6,7; 3 and 4 lost.
+	var results []DeaggregateResult
+	for _, f := range round1 {
+		if f.Seq == 3 || f.Seq == 4 {
+			results = append(results, DeaggregateResult{Err: errFake})
+			continue
+		}
+		results = append(results, DeaggregateResult{Frame: f})
+	}
+	s.Apply(AckFrom(0, results))
+	if s.Delivered != 6 || s.Outstanding() != 2 {
+		t.Fatalf("delivered %d, outstanding %d", s.Delivered, s.Outstanding())
+	}
+	round2 := s.Round()
+	if len(round2) != 2 {
+		t.Fatalf("round 2 has %d frames", len(round2))
+	}
+	seqs := map[uint16]bool{round2[0].Seq: true, round2[1].Seq: true}
+	if !seqs[3] || !seqs[4] {
+		t.Errorf("round 2 retransmits %v, want {3, 4}", seqs)
+	}
+	s.Apply(AckFrom(0, []DeaggregateResult{{Frame: round2[0]}, {Frame: round2[1]}}))
+	if s.Delivered != 8 || s.Outstanding() != 0 {
+		t.Errorf("final: delivered %d outstanding %d", s.Delivered, s.Outstanding())
+	}
+}
+
+func TestARQGivesUpAfterMaxRetries(t *testing.T) {
+	s, _ := NewARQSender(4)
+	s.MaxRetries = 3
+	s.Queue([]byte{1})
+	for round := 0; round < 5; round++ {
+		s.Round() // never acknowledged
+	}
+	if s.Dropped != 1 || s.Outstanding() != 0 {
+		t.Errorf("dropped %d outstanding %d after retry exhaustion", s.Dropped, s.Outstanding())
+	}
+}
+
+func TestARQWindowLimitsRound(t *testing.T) {
+	s, _ := NewARQSender(4)
+	for i := 0; i < 10; i++ {
+		s.Queue([]byte{byte(i)})
+	}
+	if got := len(s.Round()); got != 4 {
+		t.Errorf("round size %d, want 4", got)
+	}
+}
+
+func TestARQEndToEndOverLossyAggregates(t *testing.T) {
+	// Drive the full Aggregate → corrupt → Deaggregate → AckFrom loop until
+	// everything delivers.
+	r := rand.New(rand.NewSource(1))
+	s, _ := NewARQSender(16)
+	const total = 40
+	for i := 0; i < total; i++ {
+		p := make([]byte, 100)
+		r.Read(p)
+		s.Queue(p)
+	}
+	rounds := 0
+	for s.Outstanding() > 0 && rounds < 50 {
+		rounds++
+		frames := s.Round()
+		if len(frames) == 0 {
+			break
+		}
+		psdu, err := Aggregate(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 20% of subframes damaged: flip a byte somewhere random.
+		for k := 0; k < len(psdu)/500; k++ {
+			psdu[r.Intn(len(psdu))] ^= 0xA5
+		}
+		s.Apply(AckFrom(frames[0].Seq, Deaggregate(psdu)))
+	}
+	if s.Delivered+s.Dropped != total {
+		t.Fatalf("accounting broken: %d delivered + %d dropped != %d", s.Delivered, s.Dropped, total)
+	}
+	if s.Delivered < total*9/10 {
+		t.Errorf("only %d/%d delivered under 20%% loss", s.Delivered, total)
+	}
+	t.Logf("delivered %d/%d in %d rounds", s.Delivered, total, rounds)
+}

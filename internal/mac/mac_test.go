@@ -1,0 +1,85 @@
+package mac
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	prop := func(payload []byte, seq uint16) bool {
+		f := &Frame{
+			Dest:    Addr{1, 2, 3, 4, 5, 6},
+			Src:     Addr{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+			BSSID:   Addr{9, 9, 9, 9, 9, 9},
+			Seq:     seq & 0x0FFF,
+			Payload: payload,
+		}
+		psdu, err := f.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(psdu)
+		if err != nil {
+			return false
+		}
+		return got.Dest == f.Dest && got.Src == f.Src && got.BSSID == f.BSSID &&
+			got.Seq == f.Seq && bytes.Equal(got.Payload, f.Payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	f := &Frame{Seq: 0x1000}
+	if _, err := f.Encode(); err == nil {
+		t.Error("13-bit sequence should fail")
+	}
+	f2 := &Frame{Payload: make([]byte, MaxPayload+1)}
+	if _, err := f2.Encode(); err == nil {
+		t.Error("oversized payload should fail")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := &Frame{Seq: 7, Payload: make([]byte, 64)}
+	r.Read(f.Payload)
+	psdu, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		c := append([]byte(nil), psdu...)
+		c[r.Intn(len(c))] ^= 1 << uint(r.Intn(8))
+		if _, err := Decode(c); err == nil {
+			t.Fatal("corrupted frame passed FCS")
+		}
+	}
+	if _, err := Decode([]byte{1, 2}); err == nil {
+		t.Error("tiny PSDU should fail")
+	}
+	// Valid FCS but short body.
+	short, _ := (&Frame{}).Encode()
+	truncated := short[:20]
+	if _, err := Decode(truncated); err == nil {
+		t.Error("truncated frame should fail")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if a.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("Addr.String() = %q", a.String())
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	f := &Frame{Payload: make([]byte, 10)}
+	psdu, _ := f.Encode()
+	if len(psdu) != 10+Overhead() {
+		t.Errorf("overhead mismatch: %d vs %d", len(psdu)-10, Overhead())
+	}
+}

@@ -1,0 +1,216 @@
+// Package metrics provides the measurement machinery the paper reports
+// with: bit error rate and packet error rate counters with Wilson-score
+// confidence intervals, error-vector-magnitude accumulation, and small
+// histogram utilities for the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitutil"
+)
+
+// BER counts bit errors.
+type BER struct {
+	Errors, Total int64
+}
+
+// AddBits compares transmitted and received bit slices (one bit per byte).
+func (b *BER) AddBits(tx, rx []byte) error {
+	n, err := bitutil.CountDiffer(tx, rx)
+	if err != nil {
+		return err
+	}
+	b.Errors += int64(n)
+	b.Total += int64(len(tx))
+	return nil
+}
+
+// AddBytes compares transmitted and received byte payloads bit-by-bit.
+// Length mismatch counts every bit of the longer slice as errored, the
+// pessimistic convention for lost/truncated frames.
+func (b *BER) AddBytes(tx, rx []byte) {
+	n := len(tx)
+	if len(rx) < n {
+		n = len(rx)
+	}
+	for i := 0; i < n; i++ {
+		x := tx[i] ^ rx[i]
+		for ; x != 0; x &= x - 1 {
+			b.Errors++
+		}
+	}
+	longer := len(tx)
+	if len(rx) > longer {
+		longer = len(rx)
+	}
+	b.Errors += int64(8 * (longer - n))
+	b.Total += int64(8 * longer)
+}
+
+// Add counts errors directly.
+func (b *BER) Add(errors, total int64) {
+	b.Errors += errors
+	b.Total += total
+}
+
+// Rate returns the measured error rate (0 when nothing was counted).
+func (b *BER) Rate() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Errors) / float64(b.Total)
+}
+
+// Confidence returns the Wilson-score interval at the given z (1.96 ≈ 95%).
+func (b *BER) Confidence(z float64) (lo, hi float64) {
+	return wilson(float64(b.Errors), float64(b.Total), z)
+}
+
+func (b *BER) String() string {
+	return fmt.Sprintf("BER %.3g (%d/%d)", b.Rate(), b.Errors, b.Total)
+}
+
+// PER counts packet errors.
+type PER struct {
+	Errors, Total int64
+}
+
+// Add records one packet outcome.
+func (p *PER) Add(ok bool) {
+	p.Total++
+	if !ok {
+		p.Errors++
+	}
+}
+
+// Rate returns the packet error rate.
+func (p *PER) Rate() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Errors) / float64(p.Total)
+}
+
+// Confidence returns the Wilson-score interval at the given z.
+func (p *PER) Confidence(z float64) (lo, hi float64) {
+	return wilson(float64(p.Errors), float64(p.Total), z)
+}
+
+func (p *PER) String() string {
+	return fmt.Sprintf("PER %.3g (%d/%d)", p.Rate(), p.Errors, p.Total)
+}
+
+// wilson computes the Wilson score interval for k successes in n trials.
+func wilson(k, n, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := k / n
+	den := 1 + z*z/n
+	center := (p + z*z/(2*n)) / den
+	half := z / den * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// EVM accumulates error vector magnitude across symbols.
+type EVM struct {
+	errPow, refPow float64
+	n              int64
+}
+
+// Add records one symbol against its reference.
+func (e *EVM) Add(rx, ref complex128) {
+	d := rx - ref
+	e.errPow += real(d)*real(d) + imag(d)*imag(d)
+	e.refPow += real(ref)*real(ref) + imag(ref)*imag(ref)
+	e.n++
+}
+
+// RMS returns the accumulated RMS EVM (linear; ×100 for percent).
+func (e *EVM) RMS() float64 {
+	if e.refPow == 0 {
+		return 0
+	}
+	return math.Sqrt(e.errPow / e.refPow)
+}
+
+// SNRdB returns the implied SNR in dB.
+func (e *EVM) SNRdB() float64 {
+	r := e.RMS()
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return -20 * math.Log10(r)
+}
+
+// Count returns the number of symbols accumulated.
+func (e *EVM) Count() int64 { return e.n }
+
+// Histogram is a fixed-bin histogram for estimator-error distributions.
+type Histogram struct {
+	Min, Max float64
+	Bins     []int64
+	under    int64
+	over     int64
+	n        int64
+}
+
+// NewHistogram returns a histogram with nbins bins over [min, max).
+func NewHistogram(min, max float64, nbins int) (*Histogram, error) {
+	if nbins < 1 || max <= min {
+		return nil, fmt.Errorf("metrics: invalid histogram [%g, %g) with %d bins", min, max, nbins)
+	}
+	return &Histogram{Min: min, Max: max, Bins: make([]int64, nbins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	if x < h.Min {
+		h.under++
+		return
+	}
+	if x >= h.Max {
+		h.over++
+		return
+	}
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Bins)))
+	if i == len(h.Bins) {
+		i--
+	}
+	h.Bins[i]++
+}
+
+// Count returns the total observations including out-of-range.
+func (h *Histogram) Count() int64 { return h.n }
+
+// OutOfRange returns the counts below Min and at/above Max.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// Quantile returns an approximate quantile (q in [0,1]) from the binned
+// data, ignoring out-of-range mass.
+func (h *Histogram) Quantile(q float64) float64 {
+	inRange := h.n - h.under - h.over
+	if inRange == 0 {
+		return math.NaN()
+	}
+	target := int64(q * float64(inRange))
+	var acc int64
+	for i, c := range h.Bins {
+		acc += c
+		if acc > target {
+			w := (h.Max - h.Min) / float64(len(h.Bins))
+			return h.Min + (float64(i)+0.5)*w
+		}
+	}
+	return h.Max
+}

@@ -1,0 +1,142 @@
+// Package ofdm implements the 20 MHz OFDM layer of the 802.11n PHY: the
+// legacy (clause 18) and HT (clause 20) subcarrier maps, the pilot polarity
+// and per-stream pilot patterns, and the OFDM symbol modulator/demodulator
+// (64-point IFFT/FFT with a 16-sample cyclic prefix).
+package ofdm
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// PHY-level constants for the 20 MHz channelization.
+const (
+	FFTSize   = 64
+	CPLen     = 16
+	SymbolLen = FFTSize + CPLen // 80 samples per long-GI OFDM symbol
+
+	// Short guard interval (400 ns) variants for the HT data portion.
+	CPLenShort     = 8
+	SymbolLenShort = FFTSize + CPLenShort
+
+	// SampleRate is the nominal 20 MHz baseband rate; one sample is 50 ns.
+	SampleRate = 20e6
+
+	NumPilots = 4
+)
+
+// ToneMap describes which FFT bins carry data and which carry pilots, in
+// standard subcarrier order (ascending logical subcarrier index, negative
+// frequencies first).
+type ToneMap struct {
+	// Data[i] is the FFT bin of the i-th data subcarrier.
+	Data []int
+	// Pilot[i] is the FFT bin of the i-th pilot subcarrier
+	// (subcarriers −21, −7, +7, +21).
+	Pilot []int
+}
+
+// NumData returns the number of data subcarriers (48 legacy, 52 HT).
+func (t *ToneMap) NumData() int { return len(t.Data) }
+
+// NumUsed returns the number of occupied subcarriers.
+func (t *ToneMap) NumUsed() int { return len(t.Data) + len(t.Pilot) }
+
+// bin converts a logical subcarrier index (−32..31) to an FFT bin (0..63).
+func bin(k int) int { return (k + FFTSize) % FFTSize }
+
+var pilotCarriers = []int{-21, -7, 7, 21}
+
+func buildToneMap(maxK int) *ToneMap {
+	tm := &ToneMap{}
+	for _, k := range pilotCarriers {
+		tm.Pilot = append(tm.Pilot, bin(k))
+	}
+	for k := -maxK; k <= maxK; k++ {
+		if k == 0 || isPilot(k) {
+			continue
+		}
+		tm.Data = append(tm.Data, bin(k))
+	}
+	return tm
+}
+
+func isPilot(k int) bool {
+	for _, p := range pilotCarriers {
+		if k == p {
+			return true
+		}
+	}
+	return false
+}
+
+// LegacyToneMap is the clause-18 map: 48 data + 4 pilot tones on
+// subcarriers −26..26.
+var LegacyToneMap = buildToneMap(26)
+
+// HTToneMap is the clause-20 20 MHz map: 52 data + 4 pilot tones on
+// subcarriers −28..28.
+var HTToneMap = buildToneMap(28)
+
+// PilotPolarity is the 127-periodic pilot polarity sequence p_n
+// (IEEE 802.11-2012 §18.3.5.10): the scrambler PN sequence with all-ones
+// seed, mapped 0→+1, 1→−1.
+var PilotPolarity = func() []float64 {
+	seq := bitutil.NewScrambler(0x7F).Sequence(127)
+	p := make([]float64, 127)
+	for i, b := range seq {
+		p[i] = 1 - 2*float64(b)
+	}
+	return p
+}()
+
+// Polarity returns p_{n mod 127} for OFDM symbol counter n (which includes
+// the SIG/preamble symbol offsets the caller chooses).
+func Polarity(n int) float64 { return PilotPolarity[((n%127)+127)%127] }
+
+// legacyPilotBase is the clause-18 pilot pattern on carriers −21,−7,+7,+21
+// before polarity.
+var legacyPilotBase = []float64{1, 1, 1, -1}
+
+// LegacyPilots returns the four pilot values for legacy OFDM symbol n
+// (n = 0 is the SIGNAL symbol per the standard's indexing).
+func LegacyPilots(n int) []complex128 {
+	p := Polarity(n)
+	out := make([]complex128, NumPilots)
+	for i, b := range legacyPilotBase {
+		out[i] = complex(b*p, 0)
+	}
+	return out
+}
+
+// htPsi is the 20 MHz HT pilot pattern Ψ (IEEE 802.11-2012 Table 20-20),
+// indexed [N_SS−1][iss][k].
+var htPsi = [4][][]float64{
+	{{1, 1, 1, -1}},
+	{{1, 1, -1, -1}, {1, -1, -1, 1}},
+	{{1, 1, -1, -1}, {1, -1, 1, -1}, {-1, 1, 1, -1}},
+	{{1, 1, 1, -1}, {1, 1, -1, 1}, {1, -1, 1, 1}, {-1, 1, 1, 1}},
+}
+
+// HTPilots returns the pilot values for spatial stream iss (0-based) of nss
+// streams in HT data symbol n (0-based within the data portion). z is the
+// polarity offset: the standard uses p_{z+n} with z = 3 for HT-mixed data
+// symbols (symbols 0..2 of the polarity sequence are consumed by L-SIG and
+// HT-SIG).
+func HTPilots(nss, iss, n, z int) ([]complex128, error) {
+	if nss < 1 || nss > 4 {
+		return nil, fmt.Errorf("ofdm: N_SS %d out of range [1,4]", nss)
+	}
+	if iss < 0 || iss >= nss {
+		return nil, fmt.Errorf("ofdm: stream %d out of range [0,%d)", iss, nss)
+	}
+	psi := htPsi[nss-1][iss]
+	p := Polarity(z + n)
+	out := make([]complex128, NumPilots)
+	for k := 0; k < NumPilots; k++ {
+		// The pattern rotates by one pilot position per symbol (eq. 20-59).
+		out[k] = complex(psi[(k+n)%NumPilots]*p, 0)
+	}
+	return out, nil
+}

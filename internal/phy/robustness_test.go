@@ -1,0 +1,171 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/channel"
+)
+
+// mkCleanBurst returns a decodable 2x2 reception for corruption tests.
+func mkCleanBurst(t *testing.T, seed int64) [][]complex128 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tx, err := NewTransmitter(TxConfig{MCS: 9, ScramblerSeed: 0x55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := tx.Transmit(randPSDU(r, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := channel.New(channel.Config{NumTX: 2, NumRX: 2, Model: channel.Identity,
+		SNRdB: 30, Seed: seed, TimingOffset: 250, TrailingSilence: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := c.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rxs
+}
+
+// receiveNoPanic runs Receive and fails the test on panic; errors are fine.
+func receiveNoPanic(t *testing.T, label string, rxs [][]complex128) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("%s: receiver panicked: %v", label, p)
+		}
+	}()
+	rx, err := NewReceiver(RxConfig{NumAntennas: len(rxs), Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = rx.Receive(rxs)
+}
+
+func TestReceiverSurvivesTruncation(t *testing.T) {
+	// Cut the burst at every structural boundary: inside STF, LTF, SIG,
+	// HT-LTFs and mid-data. The receiver must error, never panic.
+	full := mkCleanBurst(t, 1)
+	cuts := []int{
+		100, 260, 360,
+		250 + OffLSIG + 10, 250 + OffHTSIG + 40,
+		250 + OffHTSTF + 5, 250 + OffHTLTF + 60,
+		250 + PreambleLen(2) + 100,
+		len(full[0]) - 40,
+	}
+	for _, cut := range cuts {
+		if cut >= len(full[0]) {
+			continue
+		}
+		trunc := make([][]complex128, 2)
+		for a := range full {
+			trunc[a] = append([]complex128(nil), full[a][:cut]...)
+		}
+		receiveNoPanic(t, "truncation", trunc)
+	}
+}
+
+func TestReceiverSurvivesZeroedRegions(t *testing.T) {
+	// Zero 80-sample windows sliding across the burst (datagram-loss
+	// zero-fill shape). No panics; most positions still decode or error
+	// cleanly.
+	full := mkCleanBurst(t, 2)
+	for start := 0; start+80 < len(full[0]); start += 400 {
+		dam := make([][]complex128, 2)
+		for a := range full {
+			dam[a] = append([]complex128(nil), full[a]...)
+			for i := start; i < start+80; i++ {
+				dam[a][i] = 0
+			}
+		}
+		receiveNoPanic(t, "zeroed region", dam)
+	}
+}
+
+func TestReceiverSurvivesImpulses(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	full := mkCleanBurst(t, 3)
+	for trial := 0; trial < 10; trial++ {
+		dam := make([][]complex128, 2)
+		for a := range full {
+			dam[a] = append([]complex128(nil), full[a]...)
+			for k := 0; k < 5; k++ {
+				dam[a][r.Intn(len(dam[a]))] = complex(50*r.NormFloat64(), 50*r.NormFloat64())
+			}
+		}
+		receiveNoPanic(t, "impulse noise", dam)
+	}
+}
+
+func TestReceiverSurvivesGarbageHTSIG(t *testing.T) {
+	// Replace the HT-SIG region with noise: the CRC must reject it and
+	// Receive must return an error, not garbage PSDU.
+	r := rand.New(rand.NewSource(4))
+	full := mkCleanBurst(t, 4)
+	for a := range full {
+		for i := 250 + OffHTSIG; i < 250+OffHTSTF; i++ {
+			full[a][i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+	}
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.Receive(full)
+	if err == nil && res.PSDU != nil {
+		t.Error("garbage HT-SIG produced a PSDU")
+	}
+}
+
+func TestReceiverSurvivesWildMCSInHTSIG(t *testing.T) {
+	// Forge a burst announcing an out-of-range MCS: build with MCS 9 but
+	// flip HT-SIG via a transmitter hack — simplest path is transmitting a
+	// legitimate MCS-16 (3-stream) burst to a 2-antenna receiver, which the
+	// linear detector must refuse cleanly.
+	r := rand.New(rand.NewSource(5))
+	tx, err := NewTransmitter(TxConfig{MCS: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := tx.Transmit(randPSDU(r, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := channel.New(channel.Config{NumTX: 3, NumRX: 2, Model: channel.FlatRayleigh,
+		SNRdB: 35, Seed: 5, TimingOffset: 250, TrailingSilence: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := c.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive(rxs); err == nil {
+		t.Error("2-antenna linear receiver accepted a 3-stream burst")
+	}
+}
+
+func TestReceiverRandomInputsNeverPanic(t *testing.T) {
+	// Pure fuzz: random streams of random lengths.
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		n := 600 + r.Intn(4000)
+		rxs := make([][]complex128, 2)
+		for a := range rxs {
+			s := make([]complex128, n)
+			for i := range s {
+				s[i] = complex(r.NormFloat64()*3, r.NormFloat64()*3)
+			}
+			rxs[a] = s
+		}
+		receiveNoPanic(t, "fuzz", rxs)
+	}
+}

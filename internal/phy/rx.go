@@ -1,0 +1,618 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitutil"
+	"repro/internal/chanest"
+	"repro/internal/cmatrix"
+	"repro/internal/est"
+	"repro/internal/fec"
+	"repro/internal/mimo"
+	"repro/internal/modem"
+	"repro/internal/ofdm"
+	"repro/internal/preamble"
+	"repro/internal/sounding"
+	"repro/internal/synchro"
+	"repro/internal/vandebeek"
+)
+
+// RxConfig configures a receiver.
+type RxConfig struct {
+	// NumAntennas is the receive antenna count (≥ the transmitter's N_SS
+	// for the linear detectors).
+	NumAntennas int
+	// Detector selects the MIMO detector: "zf", "mmse", "sic" or "ml".
+	Detector string
+	// DisablePhaseTracking turns off pilot-based common-phase-error
+	// correction (for the E7 ablation).
+	DisablePhaseTracking bool
+	// SmoothingWindow applies frequency smoothing to the HT channel
+	// estimate when > 1 (odd).
+	SmoothingWindow int
+	// DetectorConfig tunes packet detection; zero value selects defaults.
+	DetectorConfig synchro.DetectorConfig
+	// TimingBackoff shifts every FFT window this many samples into the
+	// cyclic prefix to tolerate residual timing error. Default 3.
+	TimingBackoff int
+	// TrackChannel enables decision-directed LMS tracking of the channel
+	// estimate across data symbols, for time-varying (Doppler) channels.
+	TrackChannel bool
+	// CPMLSync replaces the preamble-autocorrelation CFO estimators with
+	// the paper's MIMO-extended Van de Beek CP-ML estimator, run over the
+	// cyclic prefixes of the OFDM symbols following packet detection. The
+	// CP-ML estimator needs no training fields, so it keeps working on
+	// arbitrary OFDM traffic; experiment E21 compares the two modes.
+	CPMLSync bool
+	// TrackStep is the LMS step size µ; default 0.25 when tracking.
+	TrackStep float64
+}
+
+// RxResult reports one decoded packet.
+type RxResult struct {
+	// PSDU is the recovered payload (nil when decoding failed outright).
+	PSDU []byte
+	// LSIG and HTSIG are the parsed SIGNAL fields.
+	LSIG  preamble.LSIG
+	HTSIG preamble.HTSIG
+	// MCS is the modulation and coding scheme announced by HT-SIG.
+	MCS MCS
+	// SNRdB is the data-aided SNR estimate from the L-LTF.
+	SNRdB float64
+	// NoiseVar is the estimated per-subcarrier complex noise variance.
+	NoiseVar float64
+	// CFO is the total corrected carrier frequency offset in rad/sample.
+	CFO float64
+	// Timing is the sample index of the detected L-STF start estimate.
+	Timing int
+	// CPETrace records the per-symbol common phase error the pilot tracker
+	// measured (empty when tracking is disabled).
+	CPETrace []float64
+	// Sounding reports channel-state metrics (capacity, condition number,
+	// recommended stream count) derived from the HT channel estimate.
+	Sounding *sounding.Report
+}
+
+// Receiver decodes HT-mixed PPDUs from raw baseband streams. Not safe for
+// concurrent use.
+type Receiver struct {
+	cfg    RxConfig
+	sig    *sigCodec
+	legDem *ofdm.Demodulator
+	htDem  *ofdm.Demodulator
+	vit    *fec.Viterbi
+}
+
+// NewReceiver validates the configuration and returns a receiver.
+func NewReceiver(cfg RxConfig) (*Receiver, error) {
+	if cfg.NumAntennas < 1 || cfg.NumAntennas > 4 {
+		return nil, fmt.Errorf("phy: antenna count %d outside [1,4]", cfg.NumAntennas)
+	}
+	switch cfg.Detector {
+	case "", "zf", "mmse", "sic", "ml":
+	default:
+		return nil, fmt.Errorf("phy: unknown detector %q", cfg.Detector)
+	}
+	if cfg.Detector == "" {
+		cfg.Detector = "mmse"
+	}
+	if cfg.DetectorConfig == (synchro.DetectorConfig{}) {
+		cfg.DetectorConfig = synchro.DefaultDetectorConfig()
+	}
+	if cfg.TimingBackoff == 0 {
+		cfg.TimingBackoff = 3
+	}
+	if cfg.TimingBackoff < 0 || cfg.TimingBackoff >= ofdm.CPLen {
+		return nil, fmt.Errorf("phy: timing backoff %d outside [0, %d)", cfg.TimingBackoff, ofdm.CPLen)
+	}
+	if cfg.TrackStep == 0 {
+		cfg.TrackStep = 0.25
+	}
+	if cfg.TrackStep < 0 || cfg.TrackStep > 1 {
+		return nil, fmt.Errorf("phy: LMS step %g outside (0, 1]", cfg.TrackStep)
+	}
+	return &Receiver{
+		cfg:    cfg,
+		sig:    newSigCodec(),
+		legDem: ofdm.NewDemodulator(ofdm.LegacyToneMap),
+		htDem:  ofdm.NewDemodulator(ofdm.HTToneMap),
+		vit:    fec.NewViterbi(),
+	}, nil
+}
+
+// Receive synchronizes to and decodes the first PPDU in the streams.
+// rx[a] is the baseband of antenna a; all must be equal length. The samples
+// are modified in place by CFO correction.
+func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
+	if len(rx) != r.cfg.NumAntennas {
+		return nil, fmt.Errorf("phy: %d streams for %d antennas", len(rx), r.cfg.NumAntennas)
+	}
+	// --- 1. Packet detection on the STF periodicity ---------------------
+	det, err := r.detect(rx)
+	if err != nil {
+		return nil, err
+	}
+	// The detection index lies inside the STF. Estimate the STF region for
+	// coarse CFO: use up to 96 samples ending at the detection index.
+	stfEnd := det.Index
+	stfStart := stfEnd - 96
+	if stfStart < 0 {
+		stfStart = 0
+	}
+	var coarse float64
+	if r.cfg.CPMLSync {
+		coarse, err = r.cpmlCFO(rx, det.Index)
+		if err != nil {
+			return nil, fmt.Errorf("phy: CP-ML sync: %w", err)
+		}
+	} else {
+		region := subRange(rx, stfStart, stfEnd)
+		coarse, err = synchro.CoarseCFO(region)
+		if err != nil {
+			return nil, fmt.Errorf("phy: coarse CFO: %w", err)
+		}
+	}
+	synchro.CorrectCFO(rx, coarse)
+
+	// --- 2. Fine timing on the L-LTF ------------------------------------
+	// The LTF's first long symbol begins 192 samples after the STF start;
+	// search a generous window around the detection point.
+	from := det.Index - 40
+	to := det.Index + 280
+	ltfStart, err := synchro.FineTiming(rx, from, to)
+	if err != nil {
+		return nil, fmt.Errorf("phy: fine timing: %w", err)
+	}
+	stfStartEst := ltfStart - 192
+
+	// --- 3. Fine CFO from the two long symbols (preamble mode only; the
+	// CP-ML estimate already covers the fractional offset) ----------------
+	fine := 0.0
+	if !r.cfg.CPMLSync {
+		ltfRegion := subRange(rx, ltfStart, ltfStart+128)
+		fine, err = synchro.FineCFO(ltfRegion)
+		if err != nil {
+			return nil, fmt.Errorf("phy: fine CFO: %w", err)
+		}
+		synchro.CorrectCFO(rx, fine)
+	}
+	totalCFO := coarse + fine
+
+	// --- 4. Legacy channel estimate + SNR from the L-LTF ----------------
+	bo := r.cfg.TimingBackoff
+	ltfSpectra := make([][][]complex128, len(rx))
+	for a := range rx {
+		s1, err := r.bins(r.legDem, rx[a], ltfStart-bo)
+		if err != nil {
+			return nil, fmt.Errorf("phy: L-LTF window: %w", err)
+		}
+		s2, err := r.bins(r.legDem, rx[a], ltfStart+64-bo)
+		if err != nil {
+			return nil, err
+		}
+		ltfSpectra[a] = [][]complex128{s1, s2}
+	}
+	leg, err := chanest.EstimateLegacy(ltfSpectra)
+	if err != nil {
+		return nil, err
+	}
+	result := &RxResult{
+		SNRdB:    est.DB(leg.SNR()),
+		NoiseVar: leg.NoiseVar,
+		CFO:      totalCFO,
+		Timing:   stfStartEst,
+	}
+
+	// --- 5. L-SIG ---------------------------------------------------------
+	// Offsets relative to the located LTF start (which is OffLLTF+32 within
+	// the PPDU).
+	base := ltfStart - (OffLLTF + 32)
+	lsigSym, lsigCSI, err := r.equalizeLegacySymbols(rx, leg, base+OffLSIG, 1)
+	if err != nil {
+		return nil, err
+	}
+	lsigBits, err := r.sig.decode(lsigSym, lsigCSI, leg.NoiseVar, false)
+	if err != nil {
+		return nil, fmt.Errorf("phy: L-SIG decode: %w", err)
+	}
+	lsig, err := preamble.ParseLSIG(lsigBits)
+	if err != nil {
+		return result, fmt.Errorf("phy: %w", err)
+	}
+	result.LSIG = lsig
+
+	// --- 6. HT-SIG --------------------------------------------------------
+	htsigSym, htsigCSI, err := r.equalizeLegacySymbols(rx, leg, base+OffHTSIG, 2)
+	if err != nil {
+		return nil, err
+	}
+	htsigBits, err := r.sig.decode(htsigSym, htsigCSI, leg.NoiseVar, true)
+	if err != nil {
+		return nil, fmt.Errorf("phy: HT-SIG decode: %w", err)
+	}
+	htsig, err := preamble.ParseHTSIG(htsigBits)
+	if err != nil {
+		return result, fmt.Errorf("phy: %w", err)
+	}
+	result.HTSIG = htsig
+	mcs, err := Lookup(htsig.MCS)
+	if err != nil {
+		return result, fmt.Errorf("phy: HT-SIG announced unsupported %w", err)
+	}
+	result.MCS = mcs
+	if mcs.NSS > r.cfg.NumAntennas && r.cfg.Detector != "ml" {
+		return result, fmt.Errorf("phy: %d antennas cannot linearly separate %d streams", r.cfg.NumAntennas, mcs.NSS)
+	}
+
+	// --- 7. HT channel estimation from the HT-LTFs ----------------------
+	nltf := preamble.NumHTLTF(mcs.NSS)
+	htSpectra := make([][][]complex128, len(rx))
+	for a := range rx {
+		htSpectra[a] = make([][]complex128, nltf)
+		for n := 0; n < nltf; n++ {
+			spec, err := r.bins(r.htDem, rx[a], base+OffHTLTF+n*preamble.HTLTFLen+ofdm.CPLen-bo)
+			if err != nil {
+				return result, fmt.Errorf("phy: HT-LTF window: %w", err)
+			}
+			htSpectra[a][n] = spec
+		}
+	}
+	htEst, err := chanest.EstimateHT(htSpectra, mcs.NSS)
+	if err != nil {
+		return result, err
+	}
+	if (r.cfg.SmoothingWindow > 1) && htsig.Smoothing {
+		if err := htEst.Smooth(r.cfg.SmoothingWindow); err != nil {
+			return result, err
+		}
+	}
+	if snr := leg.SNR(); snr > 0 {
+		// Channel-state metrics for link adaptation; failure is not fatal.
+		if rep, serr := sounding.Analyze(htEst.DataMatrices(), snr); serr == nil {
+			result.Sounding = rep
+		}
+	}
+
+	// --- 8. MIMO detection over the data symbols ------------------------
+	detector, err := mimo.NewDetector(r.cfg.Detector, mcs.Scheme, mcs.NSS)
+	if err != nil {
+		return result, err
+	}
+	if err := detector.Prepare(htEst.DataMatrices(), leg.NoiseVar); err != nil {
+		return result, err
+	}
+	var tracker *chanest.PhaseTracker
+	if !r.cfg.DisablePhaseTracking {
+		tracker = chanest.NewPhaseTracker(htEst)
+	}
+
+	nSym := mcs.NumSymbols(htsig.Length)
+	dataStart := base + OffHTLTF + nltf*preamble.HTLTFLen
+	dataCP := ofdm.CPLen
+	if htsig.ShortGI {
+		dataCP = ofdm.CPLenShort
+	}
+	dataSymLen := ofdm.FFTSize + dataCP
+	dataBO := bo
+	if dataBO >= dataCP {
+		dataBO = dataCP - 1
+	}
+	ilv := make([]*fec.Interleaver, mcs.NSS)
+	for iss := range ilv {
+		il, err := fec.NewHTInterleaver(mcs.NBPSCS(), mcs.NSS, iss)
+		if err != nil {
+			return result, err
+		}
+		ilv[iss] = il
+	}
+	parser, err := mimo.NewStreamParser(mcs.NSS, mcs.NBPSCS())
+	if err != nil {
+		return result, err
+	}
+
+	streamLLR := make([][]float64, mcs.NSS)
+	perSymbol := make([][]float64, mcs.NSS)
+	deinterleaved := make([]float64, mcs.NCBPSS())
+	nd := ofdm.HTToneMap.NumData()
+	var trackMapper *modem.Mapper
+	var dataH []*cmatrix.Matrix
+	if r.cfg.TrackChannel {
+		trackMapper = modem.NewMapper(mcs.Scheme)
+		dataH = htEst.DataMatrices()
+	}
+	dataTones := make([][]complex128, len(rx))
+	pilotTones := make([][]complex128, len(rx))
+	y := make([]complex128, len(rx))
+	for n := 0; n < nSym; n++ {
+		off := dataStart + n*dataSymLen + dataCP - dataBO
+		for a := range rx {
+			if off+ofdm.FFTSize > len(rx[a]) {
+				return result, fmt.Errorf("phy: stream ends inside data symbol %d", n)
+			}
+			var derr error
+			dataTones[a], pilotTones[a], derr = r.htDem.Symbol(rx[a][off:off+ofdm.FFTSize], dataTones[a][:0], pilotTones[a][:0])
+			if derr != nil {
+				return result, derr
+			}
+		}
+		// Pilot-based common phase error correction.
+		txPilots := make([][]complex128, mcs.NSS)
+		for iss := 0; iss < mcs.NSS; iss++ {
+			p, perr := ofdm.HTPilots(mcs.NSS, iss, n, 3)
+			if perr != nil {
+				return result, perr
+			}
+			txPilots[iss] = p
+		}
+		if tracker != nil {
+			cpe, terr := tracker.Estimate(pilotTones, txPilots)
+			if terr == nil {
+				chanest.Correct(dataTones, cpe)
+				result.CPETrace = append(result.CPETrace, cpe)
+			}
+		}
+		// Per-subcarrier MIMO detection into per-stream LLRs.
+		for iss := range perSymbol {
+			perSymbol[iss] = perSymbol[iss][:0]
+		}
+		for k := 0; k < nd; k++ {
+			for a := range rx {
+				y[a] = dataTones[a][k]
+			}
+			var derr error
+			perSymbol, derr = detector.Detect(perSymbol, k, y)
+			if derr != nil {
+				return result, derr
+			}
+		}
+		// Decision-directed LMS channel tracking: slice each stream's
+		// detected bits back to constellation points and nudge Ĥ(k)
+		// toward the error direction, then refresh the detector weights.
+		if r.cfg.TrackChannel {
+			nbpsc := mcs.NBPSCS()
+			bits := make([]byte, nbpsc)
+			xhat := make([]complex128, mcs.NSS)
+			mu := complex(r.cfg.TrackStep, 0)
+			for k := 0; k < nd; k++ {
+				var norm float64
+				for iss := 0; iss < mcs.NSS; iss++ {
+					for b := 0; b < nbpsc; b++ {
+						bits[b] = 0
+						if perSymbol[iss][k*nbpsc+b] < 0 {
+							bits[b] = 1
+						}
+					}
+					xhat[iss] = trackMapper.MapOne(bits)
+					norm += real(xhat[iss])*real(xhat[iss]) + imag(xhat[iss])*imag(xhat[iss])
+				}
+				if norm == 0 {
+					continue
+				}
+				h := dataH[k]
+				for a := range rx {
+					// e_a = y_a − Σ_s H[a][s]·x̂_s
+					var est complex128
+					for s := 0; s < mcs.NSS; s++ {
+						est += h.At(a, s) * xhat[s]
+					}
+					e := dataTones[a][k] - est
+					for s := 0; s < mcs.NSS; s++ {
+						h.Set(a, s, h.At(a, s)+mu*e*conj(xhat[s])/complex(norm, 0))
+					}
+				}
+			}
+			if err := detector.Prepare(dataH, leg.NoiseVar); err != nil {
+				return result, err
+			}
+		}
+		// Deinterleave each stream's symbol worth of LLRs.
+		for iss := 0; iss < mcs.NSS; iss++ {
+			ilv[iss].DeinterleaveLLR(deinterleaved, perSymbol[iss])
+			streamLLR[iss] = append(streamLLR[iss], deinterleaved...)
+		}
+	}
+
+	// --- 9. Merge streams, depuncture, decode, descramble ---------------
+	merged, err := parser.MergeLLR(streamLLR)
+	if err != nil {
+		return result, err
+	}
+	dataBits := nSym * mcs.NDBPS()
+	dep, err := fec.Depuncture(merged, dataBits, mcs.Rate)
+	if err != nil {
+		return result, err
+	}
+	// The trellis is in the zero state right after the 6 tail bits; the pad
+	// bits that fill the last symbol keep driving it afterwards, so decode
+	// only SERVICE + PSDU + tail steps and anchor traceback at the tail.
+	usefulSteps := 16 + 8*htsig.Length + 6
+	if usefulSteps > dataBits {
+		return result, fmt.Errorf("phy: HT-SIG length %d exceeds the %d-symbol data field", htsig.Length, nSym)
+	}
+	decoded, err := r.vit.DecodeSoft(dep[:2*usefulSteps], true)
+	if err != nil {
+		return result, err
+	}
+	// Descramble: recover the seed from the SERVICE field (the first 7
+	// scrambled bits reveal the initial state).
+	descrambled := descramble(decoded)
+	psduBits := descrambled[16 : 16+8*htsig.Length]
+	psdu, err := bitutil.BitsToBytes(psduBits)
+	if err != nil {
+		return result, err
+	}
+	result.PSDU = psdu
+	return result, nil
+}
+
+// descramble inverts the self-synchronizing scrambler given that the first
+// 7 data bits (start of SERVICE) were zero before scrambling: the received
+// first 7 bits ARE the scrambler sequence prefix, from which the seed is
+// recovered (IEEE 802.11-2012 §18.3.5.7).
+func descramble(bits []byte) []byte {
+	if len(bits) < 7 {
+		return bits
+	}
+	// Reconstruct the LFSR state from the first 7 output bits. Output bit
+	// b_i = x7 ⊕ x4 of the state at step i and also becomes the new x1.
+	// Running the recursion backwards from the observed prefix yields the
+	// seed; equivalently, find the unique 7-bit seed whose sequence prefix
+	// matches.
+	out := make([]byte, len(bits))
+	for seed := 1; seed <= 0x7F; seed++ {
+		s := bitutil.NewScrambler(byte(seed))
+		match := true
+		for i := 0; i < 7; i++ {
+			if s.NextBit() != bits[i]&1 {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		d := bitutil.NewScrambler(byte(seed))
+		for i := range bits {
+			out[i] = (bits[i] & 1) ^ d.NextBit()
+		}
+		return out
+	}
+	// No seed matched (corrupted SERVICE); return as-is.
+	copy(out, bits)
+	return out
+}
+
+// detect runs the streaming packet detector over the buffers.
+func (r *Receiver) detect(rx [][]complex128) (*synchro.Detection, error) {
+	d, err := synchro.NewDetector(len(rx), r.cfg.DetectorConfig)
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]complex128, len(rx))
+	n := len(rx[0])
+	for a := range rx {
+		if len(rx[a]) != n {
+			return nil, fmt.Errorf("phy: stream %d has %d samples, stream 0 has %d", a, len(rx[a]), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for a := range rx {
+			samples[a] = rx[a][i]
+		}
+		det, err := d.Push(samples)
+		if err != nil {
+			return nil, err
+		}
+		if det != nil {
+			return det, nil
+		}
+	}
+	return nil, fmt.Errorf("phy: no packet detected in %d samples", n)
+}
+
+// bins demodulates a 64-sample window starting at off into a full spectrum.
+func (r *Receiver) bins(dem *ofdm.Demodulator, stream []complex128, off int) ([]complex128, error) {
+	if off < 0 || off+ofdm.FFTSize > len(stream) {
+		return nil, fmt.Errorf("phy: FFT window [%d, %d) outside stream of %d", off, off+ofdm.FFTSize, len(stream))
+	}
+	spec := make([]complex128, ofdm.FFTSize)
+	if err := dem.Bins(spec, stream[off:off+ofdm.FFTSize]); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// equalizeLegacySymbols demodulates count legacy symbols starting at the
+// PPDU offset and MRC-combines them across antennas using the L-LTF channel
+// estimate. Returns per-symbol 48-tone vectors and CSI weights.
+func (r *Receiver) equalizeLegacySymbols(rx [][]complex128, leg *chanest.LegacyEstimate, off, count int) ([][]complex128, [][]float64, error) {
+	bo := r.cfg.TimingBackoff
+	// Phase ramp difference: the legacy H was estimated with the same
+	// backoff, so using identical windows keeps the ramp consistent.
+	symbols := make([][]complex128, count)
+	csi := make([][]float64, count)
+	for s := 0; s < count; s++ {
+		start := off + s*ofdm.SymbolLen + ofdm.CPLen - bo
+		tones := make([]complex128, ofdm.LegacyToneMap.NumData())
+		weights := make([]float64, ofdm.LegacyToneMap.NumData())
+		specs := make([][]complex128, len(rx))
+		for a := range rx {
+			spec, err := r.bins(r.legDem, rx[a], start)
+			if err != nil {
+				return nil, nil, err
+			}
+			specs[a] = spec
+		}
+		for i, bin := range ofdm.LegacyToneMap.Data {
+			var num complex128
+			var den float64
+			for a := range rx {
+				h := leg.H[a][bin]
+				num += conj(h) * specs[a][bin]
+				den += real(h)*real(h) + imag(h)*imag(h)
+			}
+			if den < 1e-12 {
+				den = 1e-12
+			}
+			tones[i] = num / complex(den, 0)
+			weights[i] = den
+		}
+		symbols[s] = tones
+		csi[s] = weights
+	}
+	return symbols, csi, nil
+}
+
+func conj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+
+// cpmlCFO runs the MIMO-extended Van de Beek estimator over the OFDM
+// symbols following the detection point and returns the CFO in rad/sample.
+// The L-LTF region onward is CP-structured (the LTF's two long symbols
+// correlate at lag 64, as do every SIG and data symbol's prefix), so the
+// window starts past the 16-periodic STF, where the lag-64 CP metric is
+// informative.
+func (r *Receiver) cpmlCFO(rx [][]complex128, detIdx int) (float64, error) {
+	est, err := vandebeek.New(ofdm.FFTSize, ofdm.CPLen, 10 /* ≈10 dB design point */)
+	if err != nil {
+		return 0, err
+	}
+	// The detection index sits inside the STF; skip past it.
+	from := detIdx + 120
+	to := from + 10*ofdm.SymbolLen
+	n := len(rx[0])
+	if to > n {
+		to = n
+	}
+	if to-from < 2*ofdm.SymbolLen {
+		return 0, fmt.Errorf("only %d samples after detection", to-from)
+	}
+	window := subRange(rx, from, to)
+	symbols := (to - from) / ofdm.SymbolLen
+	e, err := est.EstimateAveraged(window, symbols-1)
+	if err != nil {
+		return 0, err
+	}
+	// ε is in subcarrier spacings: ω = 2πε/N rad/sample.
+	return 2 * math.Pi * e.CFO / float64(ofdm.FFTSize), nil
+}
+
+// subRange returns views of every stream restricted to [from, to), clamped
+// to the stream bounds.
+func subRange(rx [][]complex128, from, to int) [][]complex128 {
+	out := make([][]complex128, len(rx))
+	for a := range rx {
+		f, t := from, to
+		if f < 0 {
+			f = 0
+		}
+		if t > len(rx[a]) {
+			t = len(rx[a])
+		}
+		if t < f {
+			t = f
+		}
+		out[a] = rx[a][f:t]
+	}
+	return out
+}

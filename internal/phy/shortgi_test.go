@@ -1,0 +1,109 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/ofdm"
+)
+
+func TestShortGIRates(t *testing.T) {
+	m, _ := Lookup(7)
+	if math.Abs(m.DataRateMbpsGI(true)-72.2) > 0.05 {
+		t.Errorf("MCS7 SGI rate %.2f, want 72.2", m.DataRateMbpsGI(true))
+	}
+	m15, _ := Lookup(15)
+	if math.Abs(m15.DataRateMbpsGI(true)-144.4) > 0.05 {
+		t.Errorf("MCS15 SGI rate %.2f, want 144.4", m15.DataRateMbpsGI(true))
+	}
+	if m15.DataRateMbpsGI(false) != m15.DataRateMbps() {
+		t.Error("long-GI rate mismatch")
+	}
+	if DataSymbolLen(true) != 72 || DataSymbolLen(false) != 80 {
+		t.Error("data symbol lengths wrong")
+	}
+}
+
+func TestShortGIBurstShorter(t *testing.T) {
+	m, _ := Lookup(9)
+	long := BurstLenGI(m, 1000, false)
+	short := BurstLenGI(m, 1000, true)
+	nSym := m.NumSymbols(1000)
+	if long-short != 8*nSym {
+		t.Errorf("SGI saves %d samples, want %d", long-short, 8*nSym)
+	}
+}
+
+// shortGILoop runs a full TX→channel→RX cycle with the short guard interval.
+func shortGILoop(t *testing.T, mcsIdx int, cfg channel.Config, psduLen int, seed int64) bool {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tx, err := NewTransmitter(TxConfig{MCS: mcsIdx, ScramblerSeed: byte(seed) | 1, ShortGI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := randPSDU(r, psduLen)
+	burst, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tx.MCS()
+	if len(burst[0]) != BurstLenGI(m, psduLen, true) {
+		t.Fatalf("SGI burst length %d, want %d", len(burst[0]), BurstLenGI(m, psduLen, true))
+	}
+	cfg.NumTX = tx.NumChains()
+	cfg.NumRX = tx.NumChains()
+	c, err := channel.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := c.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{NumAntennas: tx.NumChains(), Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.Receive(rxs)
+	if err != nil {
+		t.Logf("receive: %v", err)
+		return false
+	}
+	if !res.HTSIG.ShortGI {
+		t.Error("HT-SIG short-GI bit lost")
+	}
+	return bytes.Equal(res.PSDU, psdu)
+}
+
+func TestShortGILoopbackIdentity(t *testing.T) {
+	cfg := channel.Config{Model: channel.Identity, SNRdB: 30, Seed: 5,
+		TimingOffset: 260, TrailingSilence: 90}
+	for _, mcs := range []int{0, 9, 12} {
+		if !shortGILoop(t, mcs, cfg, 500, int64(40+mcs)) {
+			t.Errorf("MCS%d short-GI loopback failed", mcs)
+		}
+	}
+}
+
+func TestShortGILoopbackMultipath(t *testing.T) {
+	// TGn-B delay spread (≈2 taps at 50 ns) still fits the 8-sample short
+	// guard.
+	cfg := channel.Config{Model: channel.TGnB, SNRdB: 32, Seed: 6,
+		TimingOffset: 300, TrailingSilence: 100}
+	if !shortGILoop(t, 9, cfg, 800, 51) {
+		t.Error("short-GI loopback over TGn-B failed")
+	}
+}
+
+func TestShortGISurvivesCFO(t *testing.T) {
+	cfg := channel.Config{Model: channel.Identity, SNRdB: 28, Seed: 7,
+		CFOHz: 12e3, SampleRate: ofdm.SampleRate,
+		TimingOffset: 260, TrailingSilence: 90}
+	if !shortGILoop(t, 10, cfg, 600, 52) {
+		t.Error("short-GI loopback with CFO failed")
+	}
+}

@@ -1,0 +1,93 @@
+package phy
+
+import (
+	"fmt"
+
+	"repro/internal/fec"
+	"repro/internal/modem"
+)
+
+// sigCodec encodes and decodes the 24-bit-per-symbol SIGNAL fields: rate-1/2
+// BCC, legacy BPSK interleaving, BPSK mapping (rotated onto the Q axis for
+// HT-SIG). One codec is reusable across packets.
+type sigCodec struct {
+	il       *fec.Interleaver
+	mapper   *modem.Mapper
+	demapper *modem.Demapper
+	viterbi  *fec.Viterbi
+}
+
+func newSigCodec() *sigCodec {
+	il, err := fec.NewLegacyInterleaver(1)
+	if err != nil {
+		panic(err) // static parameters, cannot fail
+	}
+	return &sigCodec{
+		il:       il,
+		mapper:   modem.NewMapper(modem.BPSK),
+		demapper: modem.NewDemapper(modem.BPSK),
+		viterbi:  fec.NewViterbi(),
+	}
+}
+
+// encode turns n×24 SIG bits into n OFDM symbols of 48 BPSK tones each.
+// qbpsk rotates the constellation 90° (HT-SIG). The bits must already
+// contain their tail so the trellis self-terminates.
+func (c *sigCodec) encode(bits []byte, qbpsk bool) ([][]complex128, error) {
+	if len(bits)%24 != 0 {
+		return nil, fmt.Errorf("phy: SIG bits length %d not a multiple of 24", len(bits))
+	}
+	coded := fec.Encode(bits, fec.Rate1_2)
+	nSym := len(coded) / 48
+	out := make([][]complex128, nSym)
+	buf := make([]byte, 48)
+	for s := 0; s < nSym; s++ {
+		c.il.Interleave(buf, coded[s*48:(s+1)*48])
+		tones, err := c.mapper.Map(buf)
+		if err != nil {
+			return nil, err
+		}
+		if qbpsk {
+			for i := range tones {
+				tones[i] *= 1i
+			}
+		}
+		out[s] = tones
+	}
+	return out, nil
+}
+
+// decode reverses encode: equalized 48-tone symbols (with per-tone CSI
+// weights for soft decoding) back to SIG bits. The caller passes all the
+// symbols of one field so the Viterbi runs over the whole terminated
+// trellis.
+func (c *sigCodec) decode(symbols [][]complex128, csi [][]float64, noiseVar float64, qbpsk bool) ([]byte, error) {
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("phy: no SIG symbols")
+	}
+	var llr []float64
+	buf := make([]float64, 48)
+	for s, tones := range symbols {
+		if len(tones) != 48 {
+			return nil, fmt.Errorf("phy: SIG symbol %d has %d tones, want 48", s, len(tones))
+		}
+		var soft []float64
+		for i, tone := range tones {
+			if qbpsk {
+				tone *= -1i // rotate Q-axis constellation back to I
+			}
+			w := 1.0
+			if csi != nil {
+				w = csi[s][i]
+			}
+			soft = c.demapper.SoftOne(soft, tone, noiseVar, w)
+		}
+		c.il.DeinterleaveLLR(buf, soft)
+		llr = append(llr, buf...)
+	}
+	dep, err := fec.Depuncture(llr, len(llr)/2, fec.Rate1_2)
+	if err != nil {
+		return nil, err
+	}
+	return c.viterbi.DecodeSoft(dep, true)
+}

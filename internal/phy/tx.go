@@ -1,0 +1,271 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitutil"
+	"repro/internal/fec"
+	"repro/internal/mimo"
+	"repro/internal/modem"
+	"repro/internal/ofdm"
+	"repro/internal/preamble"
+)
+
+// TxConfig configures a transmitter.
+type TxConfig struct {
+	// MCS index (0-31). N_SS and therefore the number of transmit chains
+	// follows from it (direct spatial mapping, one chain per stream).
+	MCS int
+	// ScramblerSeed initializes the data scrambler (7 bits, nonzero;
+	// 0 selects the all-ones test seed).
+	ScramblerSeed byte
+	// Smoothing sets the HT-SIG smoothing-recommended bit.
+	Smoothing bool
+	// ShortGI selects the 400 ns guard interval for the data symbols.
+	ShortGI bool
+}
+
+// Transmitter builds complete HT-mixed-format PPDUs. Not safe for
+// concurrent use; create one per goroutine.
+type Transmitter struct {
+	cfg    TxConfig
+	mcs    MCS
+	sig    *sigCodec
+	mod    *ofdm.Modulator
+	legMod *ofdm.Modulator
+	parser *mimo.StreamParser
+	ilv    []*fec.Interleaver
+	mapper *modem.Mapper
+}
+
+// NewTransmitter validates the configuration and returns a transmitter.
+func NewTransmitter(cfg TxConfig) (*Transmitter, error) {
+	mcs, err := Lookup(cfg.MCS)
+	if err != nil {
+		return nil, err
+	}
+	parser, err := mimo.NewStreamParser(mcs.NSS, mcs.NBPSCS())
+	if err != nil {
+		return nil, err
+	}
+	t := &Transmitter{
+		cfg:    cfg,
+		mcs:    mcs,
+		sig:    newSigCodec(),
+		mod:    ofdm.NewModulator(ofdm.HTToneMap),
+		legMod: ofdm.NewModulator(ofdm.LegacyToneMap),
+		parser: parser,
+		mapper: modem.NewMapper(mcs.Scheme),
+	}
+	for iss := 0; iss < mcs.NSS; iss++ {
+		il, err := fec.NewHTInterleaver(mcs.NBPSCS(), mcs.NSS, iss)
+		if err != nil {
+			return nil, err
+		}
+		t.ilv = append(t.ilv, il)
+	}
+	return t, nil
+}
+
+// MCS returns the transmitter's modulation and coding scheme.
+func (t *Transmitter) MCS() MCS { return t.mcs }
+
+// NumChains returns the number of transmit chains (equal to N_SS).
+func (t *Transmitter) NumChains() int { return t.mcs.NSS }
+
+// Transmit converts a PSDU into per-chain baseband waveforms. Every chain's
+// waveform has length BurstLen(mcs, len(psdu)).
+func (t *Transmitter) Transmit(psdu []byte) ([][]complex128, error) {
+	if len(psdu) < 1 || len(psdu) > 0xFFFF {
+		return nil, fmt.Errorf("phy: PSDU length %d outside [1, 65535]", len(psdu))
+	}
+	nss := t.mcs.NSS
+	burst := make([][]complex128, nss)
+	total := BurstLenGI(t.mcs, len(psdu), t.cfg.ShortGI)
+	for i := range burst {
+		burst[i] = make([]complex128, total)
+	}
+
+	if err := t.buildPreamble(burst, len(psdu)); err != nil {
+		return nil, err
+	}
+
+	// --- Data field -----------------------------------------------------
+	dataBits := t.assembleDataBits(psdu)
+	coded := fec.Encode(dataBits, t.mcs.Rate)
+	streams, err := t.parser.Parse(coded)
+	if err != nil {
+		return nil, err
+	}
+	nSym := t.mcs.NumSymbols(len(psdu))
+	ncbpss := t.mcs.NCBPSS()
+	scale := complex(1/math.Sqrt(float64(nss)), 0)
+	cpLen := ofdm.CPLen
+	if t.cfg.ShortGI {
+		cpLen = ofdm.CPLenShort
+	}
+	symLen := ofdm.FFTSize + cpLen
+	interleaved := make([]byte, ncbpss)
+	sym := make([]complex128, symLen)
+	for n := 0; n < nSym; n++ {
+		for iss := 0; iss < nss; iss++ {
+			t.ilv[iss].Interleave(interleaved, streams[iss][n*ncbpss:(n+1)*ncbpss])
+			tones, err := t.mapper.Map(interleaved)
+			if err != nil {
+				return nil, err
+			}
+			pilots, err := ofdm.HTPilots(nss, iss, n, 3)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.mod.SymbolCP(sym, tones, pilots, cpLen); err != nil {
+				return nil, err
+			}
+			shifted := preamble.CyclicShiftSymbolCP(sym, preamble.HTCSDSamples(iss, nss), cpLen)
+			off := PreambleLen(nss) + n*symLen
+			for i, v := range shifted {
+				burst[iss][off+i] = v * scale
+			}
+		}
+	}
+	return burst, nil
+}
+
+// assembleDataBits builds SERVICE + PSDU + tail + pad, scrambled with the
+// tail re-zeroed (IEEE 802.11-2012 §18.3.5.5-6).
+func (t *Transmitter) assembleDataBits(psdu []byte) []byte {
+	nSym := t.mcs.NumSymbols(len(psdu))
+	totalBits := nSym * t.mcs.NDBPS()
+	bits := make([]byte, 0, totalBits)
+	bits = append(bits, make([]byte, 16)...) // SERVICE: 16 zero bits
+	bits = append(bits, bitutil.BytesToBits(psdu)...)
+	tailAt := len(bits)
+	bits = append(bits, make([]byte, totalBits-len(bits))...) // tail + pad zeros
+	scr := bitutil.NewScrambler(t.cfg.ScramblerSeed)
+	scr.Scramble(bits)
+	// Zero the 6 tail bits after scrambling so the BCC trellis terminates.
+	for i := tailAt; i < tailAt+6; i++ {
+		bits[i] = 0
+	}
+	return bits
+}
+
+// buildPreamble writes the legacy and HT preamble fields into each chain.
+func (t *Transmitter) buildPreamble(burst [][]complex128, psduLen int) error {
+	nss := t.mcs.NSS
+	legacyScale := complex(1/math.Sqrt(float64(nss)), 0)
+
+	// Legacy portion: same content on every chain, per-chain legacy CSD.
+	lsig := preamble.LSIG{Rate: preamble.Rate6Mbps, Length: legacyLength(t.mcs, psduLen, t.cfg.ShortGI)}
+	lsigBits, err := lsig.Bits()
+	if err != nil {
+		return err
+	}
+	lsigTones, err := t.sig.encode(lsigBits, false)
+	if err != nil {
+		return err
+	}
+	htsig := preamble.HTSIG{MCS: t.mcs.Index, Length: psduLen, Smoothing: t.cfg.Smoothing, ShortGI: t.cfg.ShortGI}
+	htsigBits, err := htsig.Bits()
+	if err != nil {
+		return err
+	}
+	htsigTones, err := t.sig.encode(htsigBits, true)
+	if err != nil {
+		return err
+	}
+
+	stf := preamble.LSTF()
+	ltf := preamble.LLTF()
+	sym := make([]complex128, ofdm.SymbolLen)
+	for chain := 0; chain < nss; chain++ {
+		csd := preamble.LegacyCSDSamples(chain, nss)
+		// L-STF and L-LTF are periodic / double-length fields: rotate their
+		// 64-sample period. Both fields are built from 64-periodic bases,
+		// so rotating the whole field by csd within each 64-block is
+		// equivalent to rotating the base.
+		place(burst[chain], OffLSTF, rotateField(stf, csd), legacyScale)
+		place(burst[chain], OffLLTF, rotateLLTF(ltf, csd), legacyScale)
+		// L-SIG (one symbol) and HT-SIG (two symbols, QBPSK).
+		if err := t.legMod.Symbol(sym, lsigTones[0], ofdm.LegacyPilots(0)); err != nil {
+			return err
+		}
+		place(burst[chain], OffLSIG, preamble.CyclicShiftSymbol(sym, csd), legacyScale)
+		for s := 0; s < 2; s++ {
+			if err := t.legMod.Symbol(sym, htsigTones[s], ofdm.LegacyPilots(1+s)); err != nil {
+				return err
+			}
+			place(burst[chain], OffHTSIG+s*ofdm.SymbolLen, preamble.CyclicShiftSymbol(sym, csd), legacyScale)
+		}
+	}
+
+	// HT portion: per-stream HT CSD, 1/√N_SS power split.
+	htScale := complex(1/math.Sqrt(float64(nss)), 0)
+	nltf := preamble.NumHTLTF(nss)
+	for iss := 0; iss < nss; iss++ {
+		csd := preamble.HTCSDSamples(iss, nss)
+		place(burst[iss], OffHTSTF, rotateField(preamble.HTSTF(), csd), htScale)
+		for n := 0; n < nltf; n++ {
+			ltfSym := preamble.HTLTFSymbol(complex(preamble.PMatrix[iss][n], 0))
+			place(burst[iss], OffHTLTF+n*preamble.HTLTFLen, preamble.CyclicShiftSymbol(ltfSym, csd), htScale)
+		}
+	}
+	return nil
+}
+
+// legacyLength computes the spoofed L-SIG LENGTH so legacy stations defer
+// for the HT PPDU duration: length octets at 6 Mbit/s whose transmit time
+// covers the remaining HT portion (IEEE 802.11-2012 eq. 20-11, simplified
+// to the 20 MHz long-GI case).
+func legacyLength(m MCS, psduLen int, shortGI bool) int {
+	// Remaining duration after L-SIG, rounded up to 4 µs symbols (short-GI
+	// data symbols are 3.6 µs).
+	fixedUs := (2 /*HT-SIG*/ + 1 /*HT-STF*/ + numLTF(m.NSS)) * 4
+	dataUs := m.NumSymbols(psduLen) * DataSymbolLen(shortGI) * 50 / 1000
+	usec := fixedUs + dataUs
+	if rem := usec % 4; rem != 0 {
+		usec += 4 - rem
+	}
+	// A 6 Mbit/s legacy frame of L octets lasts 20 + 4·ceil((16+8L+6)/24) µs.
+	n := (usec-20)/4*24 - 16 - 6
+	length := n / 8
+	if length < 1 {
+		length = 1
+	}
+	if length > 0xFFF {
+		length = 0xFFF
+	}
+	return length
+}
+
+// place copies src·scale into dst at offset.
+func place(dst []complex128, off int, src []complex128, scale complex128) {
+	for i, v := range src {
+		dst[off+i] = v * scale
+	}
+}
+
+// rotateField cyclically rotates a 64-periodic field (STF) by the CSD within
+// each 64-sample period. Because the field is periodic, rotating the whole
+// slice is equivalent.
+func rotateField(f []complex128, csd int) []complex128 {
+	if csd == 0 {
+		return f
+	}
+	return preamble.CyclicShift(f, csd)
+}
+
+// rotateLLTF applies the CSD to the L-LTF by rotating its 64-sample base and
+// rebuilding the 32-sample guard + two symbols structure.
+func rotateLLTF(ltf []complex128, csd int) []complex128 {
+	if csd == 0 {
+		return ltf
+	}
+	base := preamble.CyclicShift(ltf[32:96], csd)
+	out := make([]complex128, len(ltf))
+	copy(out[:32], base[32:])
+	copy(out[32:96], base)
+	copy(out[96:], base)
+	return out
+}

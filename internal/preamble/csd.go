@@ -1,0 +1,72 @@
+package preamble
+
+import "repro/internal/ofdm"
+
+// Cyclic shift values in nanoseconds (IEEE 802.11-2012 Tables 20-8 and
+// 20-9). At 20 MHz one sample is 50 ns, so all values are whole samples.
+var (
+	legacyCSDns = [4]int{0, -200, -100, -50}
+	htCSDns     = [4]int{0, -400, -200, -600}
+)
+
+// LegacyCSDSamples returns the clause-20 legacy-portion cyclic shift for
+// transmit chain iTX (0-based) of nTX chains, in samples (≤ 0).
+func LegacyCSDSamples(iTX, nTX int) int {
+	checkChain(iTX, nTX)
+	return legacyCSDns[iTX] * int(ofdm.SampleRate) / 1_000_000_000
+}
+
+// HTCSDSamples returns the HT-portion cyclic shift for space-time stream
+// iSTS (0-based) of nSTS streams, in samples (≤ 0).
+func HTCSDSamples(iSTS, nSTS int) int {
+	checkChain(iSTS, nSTS)
+	return htCSDns[iSTS] * int(ofdm.SampleRate) / 1_000_000_000
+}
+
+func checkChain(i, n int) {
+	if n < 1 || n > 4 || i < 0 || i >= n {
+		panic("preamble: chain index out of range")
+	}
+}
+
+// CyclicShift rotates one OFDM symbol period left by -shift samples (shift
+// is negative per the tables, meaning the waveform is advanced cyclically).
+// The rotation is applied over the full periodic extent of the slice: for an
+// 80-sample symbol the CP must be re-derived by the caller; for the periodic
+// STF the whole field can be rotated directly.
+func CyclicShift(x []complex128, shift int) []complex128 {
+	n := len(x)
+	if n == 0 || shift%n == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		return out
+	}
+	s := ((shift % n) + n) % n // left-rotation amount for negative shift
+	out := make([]complex128, n)
+	// A cyclic shift of t_CS (negative) delays by |t_CS| cyclically:
+	// y[i] = x[(i - shift) mod n]; with shift negative this advances.
+	for i := range out {
+		out[i] = x[((i-s)%n+n)%n]
+	}
+	return out
+}
+
+// CyclicShiftSymbol applies a cyclic shift to the 64-sample body of an
+// 80-sample CP-OFDM symbol and rebuilds the prefix, which is how the
+// standard defines CSD (a shift of the IFFT output before CP insertion).
+func CyclicShiftSymbol(sym []complex128, shift int) []complex128 {
+	return CyclicShiftSymbolCP(sym, shift, ofdm.CPLen)
+}
+
+// CyclicShiftSymbolCP is CyclicShiftSymbol for an arbitrary guard length
+// (8 for short-GI data symbols).
+func CyclicShiftSymbolCP(sym []complex128, shift, cpLen int) []complex128 {
+	if len(sym) != ofdm.FFTSize+cpLen {
+		panic("preamble: CyclicShiftSymbolCP length mismatch")
+	}
+	body := CyclicShift(sym[cpLen:], shift)
+	out := make([]complex128, len(sym))
+	copy(out[:cpLen], body[ofdm.FFTSize-cpLen:])
+	copy(out[cpLen:], body)
+	return out
+}

@@ -1,0 +1,297 @@
+package preamble
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/ofdm"
+)
+
+func TestLSTFPeriodicity(t *testing.T) {
+	stf := LSTF()
+	if len(stf) != LSTFLen {
+		t.Fatalf("L-STF length %d", len(stf))
+	}
+	// Period 16 samples.
+	for i := 0; i < LSTFLen-16; i++ {
+		if cmplx.Abs(stf[i]-stf[i+16]) > 1e-12 {
+			t.Fatalf("L-STF not 16-periodic at %d", i)
+		}
+	}
+}
+
+func TestLSTFOccupiedTones(t *testing.T) {
+	nz := 0
+	for _, v := range LSTFFreq {
+		if v != 0 {
+			nz++
+			if math.Abs(cmplx.Abs(v)-math.Sqrt(13.0/6.0)*math.Sqrt2) > 1e-12 {
+				t.Errorf("STF tone magnitude %g", cmplx.Abs(v))
+			}
+		}
+	}
+	if nz != 12 {
+		t.Errorf("L-STF occupies %d tones, want 12", nz)
+	}
+}
+
+func TestLLTFStructure(t *testing.T) {
+	ltf := LLTF()
+	if len(ltf) != LLTFLen {
+		t.Fatalf("L-LTF length %d", len(ltf))
+	}
+	// Two identical 64-sample symbols.
+	for i := 0; i < 64; i++ {
+		if cmplx.Abs(ltf[32+i]-ltf[96+i]) > 1e-12 {
+			t.Fatalf("L-LTF symbols differ at %d", i)
+		}
+	}
+	// 32-sample CP equals the tail of the symbol.
+	for i := 0; i < 32; i++ {
+		if cmplx.Abs(ltf[i]-ltf[128+i]) > 1e-12 {
+			t.Fatalf("L-LTF CP mismatch at %d", i)
+		}
+	}
+}
+
+func TestLLTFSequenceLength(t *testing.T) {
+	if len(lltfSeq) != 53 {
+		t.Fatalf("L-LTF sequence has %d entries, want 53", len(lltfSeq))
+	}
+	if lltfSeq[26] != 0 {
+		t.Error("L-LTF DC must be 0")
+	}
+	nz := 0
+	for _, v := range LLTFFreq {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 52 {
+		t.Errorf("L-LTF occupies %d tones, want 52", nz)
+	}
+}
+
+func TestHTLTFExtension(t *testing.T) {
+	f := HTLTFFreq
+	get := func(k int) complex128 { return f[(k+ofdm.FFTSize)%ofdm.FFTSize] }
+	if get(-28) != 1 || get(-27) != 1 {
+		t.Error("HT-LTF lower extension wrong")
+	}
+	if get(27) != -1 || get(28) != -1 {
+		t.Error("HT-LTF upper extension wrong")
+	}
+	// Interior matches L-LTF.
+	for k := -26; k <= 26; k++ {
+		if get(k) != LLTFFreq[(k+ofdm.FFTSize)%ofdm.FFTSize] {
+			t.Errorf("HT-LTF differs from L-LTF at k=%d", k)
+		}
+	}
+	nz := 0
+	for _, v := range f {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 56 {
+		t.Errorf("HT-LTF occupies %d tones, want 56", nz)
+	}
+}
+
+func TestHTLTFSymbolCP(t *testing.T) {
+	sym := HTLTFSymbol(1)
+	if len(sym) != HTLTFLen {
+		t.Fatalf("HT-LTF symbol length %d", len(sym))
+	}
+	for i := 0; i < ofdm.CPLen; i++ {
+		if cmplx.Abs(sym[i]-sym[ofdm.FFTSize+i]) > 1e-12 {
+			t.Fatalf("HT-LTF CP mismatch at %d", i)
+		}
+	}
+	scaled := HTLTFSymbol(complex(0.5, 0))
+	for i := range sym {
+		if cmplx.Abs(scaled[i]-sym[i]*0.5) > 1e-12 {
+			t.Fatal("HT-LTF scaling broken")
+		}
+	}
+}
+
+func TestTrainingFieldPowers(t *testing.T) {
+	for name, sig := range map[string][]complex128{
+		"L-STF": LSTF(), "L-LTF": LLTF(), "HT-STF": HTSTF(), "HT-LTF": HTLTFSymbol(1),
+	} {
+		p := dsp.Power(sig)
+		if math.Abs(p-1) > 0.05 {
+			t.Errorf("%s power %g, want ≈ 1", name, p)
+		}
+	}
+}
+
+func TestNumHTLTF(t *testing.T) {
+	for nss, want := range map[int]int{1: 1, 2: 2, 3: 4, 4: 4} {
+		if got := NumHTLTF(nss); got != want {
+			t.Errorf("NumHTLTF(%d) = %d, want %d", nss, got, want)
+		}
+	}
+}
+
+func TestPMatrixOrthogonal(t *testing.T) {
+	// Rows of P (restricted to the first N_LTF columns) must be orthogonal
+	// — this is what makes per-stream channel estimation separable.
+	for _, nltf := range []int{2, 4} {
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				var dot float64
+				for n := 0; n < nltf; n++ {
+					dot += PMatrix[a][n] * PMatrix[b][n]
+				}
+				if a == b && math.Abs(dot-float64(nltf)) > 1e-12 {
+					t.Errorf("P row %d norm %g", a, dot)
+				}
+				if a != b && nltf == 4 && math.Abs(dot) > 1e-12 {
+					t.Errorf("P rows %d,%d not orthogonal: %g", a, b, dot)
+				}
+			}
+		}
+	}
+	// For N_LTF=2 only the first N_SS=2 rows need orthogonality.
+	dot := PMatrix[0][0]*PMatrix[1][0] + PMatrix[0][1]*PMatrix[1][1]
+	if math.Abs(dot) > 1e-12 {
+		t.Errorf("P first two rows not orthogonal over 2 columns: %g", dot)
+	}
+}
+
+func TestCSDSampleValues(t *testing.T) {
+	if got := LegacyCSDSamples(1, 2); got != -4 {
+		t.Errorf("legacy CSD chain 2 = %d samples, want -4 (-200ns)", got)
+	}
+	if got := HTCSDSamples(1, 2); got != -8 {
+		t.Errorf("HT CSD stream 2 = %d samples, want -8 (-400ns)", got)
+	}
+	if got := HTCSDSamples(0, 1); got != 0 {
+		t.Errorf("HT CSD stream 1 = %d, want 0", got)
+	}
+}
+
+func TestCyclicShiftAdvances(t *testing.T) {
+	x := []complex128{0, 1, 2, 3, 4, 5, 6, 7}
+	y := CyclicShift(x, -2)
+	want := []complex128{2, 3, 4, 5, 6, 7, 0, 1}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("CyclicShift(-2) = %v, want %v", y, want)
+		}
+	}
+	z := CyclicShift(x, 0)
+	for i := range x {
+		if z[i] != x[i] {
+			t.Fatal("zero shift must be identity")
+		}
+	}
+}
+
+func TestCyclicShiftSymbolKeepsCP(t *testing.T) {
+	sym := HTLTFSymbol(1)
+	shifted := CyclicShiftSymbol(sym, -8)
+	for i := 0; i < ofdm.CPLen; i++ {
+		if cmplx.Abs(shifted[i]-shifted[ofdm.FFTSize+i]) > 1e-12 {
+			t.Fatalf("shifted symbol CP broken at %d", i)
+		}
+	}
+	// Body must be the rotated original body.
+	for i := 0; i < ofdm.FFTSize; i++ {
+		if cmplx.Abs(shifted[ofdm.CPLen+i]-sym[ofdm.CPLen+(i+8)%64]) > 1e-12 {
+			t.Fatalf("body rotation wrong at %d", i)
+		}
+	}
+}
+
+func TestCSDIsPhaseRampInFrequency(t *testing.T) {
+	// A cyclic shift in time is a per-subcarrier phase ramp in frequency:
+	// the shifted LTF's FFT must equal HTLTFFreq[k]·exp(-j2πk·d/64).
+	d := -8
+	sym := CyclicShiftSymbol(HTLTFSymbol(1), d)
+	fft := dsp.MustFFT(64)
+	bins := make([]complex128, 64)
+	fft.Forward(bins, sym[ofdm.CPLen:])
+	scale := math.Sqrt(56.0) / 64.0
+	for k := 0; k < 64; k++ {
+		want := HTLTFFreq[k] * cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(d)/64))
+		got := bins[k] * complex(scale, 0)
+		if cmplx.Abs(got-want) > 1e-9 {
+			t.Fatalf("bin %d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestLSIGRoundTrip(t *testing.T) {
+	prop := func(length uint16) bool {
+		s := LSIG{Rate: Rate6Mbps, Length: int(length & 0xFFF)}
+		bits, err := s.Bits()
+		if err != nil || len(bits) != 24 {
+			return false
+		}
+		got, err := ParseLSIG(bits)
+		return err == nil && got == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSIGDetectsCorruption(t *testing.T) {
+	s := LSIG{Rate: Rate6Mbps, Length: 1234}
+	bits, _ := s.Bits()
+	bits[6] ^= 1
+	if _, err := ParseLSIG(bits); err == nil {
+		t.Error("parity should catch a single flipped bit")
+	}
+	if _, err := (LSIG{Rate: 1, Length: 5000}).Bits(); err == nil {
+		t.Error("over-long length should error")
+	}
+	if _, err := ParseLSIG(make([]byte, 10)); err == nil {
+		t.Error("short input should error")
+	}
+}
+
+func TestHTSIGRoundTrip(t *testing.T) {
+	prop := func(mcs uint8, length uint16, smoothing bool) bool {
+		s := HTSIG{MCS: int(mcs & 0x1F), Length: int(length), Smoothing: smoothing}
+		bits, err := s.Bits()
+		if err != nil || len(bits) != 48 {
+			return false
+		}
+		got, err := ParseHTSIG(bits)
+		return err == nil && got == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTSIGCRCDetectsCorruption(t *testing.T) {
+	s := HTSIG{MCS: 11, Length: 1500, Smoothing: true}
+	bits, _ := s.Bits()
+	for pos := 0; pos < 34; pos++ {
+		c := append([]byte(nil), bits...)
+		c[pos] ^= 1
+		if _, err := ParseHTSIG(c); err == nil {
+			t.Fatalf("flipped bit %d not detected by CRC", pos)
+		}
+	}
+}
+
+func TestHTSIGValidation(t *testing.T) {
+	if _, err := (HTSIG{MCS: 200}).Bits(); err == nil {
+		t.Error("oversized MCS should error")
+	}
+	if _, err := (HTSIG{Length: 70000}).Bits(); err == nil {
+		t.Error("oversized length should error")
+	}
+	if _, err := ParseHTSIG(make([]byte, 24)); err == nil {
+		t.Error("short HT-SIG should error")
+	}
+}

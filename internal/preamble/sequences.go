@@ -1,0 +1,163 @@
+// Package preamble constructs and parses the IEEE 802.11n HT-mixed-format
+// preamble: the legacy short and long training fields (L-STF, L-LTF), the
+// SIGNAL fields (L-SIG, HT-SIG), the HT short and long training fields
+// (HT-STF, HT-LTF) with their per-chain cyclic shifts and the orthogonal
+// P-matrix mapping across spatial streams — everything the paper's receiver
+// needs for synchronization and MIMO channel estimation.
+package preamble
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/ofdm"
+)
+
+// Field durations in samples at 20 MHz.
+const (
+	LSTFLen  = 160 // 10 short symbols of 16 samples
+	LLTFLen  = 160 // 32-sample CP + two 64-sample long symbols
+	HTSTFLen = 80
+	HTLTFLen = 80 // per HT-LTF symbol
+)
+
+// lstfFreq returns the 64-bin L-STF frequency sequence
+// (IEEE 802.11-2012 eq. 18-7), including the √(13/6) power normalization.
+func lstfFreq() []complex128 {
+	bins := make([]complex128, ofdm.FFTSize)
+	s := math.Sqrt(13.0 / 6.0)
+	p := complex(s, s)
+	m := complex(-s, -s)
+	vals := map[int]complex128{
+		4: m, 8: m, 12: m, 16: p, 20: p, 24: p,
+		-4: m, -8: m, -12: m, -16: p, -20: m, -24: p,
+	}
+	for k, v := range vals {
+		bins[(k+ofdm.FFTSize)%ofdm.FFTSize] = v
+	}
+	return bins
+}
+
+// lltfSeq is the legacy LTF subcarrier sequence L_{−26..26}
+// (IEEE 802.11-2012 eq. 18-11), DC included as 0.
+var lltfSeq = []float64{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// lltfFreq returns the 64-bin L-LTF frequency vector.
+func lltfFreq() []complex128 {
+	bins := make([]complex128, ofdm.FFTSize)
+	for i, v := range lltfSeq {
+		k := i - 26
+		bins[(k+ofdm.FFTSize)%ofdm.FFTSize] = complex(v, 0)
+	}
+	return bins
+}
+
+// htltfFreq returns the 64-bin HT-LTF frequency vector
+// (IEEE 802.11-2012 eq. 20-24): the L-LTF sequence extended to ±28 with
+// {1, 1} below and {−1, −1} above.
+func htltfFreq() []complex128 {
+	bins := lltfFreq()
+	bins[(-28+ofdm.FFTSize)%ofdm.FFTSize] = 1
+	bins[(-27+ofdm.FFTSize)%ofdm.FFTSize] = 1
+	bins[27] = -1
+	bins[28] = -1
+	return bins
+}
+
+// Cached frequency-domain sequences. Treat as read-only.
+var (
+	// LSTFFreq is the 64-bin L-STF (and 20 MHz HT-STF) frequency sequence.
+	LSTFFreq = lstfFreq()
+	// LLTFFreq is the 64-bin L-LTF frequency sequence.
+	LLTFFreq = lltfFreq()
+	// HTLTFFreq is the 64-bin HT-LTF frequency sequence.
+	HTLTFFreq = htltfFreq()
+)
+
+// ifft64 converts a 64-bin frequency vector to 64 time samples with the
+// N/√normTones normalization of the standard's transmit equations. The STF
+// sequences carry a √(13/6) amplitude so that the 52-tone normalization used
+// for every legacy field yields unit power despite only 12 occupied tones.
+func ifft64(bins []complex128, normTones int) []complex128 {
+	fft := dsp.MustFFT(ofdm.FFTSize)
+	out := make([]complex128, ofdm.FFTSize)
+	fft.Inverse(out, bins)
+	dsp.Scale(out, float64(ofdm.FFTSize)/math.Sqrt(float64(normTones)))
+	return out
+}
+
+// LSTF returns the 160-sample legacy short training field: the 16-sample
+// periodic base tiled ten times.
+func LSTF() []complex128 {
+	base := ifft64(LSTFFreq, 52)
+	out := make([]complex128, LSTFLen)
+	for i := range out {
+		out[i] = base[i%ofdm.FFTSize]
+	}
+	return out
+}
+
+// LLTF returns the 160-sample legacy long training field: a 32-sample cyclic
+// prefix followed by two repetitions of the 64-sample long symbol.
+func LLTF() []complex128 {
+	base := ifft64(LLTFFreq, 52)
+	out := make([]complex128, LLTFLen)
+	copy(out[:32], base[32:])
+	copy(out[32:96], base)
+	copy(out[96:], base)
+	return out
+}
+
+// HTSTF returns the 80-sample HT short training field (one symbol period of
+// the periodic STF waveform).
+func HTSTF() []complex128 {
+	base := ifft64(LSTFFreq, 52)
+	out := make([]complex128, HTSTFLen)
+	for i := range out {
+		out[i] = base[i%ofdm.FFTSize]
+	}
+	return out
+}
+
+// HTLTFSymbol returns one 80-sample HT-LTF symbol (16-sample CP + 64-sample
+// body) with the frequency sequence scaled by the given factor (the caller
+// applies the P-matrix entry and the 1/√N_STS power split).
+func HTLTFSymbol(scale complex128) []complex128 {
+	bins := make([]complex128, ofdm.FFTSize)
+	for i, v := range HTLTFFreq {
+		bins[i] = v * scale
+	}
+	base := ifft64(bins, 56)
+	out := make([]complex128, HTLTFLen)
+	copy(out[:ofdm.CPLen], base[ofdm.FFTSize-ofdm.CPLen:])
+	copy(out[ofdm.CPLen:], base)
+	return out
+}
+
+// NumHTLTF returns N_HTLTF, the number of HT long training symbols for the
+// given spatial stream count (IEEE 802.11-2012 Table 20-13).
+func NumHTLTF(nss int) int {
+	switch nss {
+	case 1:
+		return 1
+	case 2:
+		return 2
+	case 3, 4:
+		return 4
+	}
+	panic("preamble: N_SS out of range [1,4]")
+}
+
+// PMatrix is the orthogonal HT-LTF mapping matrix P_HTLTF
+// (IEEE 802.11-2012 eq. 20-27). Stream iss transmits P[iss][n]·HTLTF in
+// long-training symbol n.
+var PMatrix = [4][4]float64{
+	{1, -1, 1, 1},
+	{1, 1, -1, 1},
+	{1, 1, 1, -1},
+	{-1, 1, 1, 1},
+}

@@ -1,0 +1,131 @@
+package preamble
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// LSIG is the legacy SIGNAL field content (IEEE 802.11-2012 §18.3.4). In the
+// HT-mixed format the rate is pinned to 6 Mbit/s and the length spoofs the
+// frame duration for legacy listeners.
+type LSIG struct {
+	// Rate is the 4-bit RATE code (0b1101 = 6 Mbit/s).
+	Rate byte
+	// Length is the 12-bit LENGTH field in octets.
+	Length int
+}
+
+// Rate6Mbps is the RATE code carried by every HT-mixed L-SIG.
+const Rate6Mbps = 0b1101
+
+// Bits serializes the 24-bit L-SIG: RATE(4), reserved(1), LENGTH(12),
+// even parity(1), tail(6).
+func (s LSIG) Bits() ([]byte, error) {
+	if s.Length < 0 || s.Length > 0xFFF {
+		return nil, fmt.Errorf("preamble: L-SIG length %d out of 12-bit range", s.Length)
+	}
+	bits := make([]byte, 0, 24)
+	bits = append(bits, bitutil.Uint16ToBits(uint16(s.Rate), 4)...)
+	bits = append(bits, 0) // reserved
+	bits = append(bits, bitutil.Uint16ToBits(uint16(s.Length), 12)...)
+	bits = append(bits, bitutil.EvenParity(bits))
+	bits = append(bits, 0, 0, 0, 0, 0, 0) // tail
+	return bits, nil
+}
+
+// ParseLSIG validates parity and tail and decodes the fields.
+func ParseLSIG(bits []byte) (LSIG, error) {
+	if len(bits) != 24 {
+		return LSIG{}, fmt.Errorf("preamble: L-SIG needs 24 bits, got %d", len(bits))
+	}
+	if p := bitutil.EvenParity(bits[:18]); p != 0 {
+		return LSIG{}, fmt.Errorf("preamble: L-SIG parity error")
+	}
+	for _, b := range bits[18:] {
+		if b&1 != 0 {
+			return LSIG{}, fmt.Errorf("preamble: L-SIG tail bits nonzero")
+		}
+	}
+	return LSIG{
+		Rate:   byte(bitutil.BitsToUint(bits[:4])),
+		Length: int(bitutil.BitsToUint(bits[5:17])),
+	}, nil
+}
+
+// HTSIG is the HT SIGNAL field content (IEEE 802.11-2012 §20.3.9.4.3),
+// restricted to the features the paper's transceiver uses: BCC coding, long
+// guard interval, no STBC, no aggregation, 20 MHz.
+type HTSIG struct {
+	// MCS is the 7-bit modulation and coding scheme index (0-76; this
+	// implementation uses 0-31, the equal-modulation N_SS 1-4 range).
+	MCS int
+	// CBW40 selects 40 MHz operation; always false here.
+	CBW40 bool
+	// Length is the 16-bit HT length: the number of PSDU octets.
+	Length int
+	// Smoothing advises the receiver that frequency smoothing of the
+	// channel estimate is permissible.
+	Smoothing bool
+	// ShortGI selects the 400 ns guard interval for the data symbols.
+	ShortGI bool
+}
+
+// Bits serializes the 48-bit HT-SIG (both 24-bit parts concatenated),
+// computing the CRC-8 over the first 34 bits.
+func (s HTSIG) Bits() ([]byte, error) {
+	if s.MCS < 0 || s.MCS > 127 {
+		return nil, fmt.Errorf("preamble: MCS %d out of 7-bit range", s.MCS)
+	}
+	if s.Length < 0 || s.Length > 0xFFFF {
+		return nil, fmt.Errorf("preamble: HT length %d out of 16-bit range", s.Length)
+	}
+	bits := make([]byte, 0, 48)
+	bits = append(bits, bitutil.Uint16ToBits(uint16(s.MCS), 7)...)
+	bits = append(bits, boolBit(s.CBW40))
+	bits = append(bits, bitutil.Uint16ToBits(uint16(s.Length), 16)...)
+	// HT-SIG2 bits 0..9.
+	bits = append(bits, boolBit(s.Smoothing))
+	bits = append(bits, 1)                         // not sounding
+	bits = append(bits, 1)                         // reserved, always 1
+	bits = append(bits, 0)                         // aggregation
+	bits = append(bits, 0, 0)                      // STBC
+	bits = append(bits, 0)                         // FEC coding: BCC
+	bits = append(bits, boolBit(s.ShortGI))        // short GI
+	bits = append(bits, 0, 0)                      // no extension spatial streams
+	bits = append(bits, bitutil.CRC8Bits(bits)...) // CRC over the 34 bits so far
+	bits = append(bits, 0, 0, 0, 0, 0, 0)          // tail
+	return bits, nil
+}
+
+// ParseHTSIG validates the CRC and tail and decodes the fields.
+func ParseHTSIG(bits []byte) (HTSIG, error) {
+	if len(bits) != 48 {
+		return HTSIG{}, fmt.Errorf("preamble: HT-SIG needs 48 bits, got %d", len(bits))
+	}
+	crc := bitutil.CRC8Bits(bits[:34])
+	for i, c := range crc {
+		if bits[34+i]&1 != c {
+			return HTSIG{}, fmt.Errorf("preamble: HT-SIG CRC mismatch")
+		}
+	}
+	for _, b := range bits[42:] {
+		if b&1 != 0 {
+			return HTSIG{}, fmt.Errorf("preamble: HT-SIG tail bits nonzero")
+		}
+	}
+	return HTSIG{
+		MCS:       int(bitutil.BitsToUint(bits[:7])),
+		CBW40:     bits[7]&1 == 1,
+		Length:    int(bitutil.BitsToUint(bits[8:24])),
+		Smoothing: bits[24]&1 == 1,
+		ShortGI:   bits[31]&1 == 1,
+	}, nil
+}
+
+func boolBit(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

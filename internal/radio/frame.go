@@ -1,0 +1,241 @@
+// Package radio provides the IQ sample transport that stands in for the
+// host↔USRP2 link of the paper's testbed: a compact framed format carrying
+// synchronized multi-antenna complex baseband over any io.Reader/io.Writer
+// (TCP), over UDP datagrams with loss detection, or in-process. Samples are
+// serialized as interleaved float32 I/Q, the format SDR front-ends commonly
+// emit.
+package radio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Frame format (big-endian):
+//
+//	magic   uint32  "MNIQ" (0x4D4E4951)
+//	version uint8   1
+//	streams uint8   number of antenna streams (1-4)
+//	flags   uint16  bit 0: end-of-burst
+//	seq     uint64  frame sequence number
+//	count   uint32  samples per stream in this frame
+//	payload streams × count × (float32 I, float32 Q), stream-major
+const (
+	frameMagic   = 0x4D4E4951
+	frameVersion = 1
+	headerSize   = 4 + 1 + 1 + 2 + 8 + 4
+
+	// MaxSamplesPerFrame bounds a frame to fit a UDP datagram under the
+	// common 1500-byte MTU minus headers when streaming one antenna; the
+	// writer splits larger bursts automatically.
+	MaxSamplesPerFrame = 4096
+)
+
+// FlagEndOfBurst marks the final frame of a burst (packet).
+const FlagEndOfBurst = 1 << 0
+
+// Header describes one frame.
+type Header struct {
+	Streams int
+	Flags   uint16
+	Seq     uint64
+	Count   int
+}
+
+// EncodeFrame appends one frame carrying samples[stream][i] to dst and
+// returns the extended buffer. All streams must have equal length ≤
+// MaxSamplesPerFrame.
+func EncodeFrame(dst []byte, h Header, samples [][]complex128) ([]byte, error) {
+	if h.Streams < 1 || h.Streams > 4 || len(samples) != h.Streams {
+		return nil, fmt.Errorf("radio: %d streams invalid or mismatched with %d slices", h.Streams, len(samples))
+	}
+	n := len(samples[0])
+	for i, s := range samples {
+		if len(s) != n {
+			return nil, fmt.Errorf("radio: stream %d has %d samples, stream 0 has %d", i, len(s), n)
+		}
+	}
+	if n == 0 || n > MaxSamplesPerFrame {
+		return nil, fmt.Errorf("radio: frame sample count %d outside [1, %d]", n, MaxSamplesPerFrame)
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = frameVersion
+	hdr[5] = byte(h.Streams)
+	binary.BigEndian.PutUint16(hdr[6:], h.Flags)
+	binary.BigEndian.PutUint64(hdr[8:], h.Seq)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(n))
+	dst = append(dst, hdr[:]...)
+	var scratch [8]byte
+	for _, s := range samples {
+		for _, v := range s {
+			binary.BigEndian.PutUint32(scratch[0:], math.Float32bits(float32(real(v))))
+			binary.BigEndian.PutUint32(scratch[4:], math.Float32bits(float32(imag(v))))
+			dst = append(dst, scratch[:]...)
+		}
+	}
+	return dst, nil
+}
+
+// FrameSize returns the encoded size of a frame with the given shape.
+func FrameSize(streams, count int) int { return headerSize + streams*count*8 }
+
+// DecodeHeader parses a frame header.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < headerSize {
+		return Header{}, fmt.Errorf("radio: header needs %d bytes, got %d", headerSize, len(b))
+	}
+	if binary.BigEndian.Uint32(b[0:]) != frameMagic {
+		return Header{}, fmt.Errorf("radio: bad magic %#08x", binary.BigEndian.Uint32(b[0:]))
+	}
+	if b[4] != frameVersion {
+		return Header{}, fmt.Errorf("radio: unsupported version %d", b[4])
+	}
+	h := Header{
+		Streams: int(b[5]),
+		Flags:   binary.BigEndian.Uint16(b[6:]),
+		Seq:     binary.BigEndian.Uint64(b[8:]),
+		Count:   int(binary.BigEndian.Uint32(b[16:])),
+	}
+	if h.Streams < 1 || h.Streams > 4 {
+		return Header{}, fmt.Errorf("radio: stream count %d out of range", h.Streams)
+	}
+	if h.Count < 1 || h.Count > MaxSamplesPerFrame {
+		return Header{}, fmt.Errorf("radio: sample count %d out of range", h.Count)
+	}
+	return h, nil
+}
+
+// DecodePayload parses the sample payload following a decoded header,
+// appending to per-stream slices in dst (growing as needed). dst must have
+// h.Streams entries.
+func DecodePayload(dst [][]complex128, h Header, b []byte) ([][]complex128, error) {
+	want := h.Streams * h.Count * 8
+	if len(b) < want {
+		return nil, fmt.Errorf("radio: payload needs %d bytes, got %d", want, len(b))
+	}
+	if len(dst) != h.Streams {
+		return nil, fmt.Errorf("radio: dst has %d streams, frame has %d", len(dst), h.Streams)
+	}
+	off := 0
+	for s := 0; s < h.Streams; s++ {
+		for i := 0; i < h.Count; i++ {
+			re := math.Float32frombits(binary.BigEndian.Uint32(b[off:]))
+			im := math.Float32frombits(binary.BigEndian.Uint32(b[off+4:]))
+			dst[s] = append(dst[s], complex(float64(re), float64(im)))
+			off += 8
+		}
+	}
+	return dst, nil
+}
+
+// StreamWriter writes bursts as a sequence of frames over a stream
+// transport (TCP or anything io.Writer). Not safe for concurrent use.
+type StreamWriter struct {
+	w       io.Writer
+	streams int
+	seq     uint64
+	buf     []byte
+}
+
+// NewStreamWriter returns a writer for the given antenna count.
+func NewStreamWriter(w io.Writer, streams int) (*StreamWriter, error) {
+	if streams < 1 || streams > 4 {
+		return nil, fmt.Errorf("radio: stream count %d out of range [1,4]", streams)
+	}
+	return &StreamWriter{w: w, streams: streams}, nil
+}
+
+// WriteBurst sends one complete burst (e.g. one PPDU), split into frames;
+// the last frame carries the end-of-burst flag.
+func (w *StreamWriter) WriteBurst(samples [][]complex128) error {
+	if len(samples) != w.streams {
+		return fmt.Errorf("radio: %d streams, writer configured for %d", len(samples), w.streams)
+	}
+	total := len(samples[0])
+	if total == 0 {
+		return fmt.Errorf("radio: empty burst")
+	}
+	for off := 0; off < total; off += MaxSamplesPerFrame {
+		end := off + MaxSamplesPerFrame
+		if end > total {
+			end = total
+		}
+		var flags uint16
+		if end == total {
+			flags = FlagEndOfBurst
+		}
+		chunk := make([][]complex128, w.streams)
+		for s := range samples {
+			if len(samples[s]) != total {
+				return fmt.Errorf("radio: ragged burst")
+			}
+			chunk[s] = samples[s][off:end]
+		}
+		w.buf = w.buf[:0]
+		var err error
+		w.buf, err = EncodeFrame(w.buf, Header{Streams: w.streams, Flags: flags, Seq: w.seq, Count: end - off}, chunk)
+		if err != nil {
+			return err
+		}
+		w.seq++
+		if _, err := w.w.Write(w.buf); err != nil {
+			return fmt.Errorf("radio: write: %w", err)
+		}
+	}
+	return nil
+}
+
+// StreamReader reads bursts from a stream transport.
+type StreamReader struct {
+	r   io.Reader
+	hdr [headerSize]byte
+	buf []byte
+}
+
+// NewStreamReader returns a reader.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: r}
+}
+
+// ReadBurst reassembles frames until an end-of-burst flag and returns the
+// per-stream samples. io.EOF is returned (possibly wrapping partial data
+// loss) when the transport closes cleanly between bursts.
+func (r *StreamReader) ReadBurst() ([][]complex128, error) {
+	var out [][]complex128
+	for {
+		if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+			if err == io.EOF && out == nil {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("radio: read header: %w", err)
+		}
+		h, err := DecodeHeader(r.hdr[:])
+		if err != nil {
+			return nil, err
+		}
+		need := h.Streams * h.Count * 8
+		if cap(r.buf) < need {
+			r.buf = make([]byte, need)
+		}
+		r.buf = r.buf[:need]
+		if _, err := io.ReadFull(r.r, r.buf); err != nil {
+			return nil, fmt.Errorf("radio: read payload: %w", err)
+		}
+		if out == nil {
+			out = make([][]complex128, h.Streams)
+		}
+		if len(out) != h.Streams {
+			return nil, fmt.Errorf("radio: stream count changed mid-burst")
+		}
+		out, err = DecodePayload(out, h, r.buf)
+		if err != nil {
+			return nil, err
+		}
+		if h.Flags&FlagEndOfBurst != 0 {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package radio
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// UDPSender streams bursts as UDP datagrams, one frame per datagram. UDP
+// mirrors the lossy sample path between an SDR front end and the host: the
+// receiver detects gaps via sequence numbers and zero-fills them, which the
+// PHY experiences as erasure noise — exactly how dropped Ethernet sample
+// packets manifest on a real USRP link.
+type UDPSender struct {
+	conn    *net.UDPConn
+	streams int
+	seq     uint64
+	buf     []byte
+	// SamplesPerDatagram bounds the frame size; the default keeps 1-stream
+	// datagrams under a 1500-byte MTU.
+	SamplesPerDatagram int
+}
+
+// NewUDPSender dials the receiver address.
+func NewUDPSender(addr string, streams int) (*UDPSender, error) {
+	if streams < 1 || streams > 4 {
+		return nil, fmt.Errorf("radio: stream count %d out of range [1,4]", streams)
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("radio: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("radio: dial %q: %w", addr, err)
+	}
+	return &UDPSender{conn: conn, streams: streams, SamplesPerDatagram: 180 / streams * streams}, nil
+}
+
+// Close releases the socket.
+func (s *UDPSender) Close() error { return s.conn.Close() }
+
+// LocalAddr returns the sender's local address.
+func (s *UDPSender) LocalAddr() net.Addr { return s.conn.LocalAddr() }
+
+// WriteBurst sends one burst as a train of datagrams, the last flagged
+// end-of-burst.
+func (s *UDPSender) WriteBurst(samples [][]complex128) error {
+	if len(samples) != s.streams {
+		return fmt.Errorf("radio: %d streams, sender configured for %d", len(samples), s.streams)
+	}
+	per := s.SamplesPerDatagram
+	if per < 1 {
+		per = 1
+	}
+	if per > MaxSamplesPerFrame {
+		per = MaxSamplesPerFrame
+	}
+	total := len(samples[0])
+	if total == 0 {
+		return fmt.Errorf("radio: empty burst")
+	}
+	for off := 0; off < total; off += per {
+		end := off + per
+		if end > total {
+			end = total
+		}
+		var flags uint16
+		if end == total {
+			flags = FlagEndOfBurst
+		}
+		chunk := make([][]complex128, s.streams)
+		for st := range samples {
+			chunk[st] = samples[st][off:end]
+		}
+		s.buf = s.buf[:0]
+		var err error
+		s.buf, err = EncodeFrame(s.buf, Header{Streams: s.streams, Flags: flags, Seq: s.seq, Count: end - off}, chunk)
+		if err != nil {
+			return err
+		}
+		s.seq++
+		if _, err := s.conn.Write(s.buf); err != nil {
+			return fmt.Errorf("radio: udp write: %w", err)
+		}
+	}
+	return nil
+}
+
+// UDPReceiver receives bursts and accounts for datagram loss.
+type UDPReceiver struct {
+	conn *net.UDPConn
+	buf  []byte
+	// Lost counts datagrams missing from the sequence so far.
+	Lost uint64
+	// nextSeq is the expected next sequence number (0 before first frame).
+	nextSeq uint64
+	started bool
+}
+
+// NewUDPReceiver listens on addr (e.g. "127.0.0.1:0").
+func NewUDPReceiver(addr string) (*UDPReceiver, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("radio: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("radio: listen %q: %w", addr, err)
+	}
+	return &UDPReceiver{conn: conn, buf: make([]byte, 65536)}, nil
+}
+
+// Close releases the socket.
+func (r *UDPReceiver) Close() error { return r.conn.Close() }
+
+// Addr returns the bound address (useful with port 0).
+func (r *UDPReceiver) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// ReadBurst assembles one burst. Missing datagrams are zero-filled with the
+// frame size inferred from neighbours, and counted in Lost. timeout bounds
+// the wait for each datagram; zero means no deadline.
+func (r *UDPReceiver) ReadBurst(timeout time.Duration) ([][]complex128, error) {
+	var out [][]complex128
+	lastCount := 0
+	for {
+		if timeout > 0 {
+			if err := r.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+				return nil, err
+			}
+		}
+		n, _, err := r.conn.ReadFromUDP(r.buf)
+		if err != nil {
+			return nil, fmt.Errorf("radio: udp read: %w", err)
+		}
+		h, err := DecodeHeader(r.buf[:n])
+		if err != nil {
+			continue // foreign datagram; ignore
+		}
+		if r.started && h.Seq > r.nextSeq {
+			gap := h.Seq - r.nextSeq
+			r.Lost += gap
+			// Zero-fill the missing samples so the stream stays aligned.
+			if out != nil && lastCount > 0 {
+				for s := range out {
+					out[s] = append(out[s], make([]complex128, int(gap)*lastCount)...)
+				}
+			}
+		}
+		r.started = true
+		r.nextSeq = h.Seq + 1
+		if out == nil {
+			out = make([][]complex128, h.Streams)
+		}
+		if len(out) != h.Streams {
+			return nil, fmt.Errorf("radio: stream count changed mid-burst")
+		}
+		out, err = DecodePayload(out, h, r.buf[headerSize:n])
+		if err != nil {
+			return nil, err
+		}
+		lastCount = h.Count
+		if h.Flags&FlagEndOfBurst != 0 {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/ofdm"
+	"repro/internal/vandebeek"
+)
+
+func init() {
+	register("e6", E6Synchronization)
+	register("e7", E7PhaseTracking)
+}
+
+// E6Synchronization compares the paper's MIMO-extended Van de Beek
+// synchronizer against the SISO original and a Schmidl & Cox style
+// autocorrelation baseline: timing MSE and CFO MSE vs SNR.
+func E6Synchronization(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "Van de Beek synchronization, SISO vs MIMO extension (AWGN+CFO)",
+		Columns: []string{"snr_db",
+			"timing_mse_vdb1rx", "timing_mse_vdb2rx", "timing_mse_sc2rx",
+			"cfo_mse_vdb1rx", "cfo_mse_vdb2rx"},
+	}
+	snrs := []float64{-2, 0, 2, 4, 6, 8, 10, 14}
+	trials := opt.Packets
+	if opt.Quick {
+		snrs = []float64{0, 6}
+	}
+	const trueCFO = 0.08 // subcarrier spacings
+	mod := ofdm.NewModulator(ofdm.HTToneMap)
+	r := rand.New(rand.NewSource(opt.Seed + 6))
+	for _, snrDB := range snrs {
+		var t1, t2, tsc, c1, c2 float64
+		for trial := 0; trial < trials; trial++ {
+			offset := 20 + r.Intn(40)
+			rx := ofdmStream(r, mod, 2, 5, offset, trueCFO, snrDB)
+			limit := offset + ofdm.SymbolLen + 80 - 1
+			est, err := vandebeek.New(ofdm.FFTSize, ofdm.CPLen, math.Pow(10, snrDB/10))
+			if err != nil {
+				return nil, err
+			}
+			e1, err := est.Estimate([][]complex128{rx[0][:limit]})
+			if err != nil {
+				return nil, err
+			}
+			e2, err := est.Estimate([][]complex128{rx[0][:limit], rx[1][:limit]})
+			if err != nil {
+				return nil, err
+			}
+			scOff := scTiming(rx, limit)
+			d1 := modDist(e1.Offset, offset, ofdm.SymbolLen)
+			d2 := modDist(e2.Offset, offset, ofdm.SymbolLen)
+			dsc := modDist(scOff, offset, ofdm.SymbolLen)
+			t1 += float64(d1 * d1)
+			t2 += float64(d2 * d2)
+			tsc += float64(dsc * dsc)
+			c1 += (e1.CFO - trueCFO) * (e1.CFO - trueCFO)
+			c2 += (e2.CFO - trueCFO) * (e2.CFO - trueCFO)
+		}
+		n := float64(trials)
+		if err := t.AddRow(snrDB, t1/n, t2/n, tsc/n, c1/n, c2/n); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"timing MSE in samples², CFO MSE in subcarrier-spacings²",
+		"S&C baseline runs a lag-16 autocorrelation peak on generic OFDM data (no STF present), so its plateau is wide",
+		"expected: 2-RX Van de Beek below 1-RX; both below the autocorrelation baseline at low SNR")
+	return t, nil
+}
+
+// ofdmStream builds nrx antenna streams of random OFDM symbols with a
+// boundary at offset, CFO in subcarrier spacings, AWGN at snrDB.
+func ofdmStream(r *rand.Rand, mod *ofdm.Modulator, nrx, numSymbols, offset int, cfo, snrDB float64) [][]complex128 {
+	total := offset + numSymbols*ofdm.SymbolLen + 32
+	clean := make([]complex128, total)
+	sym := make([]complex128, ofdm.SymbolLen)
+	pos := offset % ofdm.SymbolLen
+	if pos > 0 {
+		pos -= ofdm.SymbolLen
+	}
+	data := make([]complex128, 52)
+	for ; pos < total; pos += ofdm.SymbolLen {
+		for i := range data {
+			data[i] = complex(math.Sqrt2/2*float64(1-2*r.Intn(2)), math.Sqrt2/2*float64(1-2*r.Intn(2)))
+		}
+		if err := mod.Symbol(sym, data, []complex128{1, 1, 1, -1}); err != nil {
+			panic(err)
+		}
+		for i, v := range sym {
+			if pos+i >= 0 && pos+i < total {
+				clean[pos+i] = v
+			}
+		}
+	}
+	dsp.Rotate(clean, 0, 2*math.Pi*cfo/float64(ofdm.FFTSize))
+	sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+	out := make([][]complex128, nrx)
+	for a := range out {
+		ang := r.Float64() * 2 * math.Pi
+		ph := complex(math.Cos(ang), math.Sin(ang))
+		s := make([]complex128, total)
+		for i, v := range clean {
+			s[i] = v*ph + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+		}
+		out[a] = s
+	}
+	return out
+}
+
+// scTiming is the Schmidl & Cox style baseline: peak of the lag-16
+// normalized autocorrelation combined across antennas. Against generic OFDM
+// symbols (no short training field present) its metric has no sharp peak,
+// which is exactly the weakness the CP-based estimator avoids.
+func scTiming(rx [][]complex128, limit int) int {
+	best, bestV := 0, math.Inf(-1)
+	acs := make([]*dsp.AutoCorrelator, len(rx))
+	for a := range acs {
+		acs[a] = dsp.NewAutoCorrelator(16, 32)
+	}
+	for i := 0; i < limit; i++ {
+		var corr complex128
+		var pw float64
+		for a := range rx {
+			c, p := acs[a].Push(rx[a][i])
+			corr += c
+			pw += p
+		}
+		if !acs[0].Primed() || pw == 0 {
+			continue
+		}
+		if v := cmplx.Abs(corr) / pw; v > bestV {
+			best, bestV = i-47, v // window start
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+func modDist(a, b, period int) int {
+	d := ((a-b)%period + period) % period
+	if period-d < d {
+		d = period - d
+	}
+	return d
+}
+
+// E7PhaseTracking measures the pilot phase tracker's value: PER vs residual
+// CFO with tracking enabled and disabled, over the full link.
+func E7PhaseTracking(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Pilot phase tracking ablation: PER vs CFO (identity channel, 25 dB, MCS11, 1200-byte MPDU)",
+		Columns: []string{"cfo_hz", "per_tracked", "per_untracked"},
+	}
+	cfos := []float64{0, 300, 600, 1000, 1500, 2500}
+	packets := opt.Packets / 4
+	if packets < 5 {
+		packets = 5
+	}
+	payload := 1200
+	if opt.Quick {
+		cfos = []float64{0, 1000}
+		packets = 5
+		payload = 600
+	}
+	for _, cfo := range cfos {
+		row := []float64{cfo}
+		for _, disable := range []bool{false, true} {
+			per, _, err := runPER(core.LinkConfig{
+				MCS:                  11,
+				Detector:             "mmse",
+				DisablePhaseTracking: disable,
+				Channel: channel.Config{Model: channel.Identity, SNRdB: 25,
+					CFOHz: cfo, SampleRate: ofdm.SampleRate},
+			}, packets, payload, opt.Seed+int64(cfo)+7)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, per.Rate())
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the LTF fine CFO estimator leaves a residual; without pilot tracking the residual phase ramp rotates late symbols out of their decision regions",
+		"expected: per_tracked ≈ 0 everywhere; per_untracked is substantial even at 0 Hz because LTF CFO-estimation noise alone leaves a residual ramp over a 47-symbol packet")
+	return t, nil
+}

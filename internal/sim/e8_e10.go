@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/chanest"
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/core"
+	"repro/internal/est"
+	"repro/internal/modem"
+	"repro/internal/ofdm"
+	"repro/internal/preamble"
+	"repro/internal/synchro"
+)
+
+func init() {
+	register("e8", E8ChannelEstimation)
+	register("e9", E9SNREstimation)
+	register("e10", E10PacketDetection)
+}
+
+// E8ChannelEstimation sweeps the per-subcarrier channel-estimation MSE of
+// the LS estimator and its frequency-smoothed variant against the true
+// frequency response, over a flat-like (TGn-B) and a dispersive (TGn-D)
+// channel.
+func E8ChannelEstimation(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "HT-LTF channel estimation MSE vs SNR: LS vs smoothed LS (2x2)",
+		Columns: []string{"snr_db",
+			"tgnb_ls", "tgnb_smooth5", "tgnd_ls", "tgnd_smooth5"},
+	}
+	snrs := []float64{0, 5, 10, 15, 20, 25, 30}
+	trials := opt.Packets / 4
+	if trials < 5 {
+		trials = 5
+	}
+	if opt.Quick {
+		snrs = []float64{5, 20}
+		trials = 5
+	}
+	r := rand.New(rand.NewSource(opt.Seed + 8))
+	for _, snrDB := range snrs {
+		row := []float64{snrDB}
+		for _, model := range []channel.Model{channel.TGnB, channel.TGnD} {
+			var mseLS, mseSmooth float64
+			var count int
+			for trial := 0; trial < trials; trial++ {
+				truth, spectra, err := drawHTLTFObservation(r, model, snrDB, int64(trial)*13+opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				ls, err := chanest.EstimateHT(spectra, 2)
+				if err != nil {
+					return nil, err
+				}
+				smooth, err := chanest.EstimateHT(spectra, 2)
+				if err != nil {
+					return nil, err
+				}
+				if err := smooth.Smooth(5); err != nil {
+					return nil, err
+				}
+				for _, bin := range ofdm.HTToneMap.Data {
+					d1 := cmatrix.Sub(ls.AtBin(bin), truth[bin])
+					d2 := cmatrix.Sub(smooth.AtBin(bin), truth[bin])
+					mseLS += d1.FrobeniusNorm() * d1.FrobeniusNorm()
+					mseSmooth += d2.FrobeniusNorm() * d2.FrobeniusNorm()
+					count += 4 // 2x2 entries
+				}
+			}
+			row = append(row, mseLS/float64(count), mseSmooth/float64(count))
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"MSE per channel-matrix entry; LS ∝ 1/SNR",
+		"expected: smoothing wins on low-delay-spread TGn-B; on TGn-D its bias floor appears at high SNR")
+	return t, nil
+}
+
+// drawHTLTFObservation draws a TGn channel realization and produces the true
+// per-bin channel matrices plus noisy HT-LTF spectra, bypassing timing/CFO
+// so only estimation error is measured.
+func drawHTLTFObservation(r *rand.Rand, model channel.Model, snrDB float64, seed int64) ([]*cmatrix.Matrix, [][][]complex128, error) {
+	const nss, nrx = 2, 2
+	ch, err := channel.New(channel.Config{NumTX: nss, NumRX: nrx, Model: model, NoNoise: true, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Draw taps by pushing a dummy burst.
+	if _, err := ch.Apply([][]complex128{make([]complex128, 8), make([]complex128, 8)}); err != nil {
+		return nil, nil, err
+	}
+	taps := ch.Taps()
+	// True frequency response per bin: H[rx][tx](k) = Σ_l g_l e^{-j2πkl/64}.
+	truth := make([]*cmatrix.Matrix, ofdm.FFTSize)
+	for bin := range truth {
+		m := cmatrix.New(nrx, nss)
+		for a := 0; a < nrx; a++ {
+			for s := 0; s < nss; s++ {
+				var acc complex128
+				for l, g := range taps[a][s] {
+					acc += g * cmplx.Exp(complex(0, -2*math.Pi*float64(bin)*float64(l)/64))
+				}
+				m.Set(a, s, acc)
+			}
+		}
+		truth[bin] = m
+	}
+	// Noisy LTF spectra: y[rx][n](k) = Σ_ss H[rx][ss](k)·P[ss][n]·L_k + w.
+	sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+	nltf := preamble.NumHTLTF(nss)
+	spectra := make([][][]complex128, nrx)
+	for a := 0; a < nrx; a++ {
+		spectra[a] = make([][]complex128, nltf)
+		for n := 0; n < nltf; n++ {
+			spec := make([]complex128, ofdm.FFTSize)
+			for bin, ref := range preamble.HTLTFFreq {
+				if ref == 0 {
+					continue
+				}
+				var acc complex128
+				for s := 0; s < nss; s++ {
+					acc += truth[bin].At(a, s) * complex(preamble.PMatrix[s][n], 0) * ref
+				}
+				spec[bin] = acc + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+			}
+			spectra[a][n] = spec
+		}
+	}
+	return truth, spectra, nil
+}
+
+// E9SNREstimation validates the paper's fine-grained SNR estimation: the
+// receiver's data-aided L-LTF estimate (via the full link) and the blind
+// M2M4 estimator on QPSK and 64-QAM symbol streams, against the true SNR.
+func E9SNREstimation(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "SNR estimation accuracy (dB estimated at each true SNR)",
+		Columns: []string{"true_snr_db",
+			"data_aided_lltf", "m2m4_qpsk", "m2m4_qam64"},
+	}
+	snrs := []float64{0, 5, 10, 15, 20, 25, 30}
+	packets := opt.Packets / 10
+	if packets < 3 {
+		packets = 3
+	}
+	if opt.Quick {
+		snrs = []float64{5, 20}
+		packets = 3
+	}
+	r := rand.New(rand.NewSource(opt.Seed + 9))
+	for _, snrDB := range snrs {
+		// Data-aided from the full receiver.
+		// MCS0 keeps a single transmit chain so the per-antenna received
+		// power equals the configured unit power (multi-chain legacy
+		// preambles split power 1/N_TX per chain, which an identity channel
+		// does not recombine).
+		_, meanSNR, err := runPER(core.LinkConfig{
+			MCS:      0,
+			Detector: "mmse",
+			Channel:  channel.Config{Model: channel.Identity, SNRdB: snrDB},
+		}, packets, 300, opt.Seed+int64(snrDB)*3+9)
+		if err != nil {
+			return nil, err
+		}
+		// Blind M2M4 on raw symbol streams.
+		m2m4 := func(s modem.Scheme) float64 {
+			mapper := modem.NewMapper(s)
+			bits := make([]byte, s.BitsPerSymbol())
+			x := make([]complex128, 8000)
+			sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+			for i := range x {
+				for j := range bits {
+					bits[j] = byte(r.Intn(2))
+				}
+				x[i] = mapper.MapOne(bits) + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+			}
+			v, err := est.M2M4(x)
+			if err != nil {
+				return math.NaN()
+			}
+			return est.DB(v)
+		}
+		if err := t.AddRow(snrDB, meanSNR, m2m4(modem.QPSK), m2m4(modem.QAM64)); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"data-aided column uses the receiver's own L-LTF split estimator through full sync; '-' marks SNRs where no packet synchronized",
+		"expected: data-aided tracks truth 0-30 dB; M2M4 tracks QPSK but biases on 64-QAM (non-constant modulus)")
+	return t, nil
+}
+
+// E10PacketDetection sweeps detection probability vs SNR and reports the
+// noise-only false alarm rate of the STF detector.
+func E10PacketDetection(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Packet detection probability vs SNR (2 RX, threshold 0.7, plateau 24)",
+		Columns: []string{"snr_db", "p_detect", "mean_latency_samples"},
+	}
+	snrs := []float64{-6, -4, -2, 0, 2, 4, 6, 10}
+	trials := opt.Packets
+	if opt.Quick {
+		snrs = []float64{-2, 4}
+		trials = 20
+	}
+	r := rand.New(rand.NewSource(opt.Seed + 10))
+	stf := preamble.LSTF()
+	ltf := preamble.LLTF()
+	for _, snrDB := range snrs {
+		detected := 0
+		latency := 0.0
+		for trial := 0; trial < trials; trial++ {
+			lead := 150 + r.Intn(100)
+			sig := append(append([]complex128{}, stf...), ltf...)
+			sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+			rx := make([][]complex128, 2)
+			for a := range rx {
+				ang := r.Float64() * 2 * math.Pi
+				ph := complex(math.Cos(ang), math.Sin(ang))
+				s := make([]complex128, lead+len(sig)+100)
+				for i := range s {
+					s[i] = complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+				}
+				for i, v := range sig {
+					s[lead+i] += v * ph
+				}
+				rx[a] = s
+			}
+			d, err := synchro.NewDetector(2, synchro.DefaultDetectorConfig())
+			if err != nil {
+				return nil, err
+			}
+			samples := make([]complex128, 2)
+			for i := 0; i < len(rx[0]); i++ {
+				samples[0], samples[1] = rx[0][i], rx[1][i]
+				det, err := d.Push(samples)
+				if err != nil {
+					return nil, err
+				}
+				if det != nil {
+					detected++
+					latency += float64(det.Index - lead)
+					break
+				}
+			}
+		}
+		meanLat := math.NaN()
+		if detected > 0 {
+			meanLat = latency / float64(detected)
+		}
+		if err := t.AddRow(snrDB, float64(detected)/float64(trials), meanLat); err != nil {
+			return nil, err
+		}
+	}
+	// False alarm rate on pure noise.
+	d, err := synchro.NewDetector(2, synchro.DefaultDetectorConfig())
+	if err != nil {
+		return nil, err
+	}
+	noiseSamples := 2_000_00
+	if opt.Quick {
+		noiseSamples = 20_000
+	}
+	falseAlarms := 0
+	samples := make([]complex128, 2)
+	for i := 0; i < noiseSamples; i++ {
+		samples[0] = complex(r.NormFloat64(), r.NormFloat64())
+		samples[1] = complex(r.NormFloat64(), r.NormFloat64())
+		det, err := d.Push(samples)
+		if err != nil {
+			return nil, err
+		}
+		if det != nil {
+			falseAlarms++
+			d.Reset()
+		}
+	}
+	t.Notes = append(t.Notes,
+		"latency: samples from STF start to plateau completion",
+		"false alarms on pure noise: "+formatCell(float64(falseAlarms))+" in "+formatCell(float64(noiseSamples))+" samples",
+		"expected: p_detect → 1 above ≈2-4 dB; zero/near-zero false alarms")
+	return t, nil
+}

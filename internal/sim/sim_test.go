@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	o.Packets = 20
+	o.PayloadLen = 200
+	return o
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21"}
+	if len(ids) != len(want) {
+		t.Fatalf("registered %v, want %v", ids, want)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	if _, err := Lookup("E3"); err != nil {
+		t.Error("Lookup should be case-insensitive")
+	}
+	if _, err := Lookup("e99"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestTableRenderAndValidation(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "test", Columns: []string{"a", "b"}}
+	if err := tbl.AddRow(1); err == nil {
+		t.Error("short row should fail")
+	}
+	if err := tbl.AddRow(1, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow(0.00012345, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Notes = append(tbl.Notes, "a note")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T: test ==", "a", "b", "-", "inf", "1.234e-04", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every experiment at quick settings and
+// sanity-checks the output shape and key monotonic relationships.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := r(quickOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestE1ShapeBERDecreasesWithSNR(t *testing.T) {
+	o := quickOpt()
+	tbl, err := E1UncodedBER(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 1 is BPSK measured; it must be non-increasing across the
+	// (sorted) SNR rows and near theory.
+	first := tbl.Rows[0][1]
+	last := tbl.Rows[len(tbl.Rows)-1][1]
+	if last > first {
+		t.Errorf("BPSK BER rose with SNR: %g → %g", first, last)
+	}
+	// 64-QAM must be worse than BPSK at the same SNR.
+	if tbl.Rows[0][7] <= tbl.Rows[0][1] {
+		t.Errorf("64-QAM (%g) not worse than BPSK (%g) at low SNR", tbl.Rows[0][7], tbl.Rows[0][1])
+	}
+}
+
+func TestE2ShapeCodingGain(t *testing.T) {
+	o := quickOpt()
+	tbl, err := E2FECGain(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the top SNR row, rate-1/2 coded BER must beat uncoded.
+	top := tbl.Rows[len(tbl.Rows)-1]
+	if top[2] > top[1] {
+		t.Errorf("rate-1/2 BER %g worse than uncoded %g at %g dB", top[2], top[1], top[0])
+	}
+}
+
+func TestE6ShapeMIMOSyncBeatsSISO(t *testing.T) {
+	o := quickOpt()
+	o.Packets = 800
+	tbl, err := E6Synchronization(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Summed over the low-SNR rows, 2-RX timing MSE must be clearly below
+	// 1-RX (allow 10% Monte-Carlo slack).
+	var siso, mimoSum float64
+	for _, row := range tbl.Rows {
+		siso += row[1]
+		mimoSum += row[2]
+	}
+	if mimoSum > 0.9*siso {
+		t.Errorf("MIMO timing MSE %g not clearly below SISO %g", mimoSum, siso)
+	}
+}

@@ -1,0 +1,170 @@
+// Package sounding derives channel-state metrics from the receiver's MIMO
+// channel estimate — the "evaluate the channel conditions" purpose the
+// paper builds its instrumentation for: per-subcarrier Shannon capacity,
+// condition number, and an effective-rank indicator that a transmitter can
+// use to choose between spatial multiplexing and single-stream operation.
+package sounding
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/cmatrix"
+)
+
+// Report summarizes one channel estimate.
+type Report struct {
+	// CapacityBps is the mean per-subcarrier Shannon capacity in
+	// bit/s/Hz: log2 det(I + SNR/N_TX · HHᴴ).
+	CapacityBps float64
+	// MeanConditionDB is the mean condition number of H across
+	// subcarriers, in dB (singular-value spread; large = rank-starved).
+	MeanConditionDB float64
+	// RecommendedStreams is the stream count that maximizes a rate
+	// proxy: min(N_TX, N_RX) when the channel is well conditioned,
+	// degrading toward 1 as the condition number grows.
+	RecommendedStreams int
+}
+
+// Analyze computes the report from per-subcarrier channel matrices (as
+// produced by chanest.HTEstimate.DataMatrices) at the given linear SNR.
+func Analyze(h []*cmatrix.Matrix, snr float64) (*Report, error) {
+	if len(h) == 0 {
+		return nil, fmt.Errorf("sounding: no channel matrices")
+	}
+	if snr <= 0 {
+		return nil, fmt.Errorf("sounding: SNR must be positive")
+	}
+	var capAcc, condAcc float64
+	var count int
+	maxStreams := 0
+	for k, hk := range h {
+		if hk == nil {
+			continue
+		}
+		if maxStreams == 0 {
+			maxStreams = hk.Rows
+			if hk.Cols < maxStreams {
+				maxStreams = hk.Cols
+			}
+		}
+		c, cond, err := subcarrierMetrics(hk, snr)
+		if err != nil {
+			return nil, fmt.Errorf("sounding: subcarrier %d: %w", k, err)
+		}
+		capAcc += c
+		condAcc += cond
+		count++
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("sounding: all matrices nil")
+	}
+	rep := &Report{
+		CapacityBps:     capAcc / float64(count),
+		MeanConditionDB: 10 * math.Log10(condAcc/float64(count)),
+	}
+	rep.RecommendedStreams = recommendStreams(maxStreams, rep.MeanConditionDB)
+	return rep, nil
+}
+
+// subcarrierMetrics returns capacity (bit/s/Hz) and the linear condition
+// number (ratio of extreme eigenvalues of HᴴH) for one subcarrier.
+func subcarrierMetrics(h *cmatrix.Matrix, snr float64) (capacity, condition float64, err error) {
+	gram := cmatrix.Mul(h.Hermitian(), h)
+	eig, err := hermitianEigenvalues(gram)
+	if err != nil {
+		return 0, 0, err
+	}
+	nt := float64(h.Cols)
+	var c float64
+	lmin, lmax := math.Inf(1), 0.0
+	for _, l := range eig {
+		if l < 0 {
+			l = 0
+		}
+		c += math.Log2(1 + snr/nt*l)
+		if l < lmin {
+			lmin = l
+		}
+		if l > lmax {
+			lmax = l
+		}
+	}
+	if lmin <= 1e-15 {
+		return c, 1e15, nil
+	}
+	return c, lmax / lmin, nil
+}
+
+// hermitianEigenvalues computes the eigenvalues of a small Hermitian PSD
+// matrix by the cyclic Jacobi method (complex rotations), adequate for the
+// ≤4×4 matrices of this receiver.
+func hermitianEigenvalues(m *cmatrix.Matrix) ([]float64, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("eigenvalues of non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	for sweep := 0; sweep < 50; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += sqAbs(a.At(i, j))
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if cmplx.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := real(a.At(p, p))
+				aqq := real(a.At(q, q))
+				// Complex Jacobi rotation A ← JᴴAJ zeroing a[p][q], with
+				// J[p][p]=c, J[p][q]=s·e^{jφ}, J[q][p]=−s·e^{−jφ}, J[q][q]=c
+				// and φ = arg(a[p][q]).
+				ephi := cmplx.Exp(complex(0, cmplx.Phase(apq)))
+				g := cmplx.Abs(apq)
+				theta := 0.5 * math.Atan2(2*g, aqq-app)
+				c := complex(math.Cos(theta), 0)
+				s := complex(math.Sin(theta), 0)
+				// B = A·J (columns p and q change).
+				for k := 0; k < n; k++ {
+					akp := a.At(k, p)
+					akq := a.At(k, q)
+					a.Set(k, p, akp*c-akq*s*cmplx.Conj(ephi))
+					a.Set(k, q, akp*s*ephi+akq*c)
+				}
+				// A' = Jᴴ·B (rows p and q change).
+				for k := 0; k < n; k++ {
+					apk := a.At(p, k)
+					aqk := a.At(q, k)
+					a.Set(p, k, apk*c-aqk*s*ephi)
+					a.Set(q, k, apk*s*cmplx.Conj(ephi)+aqk*c)
+				}
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = real(a.At(i, i))
+	}
+	return out, nil
+}
+
+func sqAbs(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+// recommendStreams maps the mean condition number to a stream count:
+// a rank-starved channel (condition ≫ 10 dB per excess stream) should fall
+// back to fewer streams.
+func recommendStreams(maxStreams int, condDB float64) int {
+	s := maxStreams
+	for s > 1 && condDB > 15*float64(maxStreams-s+1) {
+		s--
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+// Package spectral provides the signal-quality analyses an SDR
+// implementation paper validates its transmitter with: Welch power spectral
+// density estimation (for spectrum/occupied-bandwidth figures and the
+// 802.11 transmit spectral mask), and peak-to-average power ratio CCDFs
+// (the OFDM PA-backoff figure).
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dsp"
+)
+
+// PSD estimates the power spectral density of x by Welch's method:
+// segments of nfft samples with 50% overlap, Hann windowed, periodograms
+// averaged. The result has nfft bins in FFT order (bin 0 = DC); values are
+// linear power per bin normalized so that Σ bins ≈ mean signal power.
+func PSD(x []complex128, nfft int) ([]float64, error) {
+	if nfft < 2 || nfft&(nfft-1) != 0 {
+		return nil, fmt.Errorf("spectral: nfft %d is not a power of two ≥ 2", nfft)
+	}
+	if len(x) < nfft {
+		return nil, fmt.Errorf("spectral: need at least %d samples, got %d", nfft, len(x))
+	}
+	fft := dsp.MustFFT(nfft)
+	win := dsp.Hann(nfft)
+	var winPow float64
+	for _, w := range win {
+		winPow += w * w
+	}
+	hop := nfft / 2
+	psd := make([]float64, nfft)
+	seg := make([]complex128, nfft)
+	spec := make([]complex128, nfft)
+	count := 0
+	for off := 0; off+nfft <= len(x); off += hop {
+		copy(seg, x[off:off+nfft])
+		dsp.ApplyWindow(seg, win)
+		fft.Forward(spec, seg)
+		for k, v := range spec {
+			psd[k] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		count++
+	}
+	// Normalize by segment count, window power and FFT length so that
+	// Σ_k psd[k] equals the mean sample power (Parseval with the window's
+	// energy compensated).
+	norm := 1 / (float64(count) * winPow * float64(nfft))
+	for k := range psd {
+		psd[k] *= norm
+	}
+	return psd, nil
+}
+
+// OccupiedBandwidth returns the fraction of total power falling inside the
+// centered band of `bins` spectral bins (FFT-order psd input). For a 64-bin
+// PSD of a 20 MHz 802.11 signal, bins=56 covers ±28 subcarriers.
+func OccupiedBandwidth(psd []float64, bins int) (float64, error) {
+	n := len(psd)
+	if bins < 1 || bins > n {
+		return 0, fmt.Errorf("spectral: bins %d outside [1, %d]", bins, n)
+	}
+	var total, inBand float64
+	for _, p := range psd {
+		total += p
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("spectral: zero total power")
+	}
+	half := bins / 2
+	for k := 0; k < n; k++ {
+		// Signed frequency index in [-n/2, n/2).
+		f := k
+		if f >= n/2 {
+			f -= n
+		}
+		if f >= -half && f <= half-1+bins%2 {
+			inBand += psd[k]
+		}
+	}
+	return inBand / total, nil
+}
+
+// PAPR returns the peak-to-average power ratio of x in dB.
+func PAPR(x []complex128) (float64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("spectral: empty signal")
+	}
+	var peak, mean float64
+	for _, v := range x {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		mean += p
+		if p > peak {
+			peak = p
+		}
+	}
+	mean /= float64(len(x))
+	if mean == 0 {
+		return 0, fmt.Errorf("spectral: zero-power signal")
+	}
+	return 10 * math.Log10(peak/mean), nil
+}
+
+// CCDF computes the complementary cumulative distribution of the
+// instantaneous-to-average power ratio at the given dB thresholds:
+// out[i] = P(power > mean·10^(th[i]/10)).
+func CCDF(x []complex128, thresholdsDB []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("spectral: empty signal")
+	}
+	powers := make([]float64, len(x))
+	var mean float64
+	for i, v := range x {
+		powers[i] = real(v)*real(v) + imag(v)*imag(v)
+		mean += powers[i]
+	}
+	mean /= float64(len(x))
+	if mean == 0 {
+		return nil, fmt.Errorf("spectral: zero-power signal")
+	}
+	sort.Float64s(powers)
+	out := make([]float64, len(thresholdsDB))
+	for i, th := range thresholdsDB {
+		lim := mean * math.Pow(10, th/10)
+		// Count of samples strictly above lim via binary search.
+		idx := sort.SearchFloat64s(powers, lim)
+		for idx < len(powers) && powers[idx] <= lim {
+			idx++
+		}
+		out[i] = float64(len(powers)-idx) / float64(len(powers))
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package spectral
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+)
+
+func TestPSDValidation(t *testing.T) {
+	if _, err := PSD(make([]complex128, 100), 63); err == nil {
+		t.Error("non-power-of-two nfft should fail")
+	}
+	if _, err := PSD(make([]complex128, 10), 64); err == nil {
+		t.Error("too-short signal should fail")
+	}
+}
+
+func TestPSDToneLocation(t *testing.T) {
+	// A pure tone at bin 12 must concentrate its power there.
+	n := 4096
+	x := make([]complex128, n)
+	const k = 12.0
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*k*float64(i)/256))
+	}
+	psd, err := PSD(x, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestV := 0, 0.0
+	var total float64
+	for i, v := range psd {
+		total += v
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if best != int(k) {
+		t.Errorf("peak at bin %d, want %d", best, int(k))
+	}
+	// Power conservation: Σ psd ≈ mean power = 1.
+	if math.Abs(total-1) > 0.05 {
+		t.Errorf("total PSD %g, want ≈ 1", total)
+	}
+	// Concentration: the peak region holds nearly all power.
+	var local float64
+	for d := -2; d <= 2; d++ {
+		local += psd[(best+d+256)%256]
+	}
+	if local/total < 0.95 {
+		t.Errorf("tone power spread out: %g in ±2 bins", local/total)
+	}
+}
+
+func TestPSDWhiteNoiseFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1<<16)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	psd, err := PSD(x, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, v := range psd {
+		mean += v
+	}
+	mean /= 64
+	for k, v := range psd {
+		if v < mean*0.7 || v > mean*1.3 {
+			t.Errorf("bin %d = %g, mean %g: white-noise PSD not flat", k, v, mean)
+		}
+	}
+}
+
+func TestOccupiedBandwidthOfHTBurst(t *testing.T) {
+	// An HT transmission occupies ±28 of 64 subcarriers: ~(57/64) of the
+	// band holds essentially all the power, the outer bins almost none.
+	tx, err := phy.NewTransmitter(phy.TxConfig{MCS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := tx.Transmit(make([]byte, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psd, err := PSD(burst[0], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBand, err := OccupiedBandwidth(psd, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inBand < 0.98 {
+		t.Errorf("only %g of power inside ±29 bins", inBand)
+	}
+	narrow, err := OccupiedBandwidth(psd, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow >= inBand {
+		t.Error("narrower band cannot hold more power")
+	}
+	if _, err := OccupiedBandwidth(psd, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := OccupiedBandwidth(make([]float64, 4), 2); err == nil {
+		t.Error("zero power should fail")
+	}
+}
+
+func TestPAPR(t *testing.T) {
+	// Constant-envelope signal: PAPR = 0 dB.
+	x := make([]complex128, 100)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, float64(i)))
+	}
+	papr, err := PAPR(x)
+	if err != nil || math.Abs(papr) > 1e-9 {
+		t.Errorf("constant envelope PAPR = %g dB, err %v", papr, err)
+	}
+	// A single 2x-amplitude peak among unit samples: PAPR ≈ 10·log10(4/µ).
+	x[50] = 2
+	papr, err = PAPR(x)
+	if err != nil || papr < 5.5 || papr > 6.2 {
+		t.Errorf("peaky PAPR = %g dB", papr)
+	}
+	if _, err := PAPR(nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := PAPR(make([]complex128, 4)); err == nil {
+		t.Error("zero power should fail")
+	}
+}
+
+func TestOFDMPAPRIsHigh(t *testing.T) {
+	// OFDM's defining cost: PAPR well above single-carrier.
+	tx, err := phy.NewTransmitter(phy.TxConfig{MCS: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := tx.Transmit(make([]byte, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	papr, err := PAPR(burst[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if papr < 7 || papr > 14 {
+		t.Errorf("OFDM burst PAPR %g dB outside the plausible 7-14 dB", papr)
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := make([]complex128, 20000)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	th := []float64{0, 2, 4, 6, 8, 10}
+	ccdf, err := CCDF(x, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i] > ccdf[i-1] {
+			t.Errorf("CCDF rose between %g and %g dB", th[i-1], th[i])
+		}
+	}
+	// Complex Gaussian: P(power > mean) = e^{-1} ≈ 0.368.
+	if math.Abs(ccdf[0]-math.Exp(-1)) > 0.02 {
+		t.Errorf("CCDF(0 dB) = %g, want ≈ %g", ccdf[0], math.Exp(-1))
+	}
+	if _, err := CCDF(nil, th); err == nil {
+		t.Error("empty should fail")
+	}
+}

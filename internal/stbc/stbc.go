@@ -1,0 +1,94 @@
+// Package stbc implements Alamouti space-time block coding, the other MIMO
+// mode of IEEE 802.11n (§20.3.11.9.2). The paper implements spatial
+// multiplexing only; STBC is provided here as the natural extension point:
+// it trades the throughput doubling of spatial multiplexing for transmit
+// diversity — the comparison experiment E13 shows exactly that trade.
+//
+// Encoding operates per subcarrier on pairs of constellation symbols
+// (s0, s1):
+//
+//	      time t      time t+1
+//	TX0:    s0          −s1*
+//	TX1:    s1           s0*
+//
+// With per-subcarrier channel gains h0, h1 to a receive antenna and
+// received pair (y0, y1), the decoder combines
+//
+//	ŝ0 = h0*·y0 + h1·y1*
+//	ŝ1 = h1*·y0 − h0·y1*
+//
+// summed over receive antennas and normalized by Σ(|h0|²+|h1|²), achieving
+// full 2·N_RX diversity at rate 1.
+package stbc
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Encode maps a symbol stream (even length) onto two transmit streams of
+// the same length using the Alamouti code.
+func Encode(symbols []complex128) (tx0, tx1 []complex128, err error) {
+	if len(symbols)%2 != 0 {
+		return nil, nil, fmt.Errorf("stbc: symbol count %d is odd", len(symbols))
+	}
+	tx0 = make([]complex128, len(symbols))
+	tx1 = make([]complex128, len(symbols))
+	for i := 0; i < len(symbols); i += 2 {
+		s0, s1 := symbols[i], symbols[i+1]
+		tx0[i], tx1[i] = s0, s1
+		tx0[i+1], tx1[i+1] = -cmplx.Conj(s1), cmplx.Conj(s0)
+	}
+	return tx0, tx1, nil
+}
+
+// Decode combines received pairs back into symbol estimates with maximum
+// ratio combining across receive antennas. rx[a] is antenna a's received
+// stream; h[a][0], h[a][1] are its channel gains from TX0 and TX1 (assumed
+// constant over each symbol pair). It also returns the per-pair effective
+// channel gain Σ(|h0|²+|h1|²), the CSI weight for soft demapping.
+func Decode(rx [][]complex128, h [][2]complex128) (symbols []complex128, csi []float64, err error) {
+	if len(rx) == 0 {
+		return nil, nil, fmt.Errorf("stbc: no receive streams")
+	}
+	if len(h) != len(rx) {
+		return nil, nil, fmt.Errorf("stbc: %d channel entries for %d antennas", len(h), len(rx))
+	}
+	n := len(rx[0])
+	if n%2 != 0 {
+		return nil, nil, fmt.Errorf("stbc: stream length %d is odd", n)
+	}
+	for a, s := range rx {
+		if len(s) != n {
+			return nil, nil, fmt.Errorf("stbc: stream %d has %d samples, stream 0 has %d", a, len(s), n)
+		}
+	}
+	var gain float64
+	for a := range h {
+		h0, h1 := h[a][0], h[a][1]
+		gain += sq(h0) + sq(h1)
+	}
+	if gain == 0 {
+		return nil, nil, fmt.Errorf("stbc: zero channel gain")
+	}
+	symbols = make([]complex128, n)
+	csi = make([]float64, n)
+	for i := 0; i < n; i += 2 {
+		var e0, e1 complex128
+		for a := range rx {
+			h0, h1 := h[a][0], h[a][1]
+			y0, y1 := rx[a][i], rx[a][i+1]
+			e0 += cmplx.Conj(h0)*y0 + h1*cmplx.Conj(y1)
+			e1 += cmplx.Conj(h1)*y0 - h0*cmplx.Conj(y1)
+		}
+		symbols[i] = e0 / complex(gain, 0)
+		symbols[i+1] = e1 / complex(gain, 0)
+		// Post-combining SNR scales with the total gain: noise on the
+		// combined estimate has variance σ²/gain.
+		csi[i] = gain
+		csi[i+1] = gain
+	}
+	return symbols, csi, nil
+}
+
+func sq(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }

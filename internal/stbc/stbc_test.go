@@ -1,0 +1,185 @@
+package stbc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/modem"
+)
+
+func randSymbols(r *rand.Rand, n int) []complex128 {
+	m := modem.NewMapper(modem.QPSK)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = m.MapOne([]byte{byte(r.Intn(2)), byte(r.Intn(2))})
+	}
+	return out
+}
+
+func randH(r *rand.Rand, nrx int) [][2]complex128 {
+	h := make([][2]complex128, nrx)
+	for a := range h {
+		h[a][0] = complex(r.NormFloat64(), r.NormFloat64()) * complex(math.Sqrt(0.5), 0)
+		h[a][1] = complex(r.NormFloat64(), r.NormFloat64()) * complex(math.Sqrt(0.5), 0)
+	}
+	return h
+}
+
+// transmit applies the flat channel to the encoded streams and adds noise.
+func transmit(r *rand.Rand, tx0, tx1 []complex128, h [][2]complex128, sigma float64) [][]complex128 {
+	rx := make([][]complex128, len(h))
+	for a := range h {
+		s := make([]complex128, len(tx0))
+		for i := range s {
+			s[i] = h[a][0]*tx0[i] + h[a][1]*tx1[i] +
+				complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+		}
+		rx[a] = s
+	}
+	return rx
+}
+
+func TestEncodeStructure(t *testing.T) {
+	s := []complex128{1 + 1i, 2 - 1i}
+	tx0, tx1, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx0[0] != s[0] || tx1[0] != s[1] {
+		t.Error("slot 1 wrong")
+	}
+	if tx0[1] != -cmplx.Conj(s[1]) || tx1[1] != cmplx.Conj(s[0]) {
+		t.Error("slot 2 wrong")
+	}
+	if _, _, err := Encode(make([]complex128, 3)); err == nil {
+		t.Error("odd length should fail")
+	}
+}
+
+func TestEncodePreservesPower(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := randSymbols(r, 100)
+	tx0, tx1, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p float64
+	for i := range tx0 {
+		p += sq(tx0[i]) + sq(tx1[i])
+	}
+	p /= float64(len(tx0))
+	if math.Abs(p-2) > 1e-9 {
+		t.Errorf("combined TX power per use %g, want 2 (unit per antenna)", p)
+	}
+}
+
+func TestDecodeNoiselessExact(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	prop := func(seed int64) bool {
+		_ = seed
+		s := randSymbols(r, 20)
+		tx0, tx1, err := Encode(s)
+		if err != nil {
+			return false
+		}
+		h := randH(r, 2)
+		rx := transmit(r, tx0, tx1, h, 0)
+		got, csi, err := Decode(rx, h)
+		if err != nil {
+			return false
+		}
+		for i := range s {
+			if cmplx.Abs(got[i]-s[i]) > 1e-9 {
+				return false
+			}
+			if csi[i] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	if _, _, err := Decode(nil, nil); err == nil {
+		t.Error("no streams should fail")
+	}
+	if _, _, err := Decode([][]complex128{{1, 2}}, nil); err == nil {
+		t.Error("missing channel should fail")
+	}
+	if _, _, err := Decode([][]complex128{{1, 2, 3}}, make([][2]complex128, 1)); err == nil {
+		t.Error("odd stream should fail")
+	}
+	if _, _, err := Decode([][]complex128{{1, 2}, {1}}, make([][2]complex128, 2)); err == nil {
+		t.Error("ragged streams should fail")
+	}
+	if _, _, err := Decode([][]complex128{{1, 2}}, make([][2]complex128, 1)); err == nil {
+		t.Error("zero channel gain should fail")
+	}
+}
+
+// TestDiversityGain is the defining property: at equal total TX power,
+// Alamouti 2x1 has a steeper BER slope than SISO 1x1 over Rayleigh fading.
+func TestDiversityGain(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	mapper := modem.NewMapper(modem.QPSK)
+	demapper := modem.NewDemapper(modem.QPSK)
+	const snrDB = 15.0
+	sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+	const trials = 4000
+	errAlamouti, errSISO, total := 0, 0, 0
+	for trial := 0; trial < trials; trial++ {
+		bits := []byte{byte(r.Intn(2)), byte(r.Intn(2)), byte(r.Intn(2)), byte(r.Intn(2))}
+		s := []complex128{mapper.MapOne(bits[:2]), mapper.MapOne(bits[2:])}
+		// Alamouti with 1/√2 per-antenna scaling (total power 1).
+		tx0, tx1, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tx0 {
+			tx0[i] *= complex(math.Sqrt2/2, 0)
+			tx1[i] *= complex(math.Sqrt2/2, 0)
+		}
+		h := randH(r, 1)
+		rx := transmit(r, tx0, tx1, h, sigma)
+		dec, _, err := Decode(rx, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Undo the 1/√2 amplitude before slicing.
+		for i := range dec {
+			dec[i] *= complex(math.Sqrt2, 0)
+		}
+		got := demapper.Hard(dec)
+		for i := range bits {
+			if got[i] != bits[i] {
+				errAlamouti++
+			}
+		}
+		// SISO reference: same symbols, single antenna, unit power.
+		hs := complex(r.NormFloat64(), r.NormFloat64()) * complex(math.Sqrt(0.5), 0)
+		for i, sym := range s {
+			y := hs*sym + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+			eq := y / hs
+			gotBits := demapper.HardOne(nil, eq)
+			for b := 0; b < 2; b++ {
+				if gotBits[b] != bits[2*i+b] {
+					errSISO++
+				}
+			}
+		}
+		total += 4
+	}
+	berA := float64(errAlamouti) / float64(total)
+	berS := float64(errSISO) / float64(total)
+	if berA >= berS/2 {
+		t.Errorf("Alamouti BER %g should be well below SISO %g at %g dB", berA, berS, snrDB)
+	}
+	t.Logf("BER at %g dB: Alamouti 2x1 %.4g, SISO %.4g", snrDB, berA, berS)
+}

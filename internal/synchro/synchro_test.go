@@ -1,0 +1,248 @@
+package synchro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/preamble"
+)
+
+// burst builds [noise | L-STF | L-LTF | noise] per antenna with AWGN at
+// snrDB and CFO omega (rad/sample). Returns streams and the STF start index.
+func burst(r *rand.Rand, nrx, lead int, omega, snrDB float64) ([][]complex128, int) {
+	stf := preamble.LSTF()
+	ltf := preamble.LLTF()
+	sig := append(append([]complex128{}, stf...), ltf...)
+	dsp.Rotate(sig, 0.3, omega)
+	total := lead + len(sig) + 200
+	sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+	out := make([][]complex128, nrx)
+	for a := range out {
+		ang := r.Float64() * 2 * math.Pi
+		ph := complex(math.Cos(ang), math.Sin(ang))
+		s := make([]complex128, total)
+		for i := range s {
+			s[i] = complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+		}
+		for i, v := range sig {
+			s[lead+i] += v * ph
+		}
+		out[a] = s
+	}
+	return out, lead
+}
+
+func feed(t *testing.T, d *Detector, rx [][]complex128) *Detection {
+	t.Helper()
+	samples := make([]complex128, len(rx))
+	for i := 0; i < len(rx[0]); i++ {
+		for a := range rx {
+			samples[a] = rx[a][i]
+		}
+		det, err := d.Push(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			return det
+		}
+	}
+	return nil
+}
+
+func TestDetectorConfigValidation(t *testing.T) {
+	if _, err := NewDetector(0, DefaultDetectorConfig()); err == nil {
+		t.Error("nrx=0 should fail")
+	}
+	bad := DefaultDetectorConfig()
+	bad.Threshold = 1.5
+	if _, err := NewDetector(1, bad); err == nil {
+		t.Error("threshold > 1 should fail")
+	}
+	bad = DefaultDetectorConfig()
+	bad.Plateau = 0
+	if _, err := NewDetector(1, bad); err == nil {
+		t.Error("plateau 0 should fail")
+	}
+}
+
+func TestDetectsPacketAtModerateSNR(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, nrx := range []int{1, 2} {
+		for trial := 0; trial < 10; trial++ {
+			d, err := NewDetector(nrx, DefaultDetectorConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx, start := burst(r, nrx, 150+r.Intn(100), 0.01, 10)
+			det := feed(t, d, rx)
+			if det == nil {
+				t.Fatalf("nrx=%d trial %d: no detection", nrx, trial)
+			}
+			// Detection should land inside the STF (within its 160
+			// samples, after the plateau).
+			if det.Index < start+24 || det.Index > start+200 {
+				t.Errorf("nrx=%d: detection at %d, STF starts at %d", nrx, det.Index, start)
+			}
+		}
+	}
+}
+
+func TestNoFalseAlarmOnNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	d, err := NewDetector(2, DefaultDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([][]complex128, 2)
+	for a := range rx {
+		s := make([]complex128, 20000)
+		for i := range s {
+			s[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		rx[a] = s
+	}
+	if det := feed(t, d, rx); det != nil {
+		t.Errorf("false alarm at %d on pure noise", det.Index)
+	}
+}
+
+func TestDetectorDisarmsAndResets(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	d, _ := NewDetector(1, DefaultDetectorConfig())
+	rx, _ := burst(r, 1, 100, 0, 20)
+	if det := feed(t, d, rx); det == nil {
+		t.Fatal("no first detection")
+	}
+	// Without Reset, the rest of the same burst must not re-fire.
+	if det := feed(t, d, rx); det != nil {
+		t.Error("detector fired while disarmed")
+	}
+	d.Reset()
+	if det := feed(t, d, rx); det == nil {
+		t.Error("detector did not fire after Reset")
+	}
+}
+
+func TestDetectorPushValidation(t *testing.T) {
+	d, _ := NewDetector(2, DefaultDetectorConfig())
+	if _, err := d.Push(make([]complex128, 1)); err == nil {
+		t.Error("wrong sample count should error")
+	}
+}
+
+func TestCoarseCFOAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, omega := range []float64{-0.15, -0.02, 0, 0.05, 0.18} {
+		rx, start := burst(r, 2, 50, omega, 15)
+		stf := [][]complex128{rx[0][start : start+160], rx[1][start : start+160]}
+		got, err := CoarseCFO(stf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-omega) > 0.01 {
+			t.Errorf("omega=%g: estimate %g", omega, got)
+		}
+	}
+}
+
+func TestFineCFOMoreAccurateThanCoarse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const omega = 0.01
+	var coarseErr, fineErr float64
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		rx, start := burst(r, 2, 50, omega, 5)
+		stf := [][]complex128{rx[0][start : start+160], rx[1][start : start+160]}
+		ltf := [][]complex128{rx[0][start+192 : start+320], rx[1][start+192 : start+320]}
+		c, err := CoarseCFO(stf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := FineCFO(ltf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarseErr += (c - omega) * (c - omega)
+		fineErr += (f - omega) * (f - omega)
+	}
+	if fineErr >= coarseErr {
+		t.Errorf("fine CFO MSE %g not better than coarse %g", fineErr/trials, coarseErr/trials)
+	}
+	t.Logf("CFO MSE: coarse %.3g fine %.3g", coarseErr/trials, fineErr/trials)
+}
+
+func TestCFOValidation(t *testing.T) {
+	if _, err := CoarseCFO(nil); err == nil {
+		t.Error("no streams should fail")
+	}
+	if _, err := CoarseCFO([][]complex128{make([]complex128, 8)}); err == nil {
+		t.Error("short stream should fail")
+	}
+	if _, err := FineCFO([][]complex128{make([]complex128, 100)}); err == nil {
+		t.Error("short LTF should fail")
+	}
+	if _, err := CoarseCFO([][]complex128{make([]complex128, 64)}); err == nil {
+		t.Error("all-zero stream should fail")
+	}
+}
+
+func TestCorrectCFORemovesRotation(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	const omega = 0.07
+	rx, start := burst(r, 1, 30, omega, 40)
+	stf := [][]complex128{rx[0][start : start+160]}
+	est, err := CoarseCFO(stf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CorrectCFO(rx, est)
+	// Residual CFO after correction should be tiny.
+	resid, err := CoarseCFO([][]complex128{rx[0][start : start+160]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resid) > 1e-3 {
+		t.Errorf("residual CFO %g after correction", resid)
+	}
+}
+
+func TestFineTimingLocatesLTF(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		lead := 100 + r.Intn(80)
+		rx, start := burst(r, 2, lead, 0, 15)
+		// True first long symbol begins at start+160 (STF) + 32 (guard).
+		want := start + 192
+		got, err := FineTiming(rx, start+100, start+260)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got - want; d < -1 || d > 1 {
+			t.Errorf("trial %d: fine timing %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestFineTimingValidation(t *testing.T) {
+	if _, err := FineTiming(nil, 0, 10); err == nil {
+		t.Error("no streams should fail")
+	}
+	rx := [][]complex128{make([]complex128, 100)}
+	if _, err := FineTiming(rx, 0, 100); err == nil {
+		t.Error("window beyond stream should fail")
+	}
+}
+
+func BenchmarkDetectorPush2RX(b *testing.B) {
+	d, _ := NewDetector(2, DefaultDetectorConfig())
+	s := []complex128{complex(0.5, -0.2), complex(-0.1, 0.7)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Push(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package mimonet is the public API of the MIMONet MIMO-OFDM transceiver —
+// a Go reproduction of "MIMO-OFDM spatial multiplexing technique
+// implementation for GNU radio" (Martelli, Kocian, Santi, Gardellin,
+// ACM SRIF 2014).
+//
+// The package exposes the three things a downstream user needs:
+//
+//   - Transmitter / Receiver: the IEEE 802.11n HT-mixed-format PHY with
+//     spatial multiplexing (1-4 streams), concatenated FEC, pilot-based
+//     phase tracking and the MIMO-extended Van de Beek synchronization.
+//   - Channel: the simulated radio path (AWGN, Rayleigh, TGn multipath,
+//     SDR front-end impairments) standing in for the paper's USRP2 testbed.
+//   - Link: a ready-made TX→channel→RX harness with per-packet reports
+//     (FCS outcome, bit errors, SNR estimate) for experiments.
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// architecture.
+package mimonet
+
+import (
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/phy"
+	"repro/internal/ratectl"
+	"repro/internal/sounding"
+)
+
+// MCS describes a modulation and coding scheme; see LookupMCS.
+type MCS = phy.MCS
+
+// LookupMCS returns the 20 MHz long-GI HT MCS for index 0-31 (N_SS =
+// index/8 + 1).
+func LookupMCS(index int) (MCS, error) { return phy.Lookup(index) }
+
+// TxConfig configures a Transmitter.
+type TxConfig = phy.TxConfig
+
+// Transmitter builds HT-mixed-format PPDUs from PSDUs.
+type Transmitter = phy.Transmitter
+
+// NewTransmitter returns a transmitter for the configuration.
+func NewTransmitter(cfg TxConfig) (*Transmitter, error) { return phy.NewTransmitter(cfg) }
+
+// RxConfig configures a Receiver.
+type RxConfig = phy.RxConfig
+
+// RxResult reports one decoded packet.
+type RxResult = phy.RxResult
+
+// Receiver synchronizes to and decodes PPDUs from raw baseband streams.
+type Receiver = phy.Receiver
+
+// NewReceiver returns a receiver for the configuration.
+func NewReceiver(cfg RxConfig) (*Receiver, error) { return phy.NewReceiver(cfg) }
+
+// ChannelModel selects a propagation model for the simulated radio path.
+type ChannelModel = channel.Model
+
+// Propagation models (see internal/channel for the TGn delay spreads).
+const (
+	Identity     = channel.Identity
+	FlatRayleigh = channel.FlatRayleigh
+	TGnA         = channel.TGnA
+	TGnB         = channel.TGnB
+	TGnC         = channel.TGnC
+	TGnD         = channel.TGnD
+	TGnE         = channel.TGnE
+	TGnF         = channel.TGnF
+)
+
+// ChannelConfig configures the simulated radio path.
+type ChannelConfig = channel.Config
+
+// Channel applies fading, multipath, front-end impairments and noise.
+type Channel = channel.Channel
+
+// NewChannel returns a channel for the configuration.
+func NewChannel(cfg ChannelConfig) (*Channel, error) { return channel.New(cfg) }
+
+// LinkConfig configures a Link.
+type LinkConfig = core.LinkConfig
+
+// TransferReport describes one frame's journey across a Link.
+type TransferReport = core.TransferReport
+
+// Link couples a transmitter, a channel and a receiver into a single-hop
+// MIMONet link that moves MAC frames and reports diagnostics.
+type Link = core.Link
+
+// NewLink returns a link for the configuration.
+func NewLink(cfg LinkConfig) (*Link, error) { return core.NewLink(cfg) }
+
+// SoundingReport carries the channel-state metrics (capacity, condition
+// number, recommended stream count) a Receiver attaches to each RxResult.
+type SoundingReport = sounding.Report
+
+// RateThreshold pairs an MCS with its minimum operating SNR for the
+// link-adaptation selector.
+type RateThreshold = ratectl.Threshold
+
+// RateSelector adapts the MCS to SNR reports with hysteresis.
+type RateSelector = ratectl.Selector
+
+// NewRateSelector returns a selector over the given ladder;
+// DefaultRateThresholds supplies a calibrated one.
+func NewRateSelector(ladder []RateThreshold, hysteresisDB float64) (*RateSelector, error) {
+	return ratectl.NewSelector(ladder, hysteresisDB)
+}
+
+// DefaultRateThresholds returns the MCS ladder calibrated from the E5
+// packet-error sweeps.
+func DefaultRateThresholds() []RateThreshold { return ratectl.DefaultThresholds() }

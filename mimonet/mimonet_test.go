@@ -1,0 +1,95 @@
+package mimonet_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"testing"
+
+	"repro/mimonet"
+)
+
+// TestPublicAPISurface drives the whole public facade the way a downstream
+// user would: MCS lookup, link construction, transfer, and the raw
+// transmitter/channel/receiver path.
+func TestPublicAPISurface(t *testing.T) {
+	m, err := mimonet.LookupMCS(11)
+	if err != nil || m.NSS != 2 {
+		t.Fatalf("LookupMCS: %+v, %v", m, err)
+	}
+
+	link, err := mimonet.NewLink(mimonet.LinkConfig{
+		MCS:      11,
+		Detector: "mmse",
+		Channel:  mimonet.ChannelConfig{Model: mimonet.TGnB, SNRdB: 28, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("public API round trip")
+	rep, err := link.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || !bytes.Equal(rep.Received, payload) {
+		t.Fatalf("link transfer failed: %+v", rep)
+	}
+
+	// Raw path: Transmitter → Channel → Receiver.
+	tx, err := mimonet.NewTransmitter(mimonet.TxConfig{MCS: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	psdu := make([]byte, 200)
+	r.Read(psdu)
+	burst, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := mimonet.NewChannel(mimonet.ChannelConfig{
+		NumTX: 2, NumRX: 2, Model: mimonet.FlatRayleigh, SNRdB: 35, Seed: 10,
+		TimingOffset: 220, TrailingSilence: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := ch.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := mimonet.NewReceiver(mimonet.RxConfig{NumAntennas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rcv.Receive(rxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.PSDU, psdu) {
+		t.Error("raw-path PSDU mismatch")
+	}
+}
+
+// ExampleNewLink demonstrates the one-call link harness.
+func ExampleNewLink() {
+	link, err := mimonet.NewLink(mimonet.LinkConfig{
+		MCS:      11, // 2 streams, 16-QAM, rate 1/2 → 52 Mbit/s
+		Detector: "mmse",
+		Channel: mimonet.ChannelConfig{
+			Model: mimonet.TGnB,
+			SNRdB: 30,
+			Seed:  42,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := link.Send([]byte("hello"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.OK, string(report.Received))
+	// Output: true hello
+}
