@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ func main() {
 	flag.Parse()
 
 	var read func() ([][]complex128, uint64, error)
+	var rxSock *radio.UDPReceiver
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
@@ -48,16 +50,17 @@ func main() {
 		}
 		fmt.Printf("replaying from %s\n", *file)
 	} else {
-		rxSock, err := radio.NewUDPReceiver(*listen)
+		sock, err := radio.NewUDPReceiver(*listen)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer rxSock.Close()
+		defer sock.Close()
+		rxSock = sock
 		read = func() ([][]complex128, uint64, error) {
-			b, err := rxSock.ReadBurst(*timeout)
-			return b, rxSock.Lost, err
+			b, err := sock.ReadBurst(*timeout)
+			return b, sock.Lost, err
 		}
-		fmt.Printf("listening on %s (%d antennas, %s detector)\n", rxSock.Addr(), *antennas, *detector)
+		fmt.Printf("listening on %s (%d antennas, %s detector)\n", sock.Addr(), *antennas, *detector)
 	}
 	rcv, err := phy.NewReceiver(phy.RxConfig{NumAntennas: *antennas, Detector: *detector})
 	if err != nil {
@@ -71,14 +74,22 @@ func main() {
 			break
 		}
 		if err != nil {
-			log.Fatalf("read burst: %v", err)
+			// A timed-out or malformed burst is an operational event on a
+			// lossy link, not a reason to die.
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				log.Printf("burst %d: receive timeout; still listening", i)
+				continue
+			}
+			log.Printf("burst %d: read failed (%v); skipping", i, err)
+			errCount++
+			continue
 		}
 		lost = nLost
 		if len(burst) != *antennas {
 			log.Printf("burst %d: %d streams, expected %d; skipping", i, len(burst), *antennas)
 			continue
 		}
-		res, err := rcv.Receive(burst)
+		res, err := safeReceive(rcv, burst)
 		if err != nil {
 			errCount++
 			fmt.Printf("burst %d: DECODE FAILED (%v)\n", i, err)
@@ -96,7 +107,23 @@ func main() {
 			i, status, seqOf(frame), res.MCS, res.SNRdB,
 			res.CFO*20e6/(2*3.141592653589793), res.HTSIG.Length, lost)
 	}
-	fmt.Printf("done: %d ok, %d errors, %d datagrams lost\n", okCount, errCount, lost)
+	if rxSock != nil {
+		fmt.Printf("done: %d ok, %d errors, %d datagrams lost, %d corrupt, %d late\n",
+			okCount, errCount, lost, rxSock.Corrupt, rxSock.Late)
+	} else {
+		fmt.Printf("done: %d ok, %d errors, %d datagrams lost\n", okCount, errCount, lost)
+	}
+}
+
+// safeReceive contains a receiver panic on hostile input so one bad burst
+// cannot take the listener down.
+func safeReceive(rcv *phy.Receiver, burst [][]complex128) (res *phy.RxResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("receiver panic: %v", p)
+		}
+	}()
+	return rcv.Receive(burst)
 }
 
 func seqOf(f *mac.Frame) int {

@@ -25,11 +25,12 @@ func main() {
 		packets = flag.Int("packets", 200, "Monte-Carlo packets/trials per sweep point")
 		payload = flag.Int("payload", 500, "MAC payload size in octets")
 		seed    = flag.Int64("seed", 1, "random seed")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		scenario = flag.String("scenario", "", "restrict fault-injection experiments (e22) to one named scenario")
 	)
 	flag.Parse()
 
-	opt := sim.Options{Seed: *seed, Packets: *packets, PayloadLen: *payload, Quick: *quick}
+	opt := sim.Options{Seed: *seed, Packets: *packets, PayloadLen: *payload, Quick: *quick, Scenario: *scenario}
 	ids := []string{strings.ToLower(*exp)}
 	if ids[0] == "all" {
 		ids = sim.IDs()

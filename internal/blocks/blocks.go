@@ -133,6 +133,22 @@ func (b *RXBlock) Inputs() int { return b.Antennas }
 // Outputs implements flowgraph.Block.
 func (b *RXBlock) Outputs() int { return 0 }
 
+// Restartable implements flowgraph.Restartable: the receiver is stateless
+// across bursts, so a supervisor may re-run it after a failure — the stream
+// loses at most the burst the failed attempt was decoding.
+func (b *RXBlock) Restartable() bool { return true }
+
+// safeReceive contains a receiver panic on malformed input: decoding a burst
+// of hostile samples must cost one report, not the flowgraph.
+func safeReceive(rx *phy.Receiver, burst [][]complex128) (res *phy.RxResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("blocks: receiver panic: %v", p)
+		}
+	}()
+	return rx.Receive(burst)
+}
+
 // Run implements flowgraph.Block.
 func (b *RXBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, _ []chan<- flowgraph.Chunk) error {
 	if b.OnReport == nil {
@@ -150,7 +166,7 @@ func (b *RXBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, _ []chan
 			}
 			rx[a] = chunk
 		}
-		res, err := b.RX.Receive(rx)
+		res, err := safeReceive(b.RX, rx)
 		rep := RXReport{Res: res, Err: err}
 		if err == nil {
 			frame, derr := mac.Decode(res.PSDU)

@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/flowgraph"
+)
+
+// recvAll receives one chunk from every input port, preserving the
+// multi-antenna alignment the downstream blocks rely on. ok is false when
+// any stream ended or the context was cancelled.
+func recvAll(ctx context.Context, in []<-chan flowgraph.Chunk) ([][]complex128, bool) {
+	burst := make([][]complex128, len(in))
+	for i := range in {
+		c, ok := flowgraph.Recv(ctx, in[i])
+		if !ok {
+			return nil, false
+		}
+		burst[i] = c
+	}
+	return burst, true
+}
+
+// sendAll forwards one chunk per output port.
+func sendAll(ctx context.Context, out []chan<- flowgraph.Chunk, burst [][]complex128) bool {
+	for i := range out {
+		if !flowgraph.Send(ctx, out[i], burst[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// InjectBlock is an N-in/N-out flowgraph block that passes every aligned
+// multi-stream burst through an Injector. Place it between the transmitter
+// and the channel to model front-end impairments.
+type InjectBlock struct {
+	BlockName string
+	Ports     int
+	Inj       *Injector
+}
+
+// Name implements flowgraph.Block.
+func (b *InjectBlock) Name() string { return b.BlockName }
+
+// Inputs implements flowgraph.Block.
+func (b *InjectBlock) Inputs() int { return b.Ports }
+
+// Outputs implements flowgraph.Block.
+func (b *InjectBlock) Outputs() int { return b.Ports }
+
+// Run implements flowgraph.Block.
+func (b *InjectBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	for {
+		burst, ok := recvAll(ctx, in)
+		if !ok {
+			return ctx.Err()
+		}
+		burst = b.Inj.ApplyBurst(burst)
+		if !sendAll(ctx, out, burst) {
+			return ctx.Err()
+		}
+	}
+}
+
+// PanicBlock is an N-in/N-out pass-through that panics exactly once after
+// forwarding After chunks per port (After < 0 disables). It receives a full
+// aligned burst before panicking, so the failed attempt costs the stream one
+// burst — an erasure — and a supervisor restart resumes alignment cleanly.
+// It opts into restarts.
+type PanicBlock struct {
+	BlockName string
+	Ports     int
+	After     int
+	seen      atomic.Int64
+	fired     atomic.Bool
+}
+
+// Name implements flowgraph.Block.
+func (b *PanicBlock) Name() string { return b.BlockName }
+
+// Inputs implements flowgraph.Block.
+func (b *PanicBlock) Inputs() int { return b.Ports }
+
+// Outputs implements flowgraph.Block.
+func (b *PanicBlock) Outputs() int { return b.Ports }
+
+// Restartable implements flowgraph.Restartable.
+func (b *PanicBlock) Restartable() bool { return true }
+
+// Run implements flowgraph.Block.
+func (b *PanicBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	for {
+		burst, ok := recvAll(ctx, in)
+		if !ok {
+			return ctx.Err()
+		}
+		n := int(b.seen.Add(1)) - 1
+		if b.After >= 0 && n >= b.After && b.fired.CompareAndSwap(false, true) {
+			panic("faults: scripted panic")
+		}
+		if !sendAll(ctx, out, burst) {
+			return ctx.Err()
+		}
+	}
+}
+
+// StallBlock is an N-in/N-out pass-through that stops making progress
+// exactly once after forwarding After chunks per port (After < 0 disables):
+// it parks until its context is cancelled — which is how the supervisor's
+// watchdog unwedges it — then returns. It opts into restarts, so a policy
+// with restart budget resumes the stream minus the stalled burst.
+type StallBlock struct {
+	BlockName string
+	Ports     int
+	After     int
+	seen      atomic.Int64
+	fired     atomic.Bool
+}
+
+// Name implements flowgraph.Block.
+func (b *StallBlock) Name() string { return b.BlockName }
+
+// Inputs implements flowgraph.Block.
+func (b *StallBlock) Inputs() int { return b.Ports }
+
+// Outputs implements flowgraph.Block.
+func (b *StallBlock) Outputs() int { return b.Ports }
+
+// Restartable implements flowgraph.Restartable.
+func (b *StallBlock) Restartable() bool { return true }
+
+// Run implements flowgraph.Block.
+func (b *StallBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	for {
+		burst, ok := recvAll(ctx, in)
+		if !ok {
+			return ctx.Err()
+		}
+		n := int(b.seen.Add(1)) - 1
+		if b.After >= 0 && n >= b.After && b.fired.CompareAndSwap(false, true) {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		if !sendAll(ctx, out, burst) {
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/flowgraph"
+	"repro/internal/radio"
+)
+
+func randBurst(rng *rand.Rand, streams, n int) [][]complex128 {
+	b := make([][]complex128, streams)
+	for s := range b {
+		b[s] = make([]complex128, n)
+		for i := range b[s] {
+			b[s][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	return b
+}
+
+// The same (scenario, seed) pair must inject the identical fault sequence.
+func TestInjectorDeterministic(t *testing.T) {
+	sc, err := Lookup("chaos-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() [][][]complex128 {
+		inj := NewInjector(sc, 42)
+		rng := rand.New(rand.NewSource(7))
+		var out [][][]complex128
+		for i := 0; i < 20; i++ {
+			out = append(out, inj.ApplyBurst(randBurst(rng, 2, 900)))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two injectors with the same seed diverged")
+	}
+}
+
+// Structural faults must keep all streams the same length.
+func TestApplyBurstKeepsStreamsAligned(t *testing.T) {
+	sc := Scenario{SampleDrop: 1, SampleDup: 1, TimingJump: 1, BurstErasure: 1, GainGlitch: 1, CorruptSIG: 1}
+	inj := NewInjector(sc, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		b := inj.ApplyBurst(randBurst(rng, 3, 700))
+		for s := 1; s < len(b); s++ {
+			if len(b[s]) != len(b[0]) {
+				t.Fatalf("iteration %d: stream %d has %d samples, stream 0 has %d", i, s, len(b[s]), len(b[0]))
+			}
+		}
+	}
+}
+
+// The zero scenario must be a no-op.
+func TestCleanScenarioInjectsNothing(t *testing.T) {
+	sc, err := Lookup("clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(sc, 1)
+	rng := rand.New(rand.NewSource(1))
+	in := randBurst(rng, 2, 500)
+	want := [][]complex128{append([]complex128(nil), in[0]...), append([]complex128(nil), in[1]...)}
+	got := inj.ApplyBurst(in)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("clean scenario mutated the burst")
+	}
+	if n := inj.Counts().Total(); n != 0 {
+		t.Errorf("clean scenario counted %d faults", n)
+	}
+}
+
+func encodeTestFrame(t *testing.T, seq uint64, flags uint16) []byte {
+	t.Helper()
+	samples := [][]complex128{make([]complex128, 32)}
+	b, err := radio.EncodeFrame(nil, radio.Header{Streams: 1, Flags: flags, Seq: seq, Count: 32}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// End-of-burst datagrams are never dropped or held, and anything held is
+// flushed before them — bursts must always terminate.
+func TestMangleDatagramPreservesEndOfBurst(t *testing.T) {
+	sc := Scenario{DgramLoss: 1} // drop everything droppable
+	inj := NewInjector(sc, 5)
+	if got := inj.MangleDatagram(encodeTestFrame(t, 0, 0)); len(got) != 0 {
+		t.Errorf("mid-burst datagram survived a loss probability of 1")
+	}
+	out := inj.MangleDatagram(encodeTestFrame(t, 1, radio.FlagEndOfBurst))
+	if len(out) != 1 {
+		t.Fatalf("end-of-burst datagram did not survive: %d datagrams out", len(out))
+	}
+	if c := inj.Counts(); c.DgramsDropped != 1 {
+		t.Errorf("counts = %+v, want 1 dropped", c)
+	}
+}
+
+func TestMangleDatagramReorderFlushesBeforeEOB(t *testing.T) {
+	sc := Scenario{DgramReorder: 1}
+	inj := NewInjector(sc, 5)
+	f0 := encodeTestFrame(t, 0, 0)
+	if got := inj.MangleDatagram(f0); len(got) != 0 {
+		t.Fatalf("frame 0 should have been held, got %d datagrams", len(got))
+	}
+	eob := encodeTestFrame(t, 1, radio.FlagEndOfBurst)
+	out := inj.MangleDatagram(eob)
+	if len(out) != 2 {
+		t.Fatalf("want held frame + EOB, got %d datagrams", len(out))
+	}
+	h0, err := radio.DecodeHeader(out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := radio.DecodeHeader(out[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.Seq != 0 || h1.Flags&radio.FlagEndOfBurst == 0 {
+		t.Errorf("flush order wrong: first seq %d, last flags %#x", h0.Seq, h1.Flags)
+	}
+}
+
+func TestMangleDatagramTruncates(t *testing.T) {
+	sc := Scenario{DgramTrunc: 1}
+	inj := NewInjector(sc, 11)
+	full := encodeTestFrame(t, 0, 0)
+	out := inj.MangleDatagram(append([]byte(nil), full...))
+	if len(out) != 1 || len(out[0]) >= len(full) || len(out[0]) < 1 {
+		t.Errorf("truncation produced %d datagrams (len %d of %d)", len(out), len(out[0]), len(full))
+	}
+	if c := inj.Counts(); c.DgramsTruncated != 1 {
+		t.Errorf("counts = %+v, want 1 truncated", c)
+	}
+}
+
+// Short bursts (shorter than the SIG region) must not panic the corruptor.
+func TestCorruptSIGShortBurst(t *testing.T) {
+	sc := Scenario{CorruptSIG: 1}
+	inj := NewInjector(sc, 2)
+	inj.ApplyBurst([][]complex128{make([]complex128, 100)}) // < OffLSIG
+	inj.ApplyBurst([][]complex128{make([]complex128, 400)}) // inside the SIG span
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Error("Names() not sorted")
+	}
+	for _, want := range []string{"clean", "panic", "stall", "chaos-all", "dgram-reorder", "corrupt-sig"} {
+		if _, err := Lookup(want); err != nil {
+			t.Errorf("Lookup(%q): %v", want, err)
+		}
+	}
+	if _, err := Lookup("CHAOS-ALL"); err != nil {
+		t.Errorf("lookup should be case-insensitive: %v", err)
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	for _, sc := range scenarios {
+		got := sc.withDefaults()
+		if got.FaultLen <= 0 || got.GlitchGain == 0 || got.MaxJump <= 0 {
+			t.Errorf("scenario %q defaults incomplete: %+v", sc.Name, got)
+		}
+	}
+}
+
+// A PanicBlock inside a supervised graph panics once, is restarted, and the
+// stream completes minus the burst lost to the panic.
+func TestPanicBlockRestartsInGraph(t *testing.T) {
+	g := flowgraph.New()
+	n := 0
+	src := &flowgraph.SourceFunc{BlockName: "src", Next: func() (flowgraph.Chunk, error) {
+		if n >= 6 {
+			return nil, io.EOF
+		}
+		n++
+		return flowgraph.Chunk{complex(float64(n), 0)}, nil
+	}}
+	pb := &PanicBlock{BlockName: "panic", Ports: 1, After: 2}
+	got := 0
+	sink := &flowgraph.SinkFunc{BlockName: "sink", Consume: func(flowgraph.Chunk) error {
+		got++
+		return nil
+	}}
+	for _, b := range []flowgraph.Block{src, pb, sink} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, pb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(pb, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetPolicy(flowgraph.Policy{MaxRestarts: 1, BackoffBase: time.Millisecond, TrackHealth: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 5 {
+		t.Errorf("sink saw %d chunks, want 5 (one lost to the panic)", got)
+	}
+	if h := g.Health()["panic"]; h.Panics != 1 || h.Restarts != 1 {
+		t.Errorf("health = %+v, want 1 panic and 1 restart", h)
+	}
+}

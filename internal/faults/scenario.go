@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scenario is a named, reproducible fault configuration. Probabilities are
+// per-application: sample faults roll once per burst (or chunk), datagram
+// faults once per datagram. The zero Scenario injects nothing.
+type Scenario struct {
+	Name        string
+	Description string
+	// Seed drives the injector when the caller does not supply one.
+	Seed int64
+
+	// FaultLen is the length, in samples, of erasure and gain-glitch runs.
+	// Defaults to 64.
+	FaultLen int
+
+	// Sample-level faults (per burst).
+	SampleDrop   float64 // remove one sample at a random offset
+	SampleDup    float64 // duplicate one sample at a random offset
+	BurstErasure float64 // zero a FaultLen run
+	GainGlitch   float64 // scale a FaultLen run by GlitchGain
+	GlitchGain   float64 // default 0.05
+	TimingJump   float64 // shift the burst by up to MaxJump samples
+	MaxJump      int     // default 8
+	CorruptSIG   float64 // negate random samples across the SIG symbols
+
+	// Datagram-level faults (per UDP datagram).
+	DgramLoss    float64
+	DgramTrunc   float64
+	DgramCorrupt float64
+	DgramReorder float64
+
+	// Scripted block faults, consumed by PanicBlock/StallBlock: the block
+	// misbehaves once, after passing this many chunks. Negative disables.
+	PanicAfter int
+	StallAfter int
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.FaultLen <= 0 {
+		sc.FaultLen = 64
+	}
+	if sc.GlitchGain == 0 {
+		sc.GlitchGain = 0.05
+	}
+	if sc.MaxJump <= 0 {
+		sc.MaxJump = 8
+	}
+	return sc
+}
+
+// scenarios is the built-in registry. Every entry must keep the chaos
+// campaign's invariant: any fault it injects ends in a decoded burst or a
+// typed error, never a crash or deadlock.
+var scenarios = []Scenario{
+	{
+		Name:        "clean",
+		Description: "no faults; baseline for the chaos campaign",
+		PanicAfter:  -1, StallAfter: -1,
+	},
+	{
+		Name:        "panic",
+		Description: "a mid-graph block panics once after two chunks",
+		PanicAfter:  2, StallAfter: -1,
+	},
+	{
+		Name:        "stall",
+		Description: "a mid-graph block stops consuming after two chunks",
+		PanicAfter:  -1, StallAfter: 2,
+	},
+	{
+		Name:        "sample-drop",
+		Description: "random single-sample drops and duplications",
+		SampleDrop:  0.35, SampleDup: 0.25,
+		PanicAfter: -1, StallAfter: -1,
+	},
+	{
+		Name:         "burst-erasure",
+		Description:  "96-sample zeroed runs at random offsets",
+		BurstErasure: 0.5, FaultLen: 96,
+		PanicAfter: -1, StallAfter: -1,
+	},
+	{
+		Name:        "gain-glitch",
+		Description: "AGC glitch: a run scaled far below nominal gain",
+		GainGlitch:  0.5, GlitchGain: 0.05,
+		PanicAfter: -1, StallAfter: -1,
+	},
+	{
+		Name:        "timing-jump",
+		Description: "clock jumps: samples dropped or dead air inserted",
+		TimingJump:  0.4, MaxJump: 8,
+		PanicAfter: -1, StallAfter: -1,
+	},
+	{
+		Name:        "corrupt-sig",
+		Description: "L-SIG/HT-SIG symbols corrupted so header checks fail",
+		CorruptSIG:  0.7,
+		PanicAfter:  -1, StallAfter: -1,
+	},
+	{
+		Name:        "dgram-loss",
+		Description: "UDP datagrams silently dropped",
+		DgramLoss:   0.2,
+		PanicAfter:  -1, StallAfter: -1,
+	},
+	{
+		Name:        "dgram-truncate",
+		Description: "UDP datagrams cut short mid-payload",
+		DgramTrunc:  0.3,
+		PanicAfter:  -1, StallAfter: -1,
+	},
+	{
+		Name:         "dgram-corrupt",
+		Description:  "random byte flips inside UDP datagrams",
+		DgramCorrupt: 0.3,
+		PanicAfter:   -1, StallAfter: -1,
+	},
+	{
+		Name:         "dgram-reorder",
+		Description:  "UDP datagrams delayed and released out of order",
+		DgramReorder: 0.3,
+		PanicAfter:   -1, StallAfter: -1,
+	},
+	{
+		Name:        "chaos-all",
+		Description: "every fault class at once, plus a scripted panic",
+		SampleDrop:  0.15, SampleDup: 0.1, BurstErasure: 0.2, GainGlitch: 0.2,
+		TimingJump: 0.15, CorruptSIG: 0.15,
+		DgramLoss: 0.1, DgramTrunc: 0.1, DgramCorrupt: 0.1, DgramReorder: 0.1,
+		PanicAfter: 3, StallAfter: -1,
+	},
+}
+
+// Names lists the registered scenarios in sorted order.
+func Names() []string {
+	out := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		out[i] = sc.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a scenario by name, case-insensitively.
+func Lookup(name string) (Scenario, error) {
+	for _, sc := range scenarios {
+		if strings.EqualFold(sc.Name, name) {
+			return sc.withDefaults(), nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("faults: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+}

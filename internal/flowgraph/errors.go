@@ -1,0 +1,101 @@
+package flowgraph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorKind classifies block failures for the supervisor. The taxonomy
+// decides the response: fatal errors abort the graph, everything else is a
+// restart candidate when the block opts in via Restartable.
+type ErrorKind int
+
+const (
+	// KindFatal errors abort the graph; no restart is attempted.
+	KindFatal ErrorKind = iota
+	// KindRecoverable errors (marked via Recoverable) permit a restart when
+	// the block is Restartable and restart budget remains.
+	KindRecoverable
+	// KindPanic marks a panic recovered from the block's Run goroutine.
+	KindPanic
+	// KindStall marks a watchdog detection: no chunk progress within the
+	// policy's StallTimeout while input was pending.
+	KindStall
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case KindFatal:
+		return "fatal"
+	case KindRecoverable:
+		return "recoverable"
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	}
+	return fmt.Sprintf("ErrorKind(%d)", int(k))
+}
+
+// BlockError is the typed failure the supervisor reports for one block.
+type BlockError struct {
+	// Block is the failing block's (uniquified) name.
+	Block string
+	// Kind classifies the failure.
+	Kind ErrorKind
+	// Attempt is the zero-based attempt index at the time of failure.
+	Attempt int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *BlockError) Error() string {
+	return fmt.Sprintf("flowgraph: block %q %s (attempt %d): %v", e.Block, e.Kind, e.Attempt, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *BlockError) Unwrap() error { return e.Err }
+
+// AsBlockError extracts the first BlockError in err's chain. Run joins
+// multiple block failures with errors.Join; use errors.As directly to walk
+// all of them.
+func AsBlockError(err error) (*BlockError, bool) {
+	var be *BlockError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}
+
+// ErrStall is wrapped by every KindStall BlockError.
+var ErrStall = errors.New("no chunk progress within the stall deadline")
+
+type recoverableError struct{ err error }
+
+func (r *recoverableError) Error() string { return r.err.Error() }
+func (r *recoverableError) Unwrap() error { return r.err }
+
+// Recoverable marks err as recoverable: a Restartable block returning it is
+// restarted (with backoff) instead of failing the graph, while the restart
+// budget lasts. A nil err stays nil.
+func Recoverable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &recoverableError{err}
+}
+
+// IsRecoverable reports whether err carries the Recoverable marker.
+func IsRecoverable(err error) bool {
+	var r *recoverableError
+	return errors.As(err, &r)
+}
+
+// Restartable is an optional Block interface. A block returning true may be
+// re-run by the supervisor after a recoverable error, panic, or stall.
+// Restarted blocks must tolerate re-entry: chunks consumed by the failed
+// attempt are lost (the stream experiences an erasure), and Run resumes on
+// the same channels.
+type Restartable interface {
+	Restartable() bool
+}

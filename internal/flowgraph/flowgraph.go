@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Chunk is the unit of streaming: a slice of baseband samples.
@@ -37,7 +39,10 @@ type Block interface {
 // DefaultBufferDepth is the per-edge channel buffer (in chunks).
 const DefaultBufferDepth = 8
 
-// Graph assembles blocks and edges and executes them.
+// Graph assembles blocks and edges and executes them under supervision:
+// every block goroutine recovers panics into typed BlockErrors, outputs are
+// always closed so shutdown cascades, and — when a Policy enables them — a
+// watchdog detects stalls and Restartable blocks are re-run with backoff.
 type Graph struct {
 	mu      sync.Mutex
 	blocks  []Block
@@ -46,6 +51,8 @@ type Graph struct {
 	outUsed map[portKey]bool
 	depth   int
 	started bool
+	policy  Policy
+	health  map[string]*metrics.Health
 }
 
 type edgeKey struct {
@@ -142,10 +149,38 @@ func (g *Graph) has(b Block) bool {
 	return false
 }
 
-// Run validates that every declared port is connected, starts one goroutine
-// per block, and waits for completion. The first block error cancels the
-// context seen by all blocks; Run returns that error (or the context's, if
-// cancelled externally).
+// SetPolicy installs the supervision policy. Must be called before Run.
+func (g *Graph) SetPolicy(p Policy) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return errors.New("flowgraph: graph already started")
+	}
+	g.policy = p
+	return nil
+}
+
+// Health returns per-block health snapshots, keyed by block name (names
+// colliding within one graph are uniquified with a "#index" suffix). Chunk
+// counters are populated only when the policy enables instrumentation
+// (TrackHealth or a stall watchdog); supervision counters always are.
+// Safe to call during and after Run.
+func (g *Graph) Health() map[string]metrics.HealthSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]metrics.HealthSnapshot, len(g.health))
+	for name, h := range g.health {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Run validates that every declared port is connected, starts one
+// supervised goroutine per block, and waits for completion. Block panics
+// are recovered into BlockErrors, stalled blocks are detected and cancelled
+// (when the policy sets a StallTimeout), Restartable blocks are re-run with
+// exponential backoff, and every block failure is reported — Run joins them
+// with errors.Join. Cancelling ctx stops the graph and returns ctx.Err().
 func (g *Graph) Run(ctx context.Context) error {
 	g.mu.Lock()
 	if g.started {
@@ -167,8 +202,22 @@ func (g *Graph) Run(ctx context.Context) error {
 		}
 	}
 	g.started = true
+	policy := g.policy.withDefaults()
 	blocks := append([]Block(nil), g.blocks...)
-	// Snapshot per-block port channels.
+	states := make(map[Block]*blockState, len(blocks))
+	g.health = make(map[string]*metrics.Health, len(blocks))
+	for i, b := range blocks {
+		name := b.Name()
+		if _, dup := g.health[name]; dup {
+			name = fmt.Sprintf("%s#%d", name, i)
+		}
+		h := metrics.NewHealth()
+		g.health[name] = h
+		states[b] = &blockState{name: name, health: h}
+	}
+	// Snapshot per-block port channels. Under instrumentation each edge is
+	// split into a producer-side proxy and the original channel, joined by a
+	// counting pump; otherwise blocks talk over the edges directly.
 	ins := make(map[Block][]<-chan Chunk)
 	outs := make(map[Block][]chan<- Chunk)
 	outOwned := make(map[Block][]chan Chunk)
@@ -177,36 +226,60 @@ func (g *Graph) Run(ctx context.Context) error {
 		outs[b] = make([]chan<- Chunk, b.Outputs())
 		outOwned[b] = make([]chan Chunk, b.Outputs())
 	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var pumps []func()
 	for k, ch := range g.edges {
-		outs[k.from][k.fromOut] = ch
-		outOwned[k.from][k.fromOut] = ch
-		ins[k.to][k.toIn] = ch
+		if !policy.instrumented() {
+			outs[k.from][k.fromOut] = ch
+			outOwned[k.from][k.fromOut] = ch
+			ins[k.to][k.toIn] = ch
+			continue
+		}
+		// All buffering moves to the producer-side proxy; the consumer side
+		// is unbuffered so a pump blocked in delivery is exactly "input
+		// pending", the watchdog's stall predicate.
+		pOut := make(chan Chunk, cap(ch))
+		cIn := make(chan Chunk)
+		outs[k.from][k.fromOut] = pOut
+		outOwned[k.from][k.fromOut] = pOut
+		ins[k.to][k.toIn] = cIn
+		prod, cons := states[k.from], states[k.to]
+		pumps = append(pumps, func() { pump(runCtx, pOut, cIn, prod, cons) })
 	}
 	g.mu.Unlock()
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	var pumpWg sync.WaitGroup
+	for _, p := range pumps {
+		pumpWg.Add(1)
+		go func(p func()) {
+			defer pumpWg.Done()
+			p()
+		}(p)
+	}
+	sup := &supervisor{policy: policy, states: states}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(blocks))
 	for _, b := range blocks {
 		wg.Add(1)
 		go func(b Block) {
 			defer wg.Done()
-			err := b.Run(runCtx, ins[b], outs[b])
-			// Close outputs so downstream blocks drain and finish.
-			for _, ch := range outOwned[b] {
-				close(ch)
-			}
-			if err != nil && !errors.Is(err, context.Canceled) {
-				errCh <- fmt.Errorf("flowgraph: block %q: %w", b.Name(), err)
+			if err := sup.runBlock(runCtx, b, ins[b], outs[b], outOwned[b]); err != nil {
+				errCh <- err
 				cancel()
 			}
 		}(b)
 	}
 	wg.Wait()
+	cancel()
+	pumpWg.Wait()
 	close(errCh)
-	if err, ok := <-errCh; ok {
-		return err
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
 	}
 	return ctx.Err()
 }

@@ -3,6 +3,7 @@ package mac
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Selective-repeat ARQ in the style of 802.11n Block Ack: the sender
@@ -53,8 +54,17 @@ type ARQSender struct {
 	// retries tracks transmissions per sequence for the give-up policy.
 	retries    map[uint16]int
 	MaxRetries int
+	// BackoffBase and BackoffMax shape RetryDelay's exponential backoff:
+	// the delay doubles per consecutive all-loss round, capped at
+	// BackoffMax. Defaults 1ms and 64ms.
+	BackoffBase, BackoffMax time.Duration
 	// Delivered and Dropped count terminal payload outcomes.
 	Delivered, Dropped int
+	// Backoffs counts rounds in which pending frames went entirely
+	// unacknowledged (the link looked dead).
+	Backoffs int
+	// failRounds is the current consecutive all-loss round streak.
+	failRounds int
 }
 
 // NewARQSender returns a sender with a window of up to `window` outstanding
@@ -64,10 +74,12 @@ func NewARQSender(window int) (*ARQSender, error) {
 		return nil, fmt.Errorf("mac: ARQ window %d outside [1, 64]", window)
 	}
 	return &ARQSender{
-		window:     window,
-		pending:    make(map[uint16][]byte),
-		retries:    make(map[uint16]int),
-		MaxRetries: 7,
+		window:      window,
+		pending:     make(map[uint16][]byte),
+		retries:     make(map[uint16]int),
+		MaxRetries:  7,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  64 * time.Millisecond,
 	}, nil
 }
 
@@ -113,13 +125,56 @@ func (s *ARQSender) Round() []*Frame {
 	return frames
 }
 
-// Apply consumes a BlockAck, releasing acknowledged payloads.
+// Apply consumes a BlockAck, releasing acknowledged payloads. It also feeds
+// the backoff state: a round where frames were pending and none were
+// acknowledged extends the consecutive-failure streak that RetryDelay turns
+// into an exponential wait; any acknowledgement resets it.
 func (s *ARQSender) Apply(ack BlockAck) {
+	hadPending := len(s.pending) > 0
+	acked := 0
 	for seq := range s.pending {
 		if ack.Acked(seq) {
 			delete(s.pending, seq)
 			delete(s.retries, seq)
 			s.Delivered++
+			acked++
 		}
 	}
+	if !hadPending {
+		return
+	}
+	if acked == 0 {
+		s.failRounds++
+		s.Backoffs++
+	} else {
+		s.failRounds = 0
+	}
+}
+
+// RetryDelay returns how long the driver should wait before the next Round:
+// zero while the link is delivering, then BackoffBase doubling per
+// consecutive all-loss round up to BackoffMax. The exponential keeps a
+// retransmit storm from hammering a link that is down.
+func (s *ARQSender) RetryDelay() time.Duration {
+	if s.failRounds == 0 {
+		return 0
+	}
+	base, max := s.BackoffBase, s.BackoffMax
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < s.failRounds; i++ {
+		if d >= max/2 {
+			return max
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }

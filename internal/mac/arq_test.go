@@ -2,6 +2,7 @@ package mac
 
 import (
 	"math/rand"
+	"time"
 	"testing"
 )
 
@@ -140,4 +141,66 @@ func TestARQEndToEndOverLossyAggregates(t *testing.T) {
 		t.Errorf("only %d/%d delivered under 20%% loss", s.Delivered, total)
 	}
 	t.Logf("delivered %d/%d in %d rounds", s.Delivered, total, rounds)
+}
+
+func TestARQRetryDelayBacksOffExponentially(t *testing.T) {
+	s, err := NewARQSender(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BackoffBase = time.Millisecond
+	s.BackoffMax = 8 * time.Millisecond
+	s.Queue([]byte("payload"))
+	if d := s.RetryDelay(); d != 0 {
+		t.Errorf("delay before any failed round = %v, want 0", d)
+	}
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		s.Round()
+		s.Apply(BlockAck{}) // nothing acknowledged
+		if d := s.RetryDelay(); d != w {
+			t.Errorf("after %d failed rounds: delay = %v, want %v", i+1, d, w)
+		}
+	}
+	if s.Backoffs != len(want) {
+		t.Errorf("Backoffs = %d, want %d", s.Backoffs, len(want))
+	}
+}
+
+func TestARQRetryDelayResetsOnProgress(t *testing.T) {
+	s, err := NewARQSender(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := s.Queue([]byte("a"))
+	s.Queue([]byte("b"))
+	s.Round()
+	s.Apply(BlockAck{}) // all lost
+	if s.RetryDelay() == 0 {
+		t.Fatal("expected nonzero delay after an all-loss round")
+	}
+	s.Round()
+	ack := BlockAck{Start: seq}
+	ack.Bitmap |= 1 // acknowledge the first frame only
+	s.Apply(ack)
+	if d := s.RetryDelay(); d != 0 {
+		t.Errorf("delay after partial progress = %v, want 0", d)
+	}
+}
+
+func TestARQApplyWithNothingPendingIsNotABackoff(t *testing.T) {
+	s, err := NewARQSender(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Apply(BlockAck{})
+	if s.Backoffs != 0 || s.RetryDelay() != 0 {
+		t.Errorf("idle Apply counted as backoff: %d, delay %v", s.Backoffs, s.RetryDelay())
+	}
 }

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Health is the per-block runtime counter set the flowgraph supervisor
+// maintains: chunk progress through the block's ports plus the supervision
+// events (restarts, recovered panics, stall detections, abandoned
+// goroutines). All methods are safe for concurrent use; the supervisor
+// writes from scheduler goroutines while monitors read snapshots.
+type Health struct {
+	chunksIn  atomic.Int64
+	chunksOut atomic.Int64
+	restarts  atomic.Int64
+	panics    atomic.Int64
+	stalls    atomic.Int64
+	abandoned atomic.Int64
+}
+
+// NewHealth returns a zeroed counter set.
+func NewHealth() *Health { return &Health{} }
+
+// AddIn records n chunks delivered into the block.
+func (h *Health) AddIn(n int64) { h.chunksIn.Add(n) }
+
+// AddOut records n chunks produced by the block.
+func (h *Health) AddOut(n int64) { h.chunksOut.Add(n) }
+
+// AddRestart records a supervisor restart of the block.
+func (h *Health) AddRestart() { h.restarts.Add(1) }
+
+// AddPanic records a panic recovered from the block's Run.
+func (h *Health) AddPanic() { h.panics.Add(1) }
+
+// AddStall records a watchdog stall detection.
+func (h *Health) AddStall() { h.stalls.Add(1) }
+
+// AddAbandoned records a block goroutine that did not unwind within the
+// supervisor's grace period after cancellation.
+func (h *Health) AddAbandoned() { h.abandoned.Add(1) }
+
+// ChunksIn returns the chunks delivered into the block so far.
+func (h *Health) ChunksIn() int64 { return h.chunksIn.Load() }
+
+// ChunksOut returns the chunks produced by the block so far.
+func (h *Health) ChunksOut() int64 { return h.chunksOut.Load() }
+
+// Snapshot returns a point-in-time copy of the counters.
+func (h *Health) Snapshot() HealthSnapshot {
+	return HealthSnapshot{
+		ChunksIn:  h.chunksIn.Load(),
+		ChunksOut: h.chunksOut.Load(),
+		Restarts:  h.restarts.Load(),
+		Panics:    h.panics.Load(),
+		Stalls:    h.stalls.Load(),
+		Abandoned: h.abandoned.Load(),
+	}
+}
+
+// HealthSnapshot is a plain-value copy of a Health counter set.
+type HealthSnapshot struct {
+	ChunksIn, ChunksOut                int64
+	Restarts, Panics, Stalls, Abandoned int64
+}
+
+func (s HealthSnapshot) String() string {
+	return fmt.Sprintf("in=%d out=%d restarts=%d panics=%d stalls=%d abandoned=%d",
+		s.ChunksIn, s.ChunksOut, s.Restarts, s.Panics, s.Stalls, s.Abandoned)
+}

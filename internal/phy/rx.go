@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -17,6 +18,16 @@ import (
 	"repro/internal/synchro"
 	"repro/internal/vandebeek"
 )
+
+// ErrBadSIG marks a SIG field that parsed (parity/CRC passed) but carries a
+// value that cannot be right for an HT-mixed PPDU — a corrupted or spoofed
+// header. Callers should treat it as a rejected packet, not a fault.
+var ErrBadSIG = errors.New("phy: SIG field failed validation")
+
+// ErrSIGBounds marks a SIG-announced payload geometry that does not fit the
+// captured streams: decoding would read outside the sample buffers. The
+// receiver rejects such headers up front instead of failing mid-symbol.
+var ErrSIGBounds = errors.New("phy: SIG-announced length out of bounds")
 
 // RxConfig configures a receiver.
 type RxConfig struct {
@@ -221,6 +232,9 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 		return result, fmt.Errorf("phy: %w", err)
 	}
 	result.LSIG = lsig
+	if lsig.Rate != preamble.Rate6Mbps {
+		return result, fmt.Errorf("%w: L-SIG rate %#04b is not the HT-mixed 6 Mbit/s code", ErrBadSIG, lsig.Rate)
+	}
 
 	// --- 6. HT-SIG --------------------------------------------------------
 	htsigSym, htsigCSI, err := r.equalizeLegacySymbols(rx, leg, base+OffHTSIG, 2)
@@ -245,8 +259,30 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 		return result, fmt.Errorf("phy: %d antennas cannot linearly separate %d streams", r.cfg.NumAntennas, mcs.NSS)
 	}
 
-	// --- 7. HT channel estimation from the HT-LTFs ----------------------
+	// Validate the announced payload geometry against the captured streams
+	// before touching the HT-LTFs: a corrupted-but-CRC-lucky HT-SIG must be
+	// rejected with a typed error, not discovered mid-symbol.
 	nltf := preamble.NumHTLTF(mcs.NSS)
+	if htsig.Length == 0 {
+		return result, fmt.Errorf("%w: HT-SIG announces an empty PSDU", ErrSIGBounds)
+	}
+	nSym := mcs.NumSymbols(htsig.Length)
+	dataCP := ofdm.CPLen
+	if htsig.ShortGI {
+		dataCP = ofdm.CPLenShort
+	}
+	dataBO := bo
+	if dataBO >= dataCP {
+		dataBO = dataCP - 1
+	}
+	// The last FFT window ends dataBO samples short of the nominal PPDU end.
+	need := base + OffHTLTF + nltf*preamble.HTLTFLen + nSym*(ofdm.FFTSize+dataCP) - dataBO
+	if need > len(rx[0]) {
+		return result, fmt.Errorf("%w: HT-SIG length %d needs %d samples, stream has %d",
+			ErrSIGBounds, htsig.Length, need, len(rx[0]))
+	}
+
+	// --- 7. HT channel estimation from the HT-LTFs ----------------------
 	htSpectra := make([][][]complex128, len(rx))
 	for a := range rx {
 		htSpectra[a] = make([][]complex128, nltf)
@@ -287,17 +323,8 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 		tracker = chanest.NewPhaseTracker(htEst)
 	}
 
-	nSym := mcs.NumSymbols(htsig.Length)
 	dataStart := base + OffHTLTF + nltf*preamble.HTLTFLen
-	dataCP := ofdm.CPLen
-	if htsig.ShortGI {
-		dataCP = ofdm.CPLenShort
-	}
 	dataSymLen := ofdm.FFTSize + dataCP
-	dataBO := bo
-	if dataBO >= dataCP {
-		dataBO = dataCP - 1
-	}
 	ilv := make([]*fec.Interleaver, mcs.NSS)
 	for iss := range ilv {
 		il, err := fec.NewHTInterleaver(mcs.NBPSCS(), mcs.NSS, iss)

@@ -1,0 +1,113 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/preamble"
+)
+
+// tonesFromBytes deterministically expands fuzz bytes into SIG symbols of 48
+// tones each, with matching CSI weights.
+func tonesFromBytes(data []byte, nSym int) ([][]complex128, [][]float64) {
+	symbols := make([][]complex128, nSym)
+	csi := make([][]float64, nSym)
+	at := 0
+	next := func() float64 {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[at%len(data)]
+		at++
+		return float64(int(b)-128) / 32
+	}
+	for s := 0; s < nSym; s++ {
+		symbols[s] = make([]complex128, 48)
+		csi[s] = make([]float64, 48)
+		for i := 0; i < 48; i++ {
+			symbols[s][i] = complex(next(), next())
+			csi[s][i] = math.Abs(next()) + 1e-6
+		}
+	}
+	return symbols, csi
+}
+
+// FuzzSIGDecode: arbitrary equalized symbols through the SIG decoder and
+// both header parsers must yield bits, a clean error, or a parse rejection —
+// never a panic. This is the corrupt-SIG path of the chaos campaign in
+// miniature.
+func FuzzSIGDecode(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte{1, 2, 3, 4, 255, 0, 128, 64}, true)
+	f.Add([]byte{0x55, 0xAA, 0x0F, 0xF0}, false)
+	codec := newSigCodec()
+	f.Fuzz(func(t *testing.T, data []byte, qbpsk bool) {
+		nSym := 1
+		if qbpsk {
+			nSym = 2 // HT-SIG geometry
+		}
+		symbols, csi := tonesFromBytes(data, nSym)
+		noiseVar := 0.1
+		if len(data) > 0 {
+			noiseVar = float64(data[0])/64 + 1e-3
+		}
+		bits, err := codec.decode(symbols, csi, noiseVar, qbpsk)
+		if err != nil {
+			return
+		}
+		if qbpsk {
+			if _, err := preamble.ParseHTSIG(bits); err != nil {
+				return // CRC rejected garbage, as it should
+			}
+		} else {
+			if _, err := preamble.ParseLSIG(bits); err != nil {
+				return // parity rejected garbage, as it should
+			}
+		}
+	})
+}
+
+// FuzzParseLSIG: arbitrary bit slices must never panic the L-SIG parser,
+// and accepted headers must be in field range.
+func FuzzParseLSIG(f *testing.F) {
+	valid, err := (preamble.LSIG{Rate: preamble.Rate6Mbps, Length: 100}).Bits()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(make([]byte, 24))
+	f.Fuzz(func(t *testing.T, bits []byte) {
+		s, err := preamble.ParseLSIG(bits)
+		if err != nil {
+			return
+		}
+		if s.Length < 0 || s.Length > 0xFFF {
+			t.Errorf("accepted out-of-range length %d", s.Length)
+		}
+	})
+}
+
+// FuzzParseHTSIG: arbitrary bit slices must never panic the HT-SIG parser,
+// and accepted headers must be in field range.
+func FuzzParseHTSIG(f *testing.F) {
+	valid, err := (preamble.HTSIG{MCS: 8, Length: 1000}).Bits()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(make([]byte, 48))
+	f.Fuzz(func(t *testing.T, bits []byte) {
+		s, err := preamble.ParseHTSIG(bits)
+		if err != nil {
+			return
+		}
+		if s.Length < 0 || s.Length > 0xFFFF {
+			t.Errorf("accepted out-of-range length %d", s.Length)
+		}
+		if s.MCS < 0 || s.MCS > 127 {
+			t.Errorf("accepted out-of-range MCS %d", s.MCS)
+		}
+	})
+}

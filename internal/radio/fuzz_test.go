@@ -1,0 +1,97 @@
+package radio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	mk := func(streams, count int, flags uint16, seq uint64) []byte {
+		samples := make([][]complex128, streams)
+		for s := range samples {
+			samples[s] = make([]complex128, count)
+			for i := range samples[s] {
+				samples[s][i] = complex(float64(i), -float64(i))
+			}
+		}
+		b, err := EncodeFrame(nil, Header{Streams: streams, Flags: flags, Seq: seq, Count: count}, samples)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return b
+	}
+	seeds = append(seeds, mk(1, 1, 0, 0))
+	seeds = append(seeds, mk(2, 50, FlagEndOfBurst, 7))
+	seeds = append(seeds, mk(4, 180, 0, 1<<40))
+	return seeds
+}
+
+// FuzzDecodeHeader: arbitrary bytes must never panic the header parser, and
+// every accepted header must satisfy its documented bounds.
+func FuzzDecodeHeader(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MNIQ"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		if h.Streams < 1 || h.Streams > 4 {
+			t.Errorf("accepted stream count %d", h.Streams)
+		}
+		if h.Count < 1 || h.Count > MaxSamplesPerFrame {
+			t.Errorf("accepted sample count %d", h.Count)
+		}
+	})
+}
+
+// FuzzDecodePayload: a payload that passes header validation must decode or
+// fail cleanly — no panics, no bogus output shapes.
+func FuzzDecodePayload(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		dst := make([][]complex128, h.Streams)
+		out, err := DecodePayload(dst, h, data[headerSize:])
+		if err != nil {
+			return
+		}
+		for s := range out {
+			if len(out[s]) != h.Count {
+				t.Errorf("stream %d decoded %d samples, header says %d", s, len(out[s]), h.Count)
+			}
+		}
+	})
+}
+
+// FuzzStreamReadBurst: arbitrary byte streams through the framed reader must
+// terminate with data or an error, never panic or run away.
+func FuzzStreamReadBurst(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+	}
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewStreamReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded: reader consumes input each burst
+			burst, err := r.ReadBurst()
+			if err != nil {
+				return
+			}
+			if len(burst) == 0 {
+				t.Error("nil error with empty burst")
+				return
+			}
+		}
+	})
+}

@@ -19,6 +19,12 @@ type UDPSender struct {
 	// SamplesPerDatagram bounds the frame size; the default keeps 1-stream
 	// datagrams under a 1500-byte MTU.
 	SamplesPerDatagram int
+	// Intercept, when set, sees every encoded frame before transmission and
+	// returns the datagrams to actually send: none (loss), the input
+	// (possibly mutated), or several (delayed frames released out of order).
+	// The slice passed in is a private copy the hook may keep or mutate.
+	// Used by the faults package to inject link-level impairments.
+	Intercept func(datagram []byte) [][]byte
 }
 
 // NewUDPSender dials the receiver address.
@@ -80,6 +86,14 @@ func (s *UDPSender) WriteBurst(samples [][]complex128) error {
 			return err
 		}
 		s.seq++
+		if s.Intercept != nil {
+			for _, d := range s.Intercept(append([]byte(nil), s.buf...)) {
+				if _, err := s.conn.Write(d); err != nil {
+					return fmt.Errorf("radio: udp write: %w", err)
+				}
+			}
+			continue
+		}
 		if _, err := s.conn.Write(s.buf); err != nil {
 			return fmt.Errorf("radio: udp write: %w", err)
 		}
@@ -93,10 +107,20 @@ type UDPReceiver struct {
 	buf  []byte
 	// Lost counts datagrams missing from the sequence so far.
 	Lost uint64
+	// Corrupt counts datagrams with unparseable headers or truncated
+	// payloads.
+	Corrupt uint64
+	// Late counts datagrams that arrived after their gap was already
+	// zero-filled (reordered or duplicated frames); they are discarded.
+	Late uint64
 	// nextSeq is the expected next sequence number (0 before first frame).
 	nextSeq uint64
 	started bool
 }
+
+// maxGapFill caps the zero-fill for one sequence gap (in samples per
+// stream) so a corrupted sequence number cannot force an absurd allocation.
+const maxGapFill = 1 << 20
 
 // NewUDPReceiver listens on addr (e.g. "127.0.0.1:0").
 func NewUDPReceiver(addr string) (*UDPReceiver, error) {
@@ -135,15 +159,29 @@ func (r *UDPReceiver) ReadBurst(timeout time.Duration) ([][]complex128, error) {
 		}
 		h, err := DecodeHeader(r.buf[:n])
 		if err != nil {
-			continue // foreign datagram; ignore
+			// Foreign, truncated, or corrupted beyond recognition.
+			r.Corrupt++
+			continue
+		}
+		if r.started && h.Seq < r.nextSeq {
+			// Reordered or duplicated: its position was already zero-filled
+			// (or consumed); splicing it in now would misalign the stream.
+			r.Late++
+			continue
 		}
 		if r.started && h.Seq > r.nextSeq {
 			gap := h.Seq - r.nextSeq
 			r.Lost += gap
-			// Zero-fill the missing samples so the stream stays aligned.
+			// Zero-fill the missing samples so the stream stays aligned,
+			// bounded so a corrupted sequence number cannot force an absurd
+			// allocation.
 			if out != nil && lastCount > 0 {
+				fill := int(gap) * lastCount
+				if gap > maxGapFill/uint64(lastCount) {
+					fill = maxGapFill
+				}
 				for s := range out {
-					out[s] = append(out[s], make([]complex128, int(gap)*lastCount)...)
+					out[s] = append(out[s], make([]complex128, fill)...)
 				}
 			}
 		}
@@ -155,9 +193,16 @@ func (r *UDPReceiver) ReadBurst(timeout time.Duration) ([][]complex128, error) {
 		if len(out) != h.Streams {
 			return nil, fmt.Errorf("radio: stream count changed mid-burst")
 		}
-		out, err = DecodePayload(out, h, r.buf[headerSize:n])
-		if err != nil {
-			return nil, err
+		if dec, derr := DecodePayload(out, h, r.buf[headerSize:n]); derr != nil {
+			// Truncated payload: keep the stream aligned by zero-filling the
+			// samples this frame claimed to carry. The end-of-burst flag is
+			// still honoured so the burst terminates.
+			r.Corrupt++
+			for s := range out {
+				out[s] = append(out[s], make([]complex128, h.Count)...)
+			}
+		} else {
+			out = dec
 		}
 		lastCount = h.Count
 		if h.Flags&FlagEndOfBurst != 0 {

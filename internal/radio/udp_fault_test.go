@@ -1,0 +1,195 @@
+package radio
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// rawUDP returns a raw conn to rx plus a frame sender with explicit seq and
+// an optional mangle step.
+func rawUDP(t *testing.T, rx *UDPReceiver) (*net.UDPConn, func(seq uint64, flags uint16, mangle func([]byte) []byte)) {
+	t.Helper()
+	conn, err := net.DialUDP("udp", nil, rx.Addr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	chunk := [][]complex128{make([]complex128, 50)}
+	for i := range chunk[0] {
+		chunk[0][i] = complex(1, 1)
+	}
+	send := func(seq uint64, flags uint16, mangle func([]byte) []byte) {
+		f, err := EncodeFrame(nil, Header{Streams: 1, Flags: flags, Seq: seq, Count: 50}, chunk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if mangle != nil {
+			f = mangle(f)
+		}
+		if _, err := conn.Write(f); err != nil {
+			t.Error(err)
+		}
+	}
+	return conn, send
+}
+
+// A datagram truncated mid-payload must not abort the burst: the claimed
+// samples are zero-filled, Corrupt is counted, and end-of-burst still
+// terminates the read.
+func TestUDPTruncatedDatagramSurvives(t *testing.T) {
+	rx, err := NewUDPReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	_, send := rawUDP(t, rx)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		send(0, 0, nil)
+		send(1, 0, func(f []byte) []byte { return f[:len(f)/2] }) // truncated
+		send(2, FlagEndOfBurst, nil)
+	}()
+	got, err := rx.ReadBurst(5 * time.Second)
+	if err != nil {
+		t.Fatalf("ReadBurst: %v", err)
+	}
+	if rx.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", rx.Corrupt)
+	}
+	if len(got[0]) != 150 {
+		t.Errorf("burst length %d, want 150 (truncated frame zero-filled)", len(got[0]))
+	}
+	for i := 50; i < 100; i++ {
+		if got[0][i] != 0 {
+			t.Fatalf("zero-filled region sample %d = %v", i, got[0][i])
+		}
+	}
+}
+
+// A truncated end-of-burst datagram must still terminate the burst.
+func TestUDPTruncatedEOBStillTerminates(t *testing.T) {
+	rx, err := NewUDPReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	_, send := rawUDP(t, rx)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		send(0, 0, nil)
+		send(1, FlagEndOfBurst, func(f []byte) []byte { return f[:headerSize+8] })
+	}()
+	got, err := rx.ReadBurst(5 * time.Second)
+	if err != nil {
+		t.Fatalf("ReadBurst: %v", err)
+	}
+	if len(got[0]) != 100 || rx.Corrupt != 1 {
+		t.Errorf("length %d corrupt %d, want 100 and 1", len(got[0]), rx.Corrupt)
+	}
+}
+
+// Unparseable datagrams (garbage, bad magic) are counted and skipped.
+func TestUDPGarbageDatagramCounted(t *testing.T) {
+	rx, err := NewUDPReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	conn, send := rawUDP(t, rx)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		conn.Write([]byte("not a frame at all"))
+		send(0, FlagEndOfBurst, nil)
+	}()
+	if _, err := rx.ReadBurst(5 * time.Second); err != nil {
+		t.Fatalf("ReadBurst: %v", err)
+	}
+	if rx.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", rx.Corrupt)
+	}
+}
+
+// A frame arriving after its gap was zero-filled is discarded as Late, not
+// spliced in out of place.
+func TestUDPLateDatagramSkipped(t *testing.T) {
+	rx, err := NewUDPReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	_, send := rawUDP(t, rx)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		send(0, 0, nil)
+		send(2, 0, nil) // seq 1 skipped: zero-filled as lost
+		send(1, 0, nil) // …then arrives late
+		send(3, FlagEndOfBurst, nil)
+	}()
+	got, err := rx.ReadBurst(5 * time.Second)
+	if err != nil {
+		t.Fatalf("ReadBurst: %v", err)
+	}
+	if rx.Late != 1 || rx.Lost != 1 {
+		t.Errorf("Late = %d Lost = %d, want 1 and 1", rx.Late, rx.Lost)
+	}
+	if len(got[0]) != 200 {
+		t.Errorf("burst length %d, want 200", len(got[0]))
+	}
+}
+
+// The Intercept hook sees every frame and its verdict is honoured: dropped
+// frames manifest as receiver-side loss, multi-datagram results all go out.
+func TestUDPSenderIntercept(t *testing.T) {
+	rx, err := NewUDPReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := NewUDPSender(rx.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	tx.SamplesPerDatagram = 50
+	intercepted := 0
+	tx.Intercept = func(d []byte) [][]byte {
+		intercepted++
+		h, err := DecodeHeader(d)
+		if err != nil {
+			t.Errorf("intercept got undecodable frame: %v", err)
+			return nil
+		}
+		if h.Seq == 1 {
+			return nil // drop the second frame
+		}
+		return [][]byte{d}
+	}
+	burst := [][]complex128{make([]complex128, 200)} // 4 datagrams
+	for i := range burst[0] {
+		burst[0][i] = complex(1, -1)
+	}
+	sent := make(chan struct{})
+	go func() {
+		defer close(sent)
+		time.Sleep(20 * time.Millisecond)
+		if err := tx.WriteBurst(burst); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := rx.ReadBurst(5 * time.Second)
+	if err != nil {
+		t.Fatalf("ReadBurst: %v", err)
+	}
+	<-sent
+	if intercepted != 4 {
+		t.Errorf("intercept saw %d frames, want 4", intercepted)
+	}
+	if rx.Lost != 1 {
+		t.Errorf("Lost = %d, want 1", rx.Lost)
+	}
+	if len(got[0]) != 200 {
+		t.Errorf("burst length %d, want 200 (dropped frame zero-filled)", len(got[0]))
+	}
+}

@@ -102,6 +102,9 @@ type Options struct {
 	PayloadLen int
 	// Quick shrinks sweeps for smoke tests and benchmarks.
 	Quick bool
+	// Scenario restricts fault-injection experiments (E22) to one named
+	// faults.Scenario; empty runs the full registry.
+	Scenario string
 }
 
 // DefaultOptions returns the settings used for EXPERIMENTS.md.
