@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt fmt-check bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Custom static analyzers (internal/analysis/*); exits non-zero on findings.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mimonet-lint ./...
+
+fmt:
+	gofmt -w .
+
+# CI gate: fail if any file is unformatted.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,120 @@
+// Command mimonet-lint runs the repo's custom static analyzers
+// (internal/analysis/*) over module packages and exits non-zero on any
+// finding. It is stdlib-only — no golang.org/x/tools — so it works in the
+// offline build environment; see internal/analysis/framework.
+//
+// Usage:
+//
+//	mimonet-lint [-only a,b] [-list] [patterns...]
+//
+// Patterns follow go-tool syntax relative to the module root: "./..."
+// (default), "internal/ofdm/...", or a plain package directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/cxnarrow"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/eobprop"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/portclose"
+)
+
+var all = []*framework.Analyzer{
+	cxnarrow.Analyzer,
+	detrand.Analyzer,
+	eobprop.Analyzer,
+	hotalloc.Analyzer,
+	portclose.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mimonet-lint [-only a,b] [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, modPath, err := framework.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
+		os.Exit(2)
+	}
+	loader := &framework.Loader{ModRoot: root, ModPath: modPath}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
+		os.Exit(2)
+	}
+
+	diags, err := framework.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mimonet-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the registry.
+func selectAnalyzers(only string) ([]*framework.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*framework.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*framework.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(all))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return picked, nil
+}

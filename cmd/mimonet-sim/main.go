@@ -21,10 +21,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mimonet-sim: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment id (e1..e12) or \"all\"")
-		packets = flag.Int("packets", 200, "Monte-Carlo packets/trials per sweep point")
-		payload = flag.Int("payload", 500, "MAC payload size in octets")
-		seed    = flag.Int64("seed", 1, "random seed")
+		exp      = flag.String("exp", "all", "experiment id (e1..e12) or \"all\"")
+		packets  = flag.Int("packets", 200, "Monte-Carlo packets/trials per sweep point")
+		payload  = flag.Int("payload", 500, "MAC payload size in octets")
+		seed     = flag.Int64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		scenario = flag.String("scenario", "", "restrict fault-injection experiments (e22) to one named scenario")
 	)

@@ -1,3 +1,8 @@
+// Deliberately dependency-free: the DSP/PHY stack is pure stdlib, and the
+// static-analysis suite (internal/analysis, cmd/mimonet-lint) is built on
+// go/ast + go/types rather than golang.org/x/tools so the lint gate runs in
+// offline build environments. Keep it that way — new requirements here need
+// a strong reason.
 module repro
 
 go 1.22

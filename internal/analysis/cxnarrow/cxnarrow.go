@@ -1,0 +1,75 @@
+// Package cxnarrow flags implicit-precision-loss numeric conversions —
+// complex128→complex64 and float64→float32 — inside the DSP hot-path
+// packages (ofdm, mimo, chanest, dsp, stbc, synchro). The receiver chain is
+// specified in complex128; a stray narrowing silently costs ~29 bits of
+// mantissa and shows up as an SNR floor that is miserable to bisect.
+// Constant operands are exempt (exactness is checked by the compiler), and
+// deliberate narrowings — e.g. packing to a float32 wire format — are
+// annotated //mimonet:narrow-ok.
+package cxnarrow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// HotPathPackages is the set of package leaf names the analyzer guards.
+var HotPathPackages = []string{"ofdm", "mimo", "chanest", "dsp", "stbc", "synchro"}
+
+// Analyzer is the cxnarrow analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "cxnarrow",
+	Doc: "flag complex128→complex64 and float64→float32 conversions in DSP hot-path packages " +
+		"(precision loss; annotate deliberate narrowing with //mimonet:narrow-ok)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathApplies(pass.Pkg.Path(), HotPathPackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			funTV, ok := pass.Info.Types[call.Fun]
+			if !ok || !funTV.IsType() {
+				return true
+			}
+			argTV, ok := pass.Info.Types[call.Args[0]]
+			if !ok || argTV.Value != nil {
+				// Constant conversions are compile-time checked for
+				// exactness concerns the author already accepted.
+				return true
+			}
+			dst, ok := funTV.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			src, ok := argTV.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			var loss string
+			switch {
+			case dst.Kind() == types.Complex64 && src.Kind() == types.Complex128:
+				loss = "complex128→complex64"
+			case dst.Kind() == types.Float32 && src.Kind() == types.Float64:
+				loss = "float64→float32"
+			default:
+				return true
+			}
+			if pass.Exempt(call.Pos(), "narrow-ok") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s conversion narrows precision in a DSP hot path; keep the chain in double precision or annotate //mimonet:narrow-ok", loss)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package cxnarrow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/cxnarrow"
+	"repro/internal/analysis/framework/atest"
+)
+
+func TestCxnarrow(t *testing.T) {
+	atest.Run(t, "testdata", cxnarrow.Analyzer, "ofdm", "other")
+}

@@ -1,0 +1,33 @@
+// Package ofdm is a cxnarrow fixture named after a guarded hot-path
+// package leaf.
+package ofdm
+
+// Equalize narrows a complex sample: flagged.
+func Equalize(h complex128) complex64 {
+	return complex64(h) // want `complex128→complex64`
+}
+
+// Scale narrows a float: flagged.
+func Scale(g float64) float32 {
+	return float32(g) // want `float64→float32`
+}
+
+// PackWire is a deliberate, annotated narrowing: exempt.
+func PackWire(s complex128) complex64 {
+	return complex64(s) //mimonet:narrow-ok float32 I/Q wire format
+}
+
+// Widen goes the safe direction: no diagnostic.
+func Widen(s complex64) complex128 {
+	return complex128(s)
+}
+
+// ConstNarrow converts a constant: compile-time exactness, no diagnostic.
+func ConstNarrow() float32 {
+	return float32(1.5)
+}
+
+// SameWidth keeps precision: no diagnostic.
+func SameWidth(x float64) float64 {
+	return float64(x)
+}

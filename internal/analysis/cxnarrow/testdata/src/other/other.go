@@ -1,0 +1,8 @@
+// Package other is outside the hot-path set: narrowing is allowed here
+// (e.g. wire formats, display code).
+package other
+
+// PackSample narrows freely outside guarded packages: no diagnostic.
+func PackSample(s complex128) complex64 {
+	return complex64(s)
+}

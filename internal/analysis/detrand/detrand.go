@@ -1,0 +1,94 @@
+// Package detrand keeps the simulation campaigns reproducible from their
+// seeds: inside the deterministic packages (sim, faults, channel,
+// flowgraph, radio) it forbids
+//
+//   - math/rand (and math/rand/v2) top-level functions, which draw from the
+//     global, unseeded source — randomness must flow through an explicitly
+//     seeded *rand.Rand (constructors like rand.New/rand.NewSource are
+//     allowed);
+//   - wall-clock calls (time.Now, time.Since, time.Sleep, time.After,
+//     time.NewTimer, time.NewTicker, …) — time-driven logic must go through
+//     the injectable repro/internal/clock.Clock seam, which detrand
+//     whitelists implicitly because its methods are not time.* selectors.
+//
+// Measurements that genuinely need the wall clock annotate the call site
+// //mimonet:wallclock-ok; an audited global-rand exception (none exist
+// today) would use //mimonet:globalrand-ok.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// DeterministicPackages is the set of guarded package leaf names.
+var DeterministicPackages = []string{"sim", "faults", "channel", "flowgraph", "radio"}
+
+// wallClockFuncs are the time package functions that read or schedule on
+// the wall clock. Pure functions (time.Unix, time.Date, time.ParseDuration)
+// stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc: "forbid unseeded math/rand top-level functions and wall-clock time calls in deterministic packages; " +
+		"thread a seeded *rand.Rand and the internal/clock seam instead",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathApplies(pass.Pkg.Path(), DeterministicPackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. on *rand.Rand or clock.Clock) are fine
+			}
+			switch framework.PkgPathOf(fn) {
+			case "math/rand", "math/rand/v2":
+				if isConstructor(fn.Name()) {
+					return true
+				}
+				if pass.Exempt(call.Pos(), "globalrand-ok") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the global unseeded source; thread a seeded *rand.Rand so campaigns replay from their seed", fn.Name())
+			case "time":
+				if !wallClockFuncs[fn.Name()] {
+					return true
+				}
+				if pass.Exempt(call.Pos(), "wallclock-ok") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in a deterministic package; inject repro/internal/clock.Clock (or annotate //mimonet:wallclock-ok)", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isConstructor reports whether a rand package function builds an explicit
+// source rather than drawing from the global one.
+func isConstructor(name string) bool {
+	return len(name) >= 3 && name[:3] == "New"
+}

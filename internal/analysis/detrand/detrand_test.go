@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/framework/atest"
+)
+
+func TestDetrand(t *testing.T) {
+	atest.Run(t, "testdata", detrand.Analyzer, "sim", "viz")
+}

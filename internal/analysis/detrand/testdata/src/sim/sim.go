@@ -1,0 +1,45 @@
+// Package sim is a detrand fixture named after a guarded package leaf.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GlobalDraw uses the unseeded global source: flagged.
+func GlobalDraw() float64 {
+	return rand.Float64() // want `global unseeded source`
+}
+
+// GlobalShuffle is also global-source: flagged.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global unseeded source`
+}
+
+// SeededDraw threads an explicit source: no diagnostic (rand.New and
+// rand.NewSource are constructors, and method calls on *rand.Rand are
+// always fine).
+func SeededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// WallClock reads the wall clock: flagged.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+// WallSleep schedules on the wall clock: flagged.
+func WallSleep() {
+	time.Sleep(time.Millisecond) // want `reads the wall clock`
+}
+
+// AnnotatedMeasurement is an audited wall-clock use: exempt.
+func AnnotatedMeasurement() time.Time {
+	return time.Now() //mimonet:wallclock-ok throughput measurement
+}
+
+// PureTime uses non-wall-clock time functions: no diagnostic.
+func PureTime() time.Time {
+	return time.Unix(1000, 0)
+}

@@ -1,0 +1,13 @@
+// Package viz is outside the deterministic set: wall clock and global rand
+// are allowed (e.g. progress display).
+package viz
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter may be sloppy here: no diagnostics.
+func Jitter() time.Duration {
+	return time.Since(time.Now().Add(-time.Duration(rand.Intn(10)) * time.Millisecond))
+}

@@ -1,0 +1,155 @@
+// Package eobprop guards end-of-burst tag propagation across the radio
+// framing layer. A burst terminates only when the receiver sees
+// FlagEndOfBurst; any path that re-frames datagrams and loses the flag
+// hangs ReadBurst forever. Two rules:
+//
+//  1. A function that both decodes headers (radio.DecodeHeader) and
+//     re-encodes frames (radio.EncodeFrame) must consult the end-of-burst
+//     tag — reference FlagEndOfBurst or the Flags field — somewhere on the
+//     path.
+//  2. In a function holding an incoming Header (parameter or DecodeHeader
+//     result), a keyed radio.Header composite literal that omits the Flags
+//     field silently drops the tag.
+//
+// Intentional drops (e.g. a tool that splits bursts) are annotated
+// //mimonet:eob-ok.
+package eobprop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the eobprop analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "eobprop",
+	Doc: "blocks re-framing an EOB-tagged stream must propagate or explicitly drop the end-of-burst tag " +
+		"(//mimonet:eob-ok to document an intentional drop)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	var decodes, encodes, refsEOB bool
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fn := calledRadioFunc(pass.Info, e); fn != nil {
+				switch fn.Name() {
+				case "DecodeHeader":
+					decodes = true
+				case "EncodeFrame":
+					encodes = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "Flags" && isRadioHeader(pass.Info.Types[e.X].Type) {
+				refsEOB = true
+			}
+		case *ast.Ident:
+			if obj, ok := pass.Info.Uses[e].(*types.Const); ok &&
+				obj.Name() == "FlagEndOfBurst" && framework.PathApplies(framework.PkgPathOf(obj), "radio") {
+				refsEOB = true
+			}
+		}
+		return true
+	})
+	if decodes && encodes && !refsEOB && !pass.Exempt(fd.Pos(), "eob-ok") {
+		pass.Reportf(fd.Name.Pos(),
+			"%s decodes and re-encodes radio frames without consulting the end-of-burst tag; a lost FlagEndOfBurst hangs ReadBurst (propagate it or annotate //mimonet:eob-ok)", fd.Name.Name)
+	}
+
+	// Rule 2 applies only when an incoming header is in scope.
+	if !decodes && !hasHeaderParam(pass.Info, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) == 0 {
+			return true
+		}
+		tv, ok := pass.Info.Types[lit]
+		if !ok || !isRadioHeader(tv.Type) {
+			return true
+		}
+		hasFlags := false
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				return true // positional literal sets every field, Flags included
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Flags" {
+				hasFlags = true
+			}
+		}
+		if !hasFlags && !pass.Exempt(lit.Pos(), "eob-ok") {
+			pass.Reportf(lit.Pos(),
+				"Header literal omits Flags while an incoming header is in scope: the end-of-burst tag is dropped (copy Flags through or annotate //mimonet:eob-ok)")
+		}
+		return true
+	})
+}
+
+// calledRadioFunc resolves a call to a package-level function of a package
+// whose leaf name is radio.
+func calledRadioFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	if !framework.PathApplies(framework.PkgPathOf(fn), "radio") {
+		return nil
+	}
+	return fn
+}
+
+// isRadioHeader reports whether t is a named type Header from a radio
+// package.
+func isRadioHeader(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Header" && framework.PathApplies(framework.PkgPathOf(obj), "radio")
+}
+
+// hasHeaderParam reports whether any parameter is a radio.Header (or
+// pointer to one).
+func hasHeaderParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isRadioHeader(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

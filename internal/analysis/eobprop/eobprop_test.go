@@ -1,0 +1,12 @@
+package eobprop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/eobprop"
+	"repro/internal/analysis/framework/atest"
+)
+
+func TestEobprop(t *testing.T) {
+	atest.Run(t, "testdata", eobprop.Analyzer, "relay", "radio")
+}

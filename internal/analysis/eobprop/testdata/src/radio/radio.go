@@ -1,0 +1,30 @@
+// Package radio is the eobprop fixture's framing stand-in: the same shape
+// as repro/internal/radio's header surface.
+package radio
+
+import "errors"
+
+// FlagEndOfBurst marks the final frame of a burst.
+const FlagEndOfBurst = 1 << 0
+
+// Header describes one frame.
+type Header struct {
+	Streams int
+	Flags   uint16
+	Seq     uint64
+	Count   int
+}
+
+// DecodeHeader parses a frame header.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < 4 {
+		return Header{}, errors.New("short header")
+	}
+	return Header{Streams: 1, Flags: uint16(b[0]), Seq: uint64(b[1]), Count: int(b[2])}, nil
+}
+
+// EncodeFrame appends a frame to dst.
+func EncodeFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
+	dst = append(dst, byte(h.Flags), byte(h.Seq), byte(h.Count))
+	return append(dst, payload...), nil
+}

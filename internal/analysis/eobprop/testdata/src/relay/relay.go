@@ -1,0 +1,67 @@
+// Package relay is the eobprop fixture's consumer side: datagram-rewriting
+// paths that must keep the end-of-burst tag alive.
+package relay
+
+import "radio"
+
+// BadRewrite re-frames without ever consulting the EOB tag: flagged.
+func BadRewrite(dgram []byte) ([]byte, error) { // want `without consulting the end-of-burst tag`
+	h, err := radio.DecodeHeader(dgram)
+	if err != nil {
+		return nil, err
+	}
+	_ = h.Seq
+	return radio.EncodeFrame(nil, radio.Header{Streams: 1, Flags: 0, Seq: 9, Count: 0}, dgram)
+}
+
+// BadLiteral rebuilds a header from an incoming one and drops Flags:
+// flagged at the literal.
+func BadLiteral(h radio.Header) radio.Header {
+	return radio.Header{Streams: h.Streams, Seq: h.Seq + 1, Count: h.Count} // want `end-of-burst tag is dropped`
+}
+
+// GoodPropagate copies the flag through: no diagnostic.
+func GoodPropagate(dgram []byte) ([]byte, error) {
+	h, err := radio.DecodeHeader(dgram)
+	if err != nil {
+		return nil, err
+	}
+	out := radio.Header{Streams: h.Streams, Flags: h.Flags, Seq: h.Seq + 1, Count: h.Count}
+	return radio.EncodeFrame(nil, out, dgram)
+}
+
+// GoodGate branches on the constant: counts as consulting the tag.
+func GoodGate(dgram []byte) ([]byte, error) {
+	h, err := radio.DecodeHeader(dgram)
+	if err != nil {
+		return nil, err
+	}
+	flags := uint16(0)
+	if h.Flags&radio.FlagEndOfBurst != 0 {
+		flags = radio.FlagEndOfBurst
+	}
+	return radio.EncodeFrame(nil, radio.Header{Streams: 1, Flags: flags, Seq: h.Seq, Count: h.Count}, dgram)
+}
+
+//mimonet:eob-ok burst splitter intentionally strips the tag
+func AnnotatedDrop(dgram []byte) ([]byte, error) {
+	h, err := radio.DecodeHeader(dgram)
+	if err != nil {
+		return nil, err
+	}
+	return radio.EncodeFrame(nil, radio.Header{Streams: 1, Flags: 0, Seq: h.Seq, Count: h.Count}, dgram)
+}
+
+// ZeroValueOK returns empty headers (error paths): no diagnostic.
+func ZeroValueOK(dgram []byte) (radio.Header, error) {
+	if len(dgram) == 0 {
+		return radio.Header{}, nil
+	}
+	return radio.DecodeHeader(dgram)
+}
+
+// PositionalOK sets every field positionally, Flags included: no
+// diagnostic.
+func PositionalOK(h radio.Header) radio.Header {
+	return radio.Header{h.Streams, h.Flags, h.Seq, h.Count}
+}

@@ -1,0 +1,159 @@
+// Package framework is a self-contained, stdlib-only re-creation of the
+// golang.org/x/tools/go/analysis surface this repo needs: Analyzer, Pass,
+// Diagnostic, a module-aware package loader, and //mimonet:<tag> annotation
+// escape hatches. It exists because the build environment vendors nothing —
+// the analyzers in internal/analysis/* and the cmd/mimonet-lint
+// multichecker run on go/ast + go/types alone, so the lint gate works
+// offline and adds no module dependencies.
+//
+// The API deliberately mirrors x/tools so the analyzers could be ported to
+// a real go/analysis multichecker (and `go vet -vettool`) by swapping
+// imports if the dependency ever becomes available.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only selections.
+	Name string
+	// Doc is the one-paragraph description shown by mimonet-lint -list.
+	Doc string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+	annot map[string]map[int][]string // filename -> line -> tags
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Exempt reports whether the line holding pos — or the line directly above
+// it — carries a //mimonet:<tag> annotation, the analyzers' uniform escape
+// hatch for intentional violations.
+func (p *Pass) Exempt(pos token.Pos, tag string) bool {
+	position := p.Fset.Position(pos)
+	lines := p.annot[position.Filename]
+	for _, l := range []int{position.Line, position.Line - 1} {
+		for _, t := range lines[l] {
+			if t == tag {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAnnotations indexes every //mimonet:<tag> comment by file and line.
+func collectAnnotations(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "//mimonet:")
+				if idx < 0 {
+					continue
+				}
+				tag := strings.TrimPrefix(text[idx:], "//mimonet:")
+				if cut := strings.IndexAny(tag, " \t"); cut >= 0 {
+					tag = tag[:cut]
+				}
+				pos := fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int][]string)
+				}
+				out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], tag)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		annot := collectAnnotations(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				annot:    annot,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// PathApplies reports whether the final segment of an import path is one of
+// the given package names — how analyzers scope themselves to e.g.
+// internal/{sim,faults,channel} while remaining testable against fixture
+// packages with the same leaf names.
+func PathApplies(pkgPath string, leaves ...string) bool {
+	leaf := pkgPath
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		leaf = pkgPath[i+1:]
+	}
+	for _, l := range leaves {
+		if leaf == l {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IsBlockRun reports whether decl is a flowgraph-block Work path: a method
+// named Run with the structural signature
+//
+//	func (recv) Run(ctx context.Context, in []<-chan T, out []chan<- T) error
+//
+// for any stream element type T. Matching is structural, not nominal, so
+// analyzers work on the real repro/internal/flowgraph.Block implementations
+// and on self-contained fixture packages alike.
+func IsBlockRun(info *types.Info, decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || decl.Name.Name != "Run" {
+		return false
+	}
+	obj, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 3 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isContext(sig.Params().At(0).Type()) {
+		return false
+	}
+	if !isChanSlice(sig.Params().At(1).Type(), types.RecvOnly) {
+		return false
+	}
+	if !isChanSlice(sig.Params().At(2).Type(), types.SendOnly) {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isChanSlice(t types.Type, dir types.ChanDir) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	ch, ok := sl.Elem().Underlying().(*types.Chan)
+	return ok && ch.Dir() == dir
+}
+
+// IsChunkChan reports whether t is a channel (any direction) of a stream
+// chunk type: a named type called Chunk, or a []complex128 slice.
+func IsChunkChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	return isChunkElem(ch.Elem())
+}
+
+func isChunkElem(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Chunk" {
+		return true
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Complex128
+}
+
+// PkgPathOf returns the import path of the package defining obj, or "" for
+// builtins and universe-scope objects.
+func PkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// ObjOf resolves an expression to the object of its identifier, looking
+// through parentheses. Returns nil when the expression is not a plain
+// (possibly parenthesized) identifier.
+func ObjOf(info *types.Info, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

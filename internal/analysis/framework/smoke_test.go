@@ -1,0 +1,19 @@
+package framework
+
+import "testing"
+
+func TestSmokeLoadModule(t *testing.T) {
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Loader{ModRoot: root, ModPath: path}
+	pkgs, err := l.LoadPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loaded %d packages", len(pkgs))
+	if len(pkgs) < 20 {
+		t.Fatalf("too few packages: %d", len(pkgs))
+	}
+}

@@ -1,0 +1,77 @@
+// Package hotalloc is a performance lint for flowgraph block Work paths: a
+// make or append inside the chunk-processing loop of a Block.Run method
+// allocates per sample batch, which at 20 Msps turns the GC into a rate
+// limiter. Hoist the buffer out of the loop and reuse it, or — when the
+// allocation IS the semantics, like copying a chunk so downstream owns
+// independent data — annotate //mimonet:alloc-ok.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag per-iteration make/append allocations inside flowgraph block Run loops " +
+		"(hoist and reuse buffers, or annotate //mimonet:alloc-ok)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !framework.IsBlockRun(pass.Info, fd) {
+				continue
+			}
+			checkRunLoops(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkRunLoops flags allocation builtins lexically inside any loop in the
+// Run body.
+func checkRunLoops(pass *framework.Pass, fd *ast.FuncDecl) {
+	var inLoop func(n ast.Node, depth int)
+	inLoop = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch stmt := m.(type) {
+			case *ast.ForStmt:
+				inLoop(stmt.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				inLoop(stmt.Body, depth+1)
+				return false
+			case *ast.CallExpr:
+				if depth == 0 {
+					return true
+				}
+				id, ok := stmt.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if id.Name != "make" && id.Name != "append" {
+					return true
+				}
+				if pass.Exempt(stmt.Pos(), "alloc-ok") {
+					return true
+				}
+				pass.Reportf(stmt.Pos(),
+					"%s allocates on every iteration of a block Run loop; hoist the buffer out of the loop and reuse it, or annotate //mimonet:alloc-ok", id.Name)
+			}
+			return true
+		})
+	}
+	inLoop(fd.Body, 0)
+}

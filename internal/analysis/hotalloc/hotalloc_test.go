@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/atest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, "testdata", hotalloc.Analyzer, "hotallocfix")
+}

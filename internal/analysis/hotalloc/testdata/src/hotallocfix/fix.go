@@ -1,0 +1,71 @@
+// Package hotallocfix is the hotalloc fixture.
+package hotallocfix
+
+import "context"
+
+// Chunk mirrors flowgraph.Chunk structurally.
+type Chunk []complex128
+
+// AllocEveryChunk allocates inside the Work loop: flagged.
+type AllocEveryChunk struct{}
+
+func (b *AllocEveryChunk) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	for c := range in[0] {
+		buf := make([]complex128, len(c)) // want `allocates on every iteration`
+		copy(buf, c)
+		out[0] <- buf
+	}
+	return nil
+}
+
+// AppendEveryChunk grows a slice per chunk: flagged.
+type AppendEveryChunk struct{}
+
+func (b *AppendEveryChunk) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	var all Chunk
+	for c := range in[0] {
+		all = append(all, c...) // want `allocates on every iteration`
+	}
+	select {
+	case out[0] <- all:
+	case <-ctx.Done():
+	}
+	return ctx.Err()
+}
+
+// HoistedBuffer reuses one buffer across chunks: no diagnostic (the make is
+// outside the loop).
+type HoistedBuffer struct{}
+
+func (b *HoistedBuffer) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	buf := make([]complex128, 0, 4096)
+	for c := range in[0] {
+		buf = buf[:0]
+		for _, s := range c {
+			buf = appendScaled(buf, s)
+		}
+		out[0] <- Chunk(buf)
+	}
+	return nil
+}
+
+// OwnershipCopy is the annotated exception: the per-chunk copy is the
+// semantics (downstream must own independent data).
+type OwnershipCopy struct{}
+
+func (b *OwnershipCopy) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	for c := range in[0] {
+		cp := append(Chunk(nil), c...) //mimonet:alloc-ok receiver-owns-chunk copy
+		out[0] <- cp
+	}
+	return nil
+}
+
+// appendScaled is a plain helper, not a block Run: allocation lint does not
+// apply here.
+func appendScaled(dst []complex128, s complex128) []complex128 {
+	for i := 0; i < 2; i++ {
+		dst = append(dst, s*complex(float64(i), 0))
+	}
+	return dst
+}

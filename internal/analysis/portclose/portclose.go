@@ -1,0 +1,191 @@
+// Package portclose enforces the flowgraph's channel-closure ownership
+// contract, the invariant the supervisor's cascading shutdown relies on:
+//
+//  1. A Block.Run implementation must NOT close its supervisor-owned output
+//     channels — the supervisor closes every block's outputs exactly once
+//     after the final attempt, so a block-side close is a guaranteed
+//     double-close panic under restart.
+//  2. A goroutine that produces onto a locally-created stream channel
+//     (chan Chunk / chan []complex128) must `defer close` it — or the
+//     channel must be closed elsewhere in the creating function — so
+//     downstream consumers terminate instead of hanging the graph.
+//
+// The escape hatch for rule 2, when closure genuinely transfers to another
+// owner, is a //mimonet:close-elsewhere annotation.
+package portclose
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the portclose analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "portclose",
+	Doc: "enforce stream-channel closure ownership: blocks must not close supervisor-owned outputs, " +
+		"and goroutines sending on locally-made stream channels must close them (//mimonet:close-elsewhere to opt out)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if framework.IsBlockRun(pass.Info, fd) {
+				checkNoOutputClose(pass, fd)
+			}
+			checkGoroutineProducers(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkNoOutputClose flags close(out[...]) — and close(v) for v := out[i] —
+// inside a block Run method.
+func checkNoOutputClose(pass *framework.Pass, fd *ast.FuncDecl) {
+	outParam := lastParamObj(pass.Info, fd)
+	if outParam == nil {
+		return
+	}
+	// Track simple aliases of output ports: v := out[i].
+	derived := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			ix, ok := rhs.(*ast.IndexExpr)
+			if !ok || framework.ObjOf(pass.Info, ix.X) != outParam {
+				continue
+			}
+			if lobj := framework.ObjOf(pass.Info, as.Lhs[i]); lobj != nil {
+				derived[lobj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass.Info, call.Fun, "close") || len(call.Args) != 1 {
+			return true
+		}
+		arg := call.Args[0]
+		closesOut := false
+		if ix, ok := arg.(*ast.IndexExpr); ok && framework.ObjOf(pass.Info, ix.X) == outParam {
+			closesOut = true
+		}
+		if obj := framework.ObjOf(pass.Info, arg); obj != nil && (obj == outParam || derived[obj]) {
+			closesOut = true
+		}
+		if closesOut {
+			pass.Reportf(call.Pos(),
+				"block Run closes a supervisor-owned output channel; the supervisor closes outputs after the final attempt, so this double-closes under restart")
+		}
+		return true
+	})
+}
+
+// checkGoroutineProducers applies rule 2 inside one function declaration.
+func checkGoroutineProducers(pass *framework.Pass, fd *ast.FuncDecl) {
+	// Stream channels created in this function.
+	made := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass.Info, call.Fun, "make") {
+				continue
+			}
+			tv, ok := pass.Info.Types[rhs]
+			if !ok || !framework.IsChunkChan(tv.Type) {
+				continue
+			}
+			if obj := framework.ObjOf(pass.Info, as.Lhs[i]); obj != nil {
+				made[obj] = true
+			}
+		}
+		return true
+	})
+	if len(made) == 0 {
+		return
+	}
+	// Objects closed anywhere in the function (including nested literals
+	// and defers): closure ownership is satisfied wherever it lives.
+	closed := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass.Info, call.Fun, "close") || len(call.Args) != 1 {
+			return true
+		}
+		if obj := framework.ObjOf(pass.Info, call.Args[0]); obj != nil {
+			closed[obj] = true
+		}
+		return true
+	})
+	// Every goroutine literal sending on a made-here stream channel must
+	// have that channel closed somewhere.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			send, ok := m.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			obj := framework.ObjOf(pass.Info, send.Chan)
+			if obj == nil || !made[obj] || closed[obj] {
+				return true
+			}
+			if pass.Exempt(send.Pos(), "close-elsewhere") || pass.Exempt(gs.Pos(), "close-elsewhere") {
+				return true
+			}
+			pass.Reportf(send.Pos(),
+				"goroutine sends on stream channel %q created in %s but nothing closes it; downstream receivers will hang on shutdown (defer close it or annotate //mimonet:close-elsewhere)",
+				obj.Name(), fd.Name.Name)
+			return true
+		})
+		return true
+	})
+}
+
+func lastParamObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params.List
+	if len(params) == 0 {
+		return nil
+	}
+	last := params[len(params)-1]
+	if len(last.Names) == 0 || last.Names[len(last.Names)-1].Name == "_" {
+		return nil
+	}
+	return info.Defs[last.Names[len(last.Names)-1]]
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

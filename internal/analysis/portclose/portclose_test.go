@@ -1,0 +1,12 @@
+package portclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/atest"
+	"repro/internal/analysis/portclose"
+)
+
+func TestPortclose(t *testing.T) {
+	atest.Run(t, "testdata", portclose.Analyzer, "portclosefix")
+}

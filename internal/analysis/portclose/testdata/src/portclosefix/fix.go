@@ -1,0 +1,105 @@
+// Package portclosefix is the portclose fixture: self-contained stand-ins
+// for flowgraph blocks and stream-producing goroutines.
+package portclosefix
+
+import "context"
+
+// Chunk mirrors flowgraph.Chunk structurally.
+type Chunk []complex128
+
+// BadCloser closes a supervisor-owned output port.
+type BadCloser struct{}
+
+func (b *BadCloser) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	for {
+		c, ok := <-in[0]
+		if !ok {
+			close(out[0]) // want `supervisor-owned output`
+			return nil
+		}
+		out[0] <- c
+	}
+}
+
+// BadAliasCloser closes an output port through a local alias.
+type BadAliasCloser struct{}
+
+func (b *BadAliasCloser) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	o := out[0]
+	for c := range in[0] {
+		o <- c
+	}
+	close(o) // want `supervisor-owned output`
+	return nil
+}
+
+// GoodBlock returns without touching closure — the supervisor's job.
+type GoodBlock struct{}
+
+func (g *GoodBlock) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk) error {
+	for c := range in[0] {
+		select {
+		case out[0] <- c:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// leakyProducer spawns a goroutine that feeds a stream channel and never
+// closes it: receivers ranging over ch hang forever.
+func leakyProducer() <-chan Chunk {
+	ch := make(chan Chunk, 4)
+	go func() {
+		for i := 0; i < 8; i++ {
+			ch <- Chunk{complex(float64(i), 0)} // want `nothing closes it`
+		}
+	}()
+	return ch
+}
+
+// goodProducer defers the close inside the producing goroutine.
+func goodProducer() <-chan Chunk {
+	ch := make(chan Chunk, 4)
+	go func() {
+		defer close(ch)
+		for i := 0; i < 8; i++ {
+			ch <- Chunk{complex(float64(i), 0)}
+		}
+	}()
+	return ch
+}
+
+// closedByCreator closes in the creating function after synchronization.
+func closedByCreator(done chan struct{}) <-chan Chunk {
+	ch := make(chan Chunk)
+	go func() {
+		ch <- Chunk{1}
+		done <- struct{}{}
+	}()
+	go func() {
+		<-done
+		close(ch)
+	}()
+	return ch
+}
+
+// annotatedHandoff documents an ownership transfer the analyzer can't see.
+func annotatedHandoff(sink func(<-chan Chunk)) {
+	ch := make(chan Chunk)
+	go func() {
+		ch <- Chunk{2} //mimonet:close-elsewhere — sink assumes ownership
+	}()
+	sink(ch)
+}
+
+// errChannelOK: non-stream channels are out of scope (result channels are
+// routinely left unclosed).
+func errChannelOK() <-chan error {
+	ch := make(chan error, 1)
+	go func() {
+		ch <- nil
+	}()
+	return ch
+}

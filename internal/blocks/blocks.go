@@ -84,8 +84,10 @@ func (b *ChannelBlock) Outputs() int { return b.Ch.Config().NumRX }
 
 // Run implements flowgraph.Block.
 func (b *ChannelBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	// Hoisted out of the burst loop (hotalloc): the slice header array is
+	// reused across bursts; Apply does not retain it.
+	tx := make([][]complex128, len(in))
 	for {
-		tx := make([][]complex128, len(in))
 		for c := range in {
 			chunk, ok := flowgraph.Recv(ctx, in[c])
 			if !ok {
@@ -154,8 +156,10 @@ func (b *RXBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, _ []chan
 	if b.OnReport == nil {
 		return errors.New("blocks: RXBlock.OnReport is nil")
 	}
+	// Hoisted out of the burst loop (hotalloc): refilled every burst, never
+	// retained by the receiver.
+	rx := make([][]complex128, len(in))
 	for {
-		rx := make([][]complex128, len(in))
 		for a := range in {
 			chunk, ok := flowgraph.Recv(ctx, in[a])
 			if !ok {

@@ -1,0 +1,49 @@
+package channel
+
+import "testing"
+
+// TestApplyDeterministicForSeed is the regression the detrand analyzer
+// backs statically: two channels built from identical configs (same seed)
+// must produce bit-identical output through every stochastic path — fading
+// draw, Doppler evolution, phase noise, AWGN.
+func TestApplyDeterministicForSeed(t *testing.T) {
+	cfg := Config{
+		NumTX: 2, NumRX: 2, Model: TGnC, SNRdB: 18, Seed: 424242,
+		DopplerHz: 120, SampleRate: 20e6, PhaseNoiseHz: 50,
+		CFOHz: 3000, TimingOffset: 17, TrailingSilence: 9,
+	}
+	burst := make([][]complex128, 2)
+	for tx := range burst {
+		burst[tx] = make([]complex128, 400)
+		for i := range burst[tx] {
+			burst[tx][i] = complex(float64(i%7)/7, float64((i+tx)%5)/5)
+		}
+	}
+	run := func() [][]complex128 {
+		ch, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two Applies: the second draw consumes RNG state, so it too must
+		// replay identically.
+		if _, err := ch.Apply(burst); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ch.Apply(burst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for rx := range a {
+		if len(a[rx]) != len(b[rx]) {
+			t.Fatalf("rx %d: length %d vs %d", rx, len(a[rx]), len(b[rx]))
+		}
+		for i := range a[rx] {
+			if a[rx][i] != b[rx][i] {
+				t.Fatalf("rx %d sample %d differs: %v vs %v", rx, i, a[rx][i], b[rx][i])
+			}
+		}
+	}
+}

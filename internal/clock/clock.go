@@ -1,0 +1,85 @@
+// Package clock abstracts wall-clock scheduling behind an injectable
+// interface so time-driven logic — the flowgraph stall watchdog, restart
+// backoff, UDP read deadlines, throughput measurement — is unit-testable
+// without real sleeps, and so the detrand analyzer can forbid raw time.Now
+// in deterministic packages while whitelisting this one seam.
+//
+// Production code takes a Clock (usually defaulting to System); tests
+// substitute a Fake and drive it with Advance.
+package clock
+
+import "time"
+
+// Clock is the wall-clock surface the repo's time-driven code is allowed to
+// touch. It mirrors the stdlib time functions the flowgraph and radio
+// packages need; anything not on this interface is a lint error in
+// deterministic packages (see the detrand analyzer).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+	// After returns a channel that delivers one tick after d.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a one-shot timer.
+	NewTimer(d time.Duration) *Timer
+	// NewTicker returns a repeating ticker.
+	NewTicker(d time.Duration) *Ticker
+}
+
+// Timer is a stoppable one-shot timer, the subset of time.Timer the repo
+// uses. C delivers at most one tick.
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop prevents the timer from firing. It reports whether the call stopped
+// the timer before it fired.
+func (t *Timer) Stop() bool {
+	if t.stop == nil {
+		return false
+	}
+	return t.stop()
+}
+
+// Ticker delivers ticks on C at a fixed period until stopped.
+type Ticker struct {
+	C    <-chan time.Time
+	stop func()
+}
+
+// Stop turns off the ticker.
+func (t *Ticker) Stop() {
+	if t.stop != nil {
+		t.stop()
+	}
+}
+
+// System is the real wall clock.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (systemClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+func (systemClock) NewTicker(d time.Duration) *Ticker {
+	t := time.NewTicker(d)
+	return &Ticker{C: t.C, stop: t.Stop}
+}
+
+// Or returns c when non-nil and System otherwise — the idiom for optional
+// clock fields on config structs.
+func Or(c Clock) Clock {
+	if c != nil {
+		return c
+	}
+	return System
+}

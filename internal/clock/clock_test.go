@@ -1,0 +1,95 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemBasics(t *testing.T) {
+	before := System.Now()
+	if System.Since(before) < 0 {
+		t.Fatalf("negative Since")
+	}
+	tm := System.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatalf("Stop on unfired timer should report true")
+	}
+	tk := System.NewTicker(time.Hour)
+	tk.Stop()
+}
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(1000, 0))
+	ch := f.After(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatalf("fired before Advance")
+	default:
+	}
+	f.Advance(4 * time.Second)
+	select {
+	case <-ch:
+		t.Fatalf("fired early")
+	default:
+	}
+	f.Advance(time.Second)
+	got := <-ch
+	if want := time.Unix(1005, 0); !got.Equal(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatalf("Stop before firing should report true")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C:
+		t.Fatalf("stopped timer fired")
+	default:
+	}
+	if tm.Stop() {
+		t.Fatalf("second Stop should report false")
+	}
+}
+
+func TestFakeTickerRepeats(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	// One Advance crossing several periods delivers what the 1-buffered
+	// channel can hold (stdlib ticker semantics: missed ticks are dropped).
+	f.Advance(time.Second)
+	<-tk.C
+	f.Advance(time.Second)
+	<-tk.C
+	f.Advance(5 * time.Second)
+	if n := len(tk.C); n != 1 {
+		t.Fatalf("buffered ticks = %d, want 1 (drops under slow consumer)", n)
+	}
+}
+
+func TestFakeSinceAndNowCalls(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	t0 := f.Now()
+	f.Advance(3 * time.Second)
+	if d := f.Since(t0); d != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", d)
+	}
+	if f.NowCalls() < 2 {
+		t.Fatalf("NowCalls = %d, want >= 2", f.NowCalls())
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) != System {
+		t.Fatalf("Or(nil) != System")
+	}
+	f := NewFake(time.Unix(0, 0))
+	if Or(f) != Clock(f) {
+		t.Fatalf("Or(f) != f")
+	}
+}

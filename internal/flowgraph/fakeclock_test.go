@@ -1,0 +1,129 @@
+package flowgraph
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestWatchdogStallDetectionFakeClock proves the stall watchdog is driven
+// entirely by the injected clock: with StallTimeout set to an hour, a parked
+// sink is still detected in milliseconds of real time because the fake
+// clock — not the wall clock — advances past the timeout.
+func TestWatchdogStallDetectionFakeClock(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	g := New()
+	// Infinite source: the stall predicate requires pending input, so chunks
+	// must keep arriving behind the parked sink.
+	src := &SourceFunc{BlockName: "src", Next: func() (Chunk, error) { return Chunk{1}, nil }}
+	// The sink consumes one chunk, then parks until cancelled: pending input
+	// with no progress, the watchdog's stall predicate.
+	var consumed atomic.Int64
+	park := make(chan struct{})
+	sink := &SinkFunc{BlockName: "parked", Consume: func(Chunk) error {
+		if consumed.Add(1) == 1 {
+			return nil
+		}
+		<-park
+		return nil
+	}}
+	for _, b := range []Block{src, sink} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetPolicy(Policy{StallTimeout: time.Hour, Clock: fc}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- g.Run(context.Background()) }()
+	// Drive fake time from the test: each step crosses one watchdog poll
+	// interval. Gosched lets the supervisor goroutines react between steps.
+	deadline := time.After(10 * time.Second)
+	var err error
+loop:
+	for {
+		select {
+		case err = <-done:
+			break loop
+		case <-deadline:
+			t.Fatal("graph did not terminate under fake-clock advancement")
+		default:
+			fc.Advance(15 * time.Minute)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	close(park)
+	var be *BlockError
+	if !errors.As(err, &be) {
+		t.Fatalf("Run error = %v, want BlockError", err)
+	}
+	if be.Kind != KindStall || be.Block != "parked" {
+		t.Fatalf("got %v/%q, want stall on \"parked\"", be.Kind, be.Block)
+	}
+	h := g.Health()["parked"]
+	if h.Stalls == 0 {
+		t.Fatalf("health snapshot records no stall: %v", h)
+	}
+}
+
+// TestRestartBackoffUsesInjectedClock verifies the supervisor's restart
+// backoff timer comes from the policy clock: with a fake clock and a huge
+// BackoffBase the restart only happens once fake time is advanced.
+func TestRestartBackoffUsesInjectedClock(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	g := New()
+	rt := &restartableTransform{name: "flaky", panicAt: -1, failAt: 0, stallAt: -1, restarting: true}
+	fed := 0
+	src := &SourceFunc{BlockName: "src", Next: func() (Chunk, error) {
+		if fed >= 2 {
+			return nil, io.EOF
+		}
+		fed++
+		return Chunk{complex(float64(fed), 0)}, nil
+	}}
+	sink := &SinkFunc{BlockName: "sink", Consume: func(Chunk) error { return nil }}
+	for _, b := range []Block{src, rt, sink} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, rt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(rt, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetPolicy(Policy{MaxRestarts: 1, BackoffBase: time.Hour, BackoffMax: time.Hour, Clock: fc}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Run(context.Background()) }()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Run = %v, want clean completion after backoff restart", err)
+			}
+			if got := g.Health()["flaky"].Restarts; got != 1 {
+				t.Fatalf("restarts = %d, want 1", got)
+			}
+			return
+		case <-deadline:
+			t.Fatal("restart never happened — backoff not driven by injected clock")
+		default:
+			fc.Advance(30 * time.Minute)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}

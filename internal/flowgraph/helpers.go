@@ -138,7 +138,9 @@ func (f *Fanout) Run(ctx context.Context, in []<-chan Chunk, out []chan<- Chunk)
 		for i, o := range out {
 			cp := c
 			if i > 0 {
-				cp = append(Chunk(nil), c...)
+				// The copy is the point: each downstream block must own
+				// independent data (receiver-owns-chunk contract).
+				cp = append(Chunk(nil), c...) //mimonet:alloc-ok
 			}
 			if !Send(ctx, o, cp) {
 				return ctx.Err()

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
 )
 
@@ -33,6 +34,10 @@ type Policy struct {
 	// TrackHealth enables per-chunk health accounting (edge pumps) even
 	// without a watchdog. Implied by StallTimeout > 0.
 	TrackHealth bool
+	// Clock supplies the time source for the watchdog, backoff, and grace
+	// waits. Nil means the system clock; tests inject clock.Fake to drive
+	// stall detection without wall-clock sleeps.
+	Clock clock.Clock
 }
 
 func (p Policy) withDefaults() Policy {
@@ -50,6 +55,7 @@ func (p Policy) withDefaults() Policy {
 	if p.StallTimeout > 0 && p.StallGrace <= 0 {
 		p.StallGrace = 250 * time.Millisecond
 	}
+	p.Clock = clock.Or(p.Clock)
 	return p
 }
 
@@ -142,7 +148,7 @@ func (s *supervisor) runBlock(ctx context.Context, b Block, ins []<-chan Chunk, 
 		if delay > s.policy.BackoffMax {
 			delay = s.policy.BackoffMax
 		}
-		timer := time.NewTimer(delay)
+		timer := s.policy.Clock.NewTimer(delay)
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
@@ -175,10 +181,11 @@ func (s *supervisor) attempt(ctx context.Context, b Block, st *blockState, attem
 	if poll < time.Millisecond {
 		poll = time.Millisecond
 	}
-	tick := time.NewTicker(poll)
+	clk := s.policy.Clock
+	tick := clk.NewTicker(poll)
 	defer tick.Stop()
 	last := st.activity()
-	lastChange := time.Now()
+	lastChange := clk.Now()
 	for {
 		select {
 		case be := <-res:
@@ -194,21 +201,21 @@ func (s *supervisor) attempt(ctx context.Context, b Block, st *blockState, attem
 				select {
 				case be := <-res:
 					return be
-				case <-time.After(grace):
+				case <-clk.After(grace):
 					st.health.AddAbandoned()
 					return &BlockError{Block: st.name, Kind: KindStall, Attempt: attempt,
 						Err: fmt.Errorf("%w (goroutine abandoned during shutdown)", ErrStall)}
 				}
 			}
 			if cur := st.activity(); cur != last {
-				last, lastChange = cur, time.Now()
+				last, lastChange = cur, clk.Now()
 				continue
 			}
 			// A block is stalled only when it demonstrably has work it is
 			// not doing: an upstream pump waiting to deliver, or — for a
 			// source — downstream capacity it is not filling.
 			pending := st.inWait.Load() > 0 || (b.Inputs() == 0 && st.outPressure.Load() == 0)
-			if !pending || time.Since(lastChange) < s.policy.StallTimeout {
+			if !pending || clk.Since(lastChange) < s.policy.StallTimeout {
 				continue
 			}
 			st.health.AddStall()
@@ -219,7 +226,7 @@ func (s *supervisor) attempt(ctx context.Context, b Block, st *blockState, attem
 				// The attempt unwound cooperatively; report the stall, not
 				// the context error the cancelled Run returned.
 				return &BlockError{Block: st.name, Kind: KindStall, Attempt: attempt, Err: serr}
-			case <-time.After(s.policy.StallGrace):
+			case <-clk.After(s.policy.StallGrace):
 				st.health.AddAbandoned()
 				return &BlockError{Block: st.name, Kind: KindStall, Attempt: attempt,
 					Err: fmt.Errorf("%w (goroutine abandoned)", serr)}

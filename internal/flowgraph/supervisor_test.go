@@ -124,9 +124,9 @@ func TestAllBlockErrorsJoined(t *testing.T) {
 // twoInSink drains two input streams.
 type twoInSink struct{ inner *SinkFunc }
 
-func (s *twoInSink) Name() string  { return "two-in" }
-func (s *twoInSink) Inputs() int   { return 2 }
-func (s *twoInSink) Outputs() int  { return 0 }
+func (s *twoInSink) Name() string { return "two-in" }
+func (s *twoInSink) Inputs() int  { return 2 }
+func (s *twoInSink) Outputs() int { return 0 }
 func (s *twoInSink) Run(ctx context.Context, in []<-chan Chunk, _ []chan<- Chunk) error {
 	for {
 		done := 0

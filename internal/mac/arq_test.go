@@ -2,8 +2,8 @@ package mac
 
 import (
 	"math/rand"
-	"time"
 	"testing"
+	"time"
 )
 
 func TestBlockAckBitmap(t *testing.T) {

@@ -61,7 +61,7 @@ func (h *Health) Snapshot() HealthSnapshot {
 
 // HealthSnapshot is a plain-value copy of a Health counter set.
 type HealthSnapshot struct {
-	ChunksIn, ChunksOut                int64
+	ChunksIn, ChunksOut                 int64
 	Restarts, Panics, Stalls, Abandoned int64
 }
 

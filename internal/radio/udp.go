@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // UDPSender streams bursts as UDP datagrams, one frame per datagram. UDP
@@ -116,6 +118,9 @@ type UDPReceiver struct {
 	// nextSeq is the expected next sequence number (0 before first frame).
 	nextSeq uint64
 	started bool
+	// clk computes read deadlines; injectable (SetClock) so deadline logic
+	// is testable without wall-clock dependence.
+	clk clock.Clock
 }
 
 // maxGapFill caps the zero-fill for one sequence gap (in samples per
@@ -132,8 +137,12 @@ func NewUDPReceiver(addr string) (*UDPReceiver, error) {
 	if err != nil {
 		return nil, fmt.Errorf("radio: listen %q: %w", addr, err)
 	}
-	return &UDPReceiver{conn: conn, buf: make([]byte, 65536)}, nil
+	return &UDPReceiver{conn: conn, buf: make([]byte, 65536), clk: clock.System}, nil
 }
+
+// SetClock replaces the receiver's time source for deadline computation.
+// Nil restores the system clock.
+func (r *UDPReceiver) SetClock(c clock.Clock) { r.clk = clock.Or(c) }
 
 // Close releases the socket.
 func (r *UDPReceiver) Close() error { return r.conn.Close() }
@@ -149,7 +158,7 @@ func (r *UDPReceiver) ReadBurst(timeout time.Duration) ([][]complex128, error) {
 	lastCount := 0
 	for {
 		if timeout > 0 {
-			if err := r.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			if err := r.conn.SetReadDeadline(r.clk.Now().Add(timeout)); err != nil {
 				return nil, err
 			}
 		}

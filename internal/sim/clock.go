@@ -1,0 +1,10 @@
+package sim
+
+import "repro/internal/clock"
+
+// wallClock is the package's single wall-clock seam, used only by the
+// throughput experiments (E12) that genuinely measure elapsed time. Every
+// other source of nondeterminism in sim must flow from Options.Seed — the
+// detrand analyzer enforces both halves of that contract. Tests may swap in
+// a clock.Fake.
+var wallClock clock.Clock = clock.System

@@ -151,13 +151,13 @@ func E12PipelineThroughput(opt Options) (*Table, error) {
 	}
 	psdu := make([]byte, payload)
 	burstLen := phy.BurstLen(tx.MCS(), payload)
-	start := time.Now()
+	start := wallClock.Now()
 	for i := 0; i < iterations; i++ {
 		if _, err := tx.Transmit(psdu); err != nil {
 			return nil, err
 		}
 	}
-	txRate := float64(iterations) * float64(burstLen) / time.Since(start).Seconds() / 1e6
+	txRate := float64(iterations) * float64(burstLen) / wallClock.Since(start).Seconds() / 1e6
 
 	// Stage 2: full receive chain, MCS15 over a clean channel.
 	burst, err := tx.Transmit(psdu)
@@ -177,7 +177,7 @@ func E12PipelineThroughput(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	start = wallClock.Now()
 	for i := 0; i < iterations; i++ {
 		cp := make([][]complex128, len(rxs))
 		for a := range rxs {
@@ -187,16 +187,16 @@ func E12PipelineThroughput(opt Options) (*Table, error) {
 			return nil, err
 		}
 	}
-	rxRate := float64(iterations) * float64(len(rxs[0])) / time.Since(start).Seconds() / 1e6
+	rxRate := float64(iterations) * float64(len(rxs[0])) / wallClock.Since(start).Seconds() / 1e6
 
 	// Stage 3: channel simulator.
-	start = time.Now()
+	start = wallClock.Now()
 	for i := 0; i < iterations; i++ {
 		if _, err := ch.Apply(burst); err != nil {
 			return nil, err
 		}
 	}
-	chRate := float64(iterations) * float64(burstLen) / time.Since(start).Seconds() / 1e6
+	chRate := float64(iterations) * float64(burstLen) / wallClock.Since(start).Seconds() / 1e6
 
 	rows := []struct {
 		id   float64
