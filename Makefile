@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check bench clean
+.PHONY: all build test race lint fmt fmt-check bench bench-all clean
 
 all: build lint test
 
@@ -26,7 +26,16 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Tracked benchmark baseline: the root experiment benches (Quick-mode
+# Monte-Carlo settings) run once each, with the text stream shown and also
+# converted to JSON (name -> ns/op, B/op, allocs/op) by cmd/benchjson.
+# Regenerate after performance work and commit the BENCH_pr3.json diff.
 bench:
+	$(GO) test -bench . -benchmem -count 1 -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+	@echo "wrote BENCH_pr3.json"
+
+# Every benchmark in the tree (kernel micro-benches included), untracked.
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 clean:

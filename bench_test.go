@@ -13,6 +13,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/channel"
@@ -40,6 +41,39 @@ func benchExperiment(b *testing.B, id string) {
 		if err := table.Render(io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerSweep runs one experiment at a fixed worker count so the
+// serial/parallel sub-benchmarks expose the Monte-Carlo engine's scaling
+// (and its per-worker allocation overhead) side by side. The table is
+// bit-identical at every count, so the pair measures pure engine cost.
+func benchWorkerSweep(b *testing.B, id string) {
+	b.Helper()
+	runner, err := sim.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1] // single-core box: the pair would be duplicates
+	}
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := benchOptions(i)
+				opt.Workers = workers
+				table, err := runner(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := table.Render(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -123,6 +157,12 @@ func BenchmarkRXChain(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE1Workers and BenchmarkE5Workers track the parallel engine: E1 is
+// the lightest sharded sweep (per-shard modem scratch dominates), E5 the
+// heaviest (full TX→channel→RX link per packet).
+func BenchmarkE1Workers(b *testing.B) { benchWorkerSweep(b, "e1") }
+func BenchmarkE5Workers(b *testing.B) { benchWorkerSweep(b, "e5") }
 
 func BenchmarkE13STBCvsSM(b *testing.B) { benchExperiment(b, "e13") }
 

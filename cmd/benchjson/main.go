@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document mapping each benchmark name to its measured ns/op, B/op and
+// allocs/op. The repo's tracked baseline (BENCH_pr3.json) is produced this
+// way so benchmark regressions diff like source:
+//
+//	go test -bench . -benchmem -run '^$' . | go run ./cmd/benchjson > BENCH_pr3.json
+//
+// Input is read from stdin (or from files named as arguments). Lines that
+// are not benchmark result lines — the goos/goarch/pkg header, PASS/ok
+// trailers, sub-test logging — are ignored, so the raw `go test` stream can
+// be piped straight in. Metadata lines (goos, goarch, cpu, core count) are
+// captured into an "env" object so the baseline records the machine it was
+// measured on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's measurements. B/op and allocs/op are
+// only meaningful when the run passed -benchmem (the Makefile target does).
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+type document struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	in := io.Reader(os.Stdin)
+	if args := os.Args[1:]; len(args) > 0 {
+		readers := make([]io.Reader, 0, len(args))
+		for _, name := range args {
+			f, err := os.Open(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+
+	doc := document{
+		Env: map[string]string{
+			"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+			"go_version": runtime.Version(),
+		},
+		Benchmarks: map[string]result{},
+	}
+	if err := parse(in, &doc); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ordered(doc)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse consumes the go test stream, collecting benchmark lines and the
+// goos/goarch/cpu header into doc.
+func parse(r io.Reader, doc *document) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Env[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, res, err := parseLine(line)
+		if err != nil {
+			return fmt.Errorf("%q: %w", line, err)
+		}
+		if name != "" {
+			doc.Benchmarks[name] = res
+		}
+	}
+	return sc.Err()
+}
+
+// parseLine decodes one "BenchmarkName-8  123  456 ns/op  789 B/op ..."
+// line. A Benchmark-prefixed line without the fixed name/iterations shape
+// (e.g. a log line that happens to start with the word) is skipped by
+// returning an empty name.
+func parseLine(line string) (string, result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", result{}, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, nil
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := result{Iterations: iters}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, fmt.Errorf("bad value %q: %w", fields[i], err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		case "MB/s":
+			res.MBPerSec = v
+		}
+	}
+	return name, res, nil
+}
+
+// ordered re-materialises the document with benchmark keys sorted so the
+// JSON is byte-stable run to run (encoding/json sorts map keys, but being
+// explicit keeps the contract obvious and survives a future switch to a
+// slice representation).
+func ordered(doc document) any {
+	names := make([]string, 0, len(doc.Benchmarks))
+	for name := range doc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	benches := make(map[string]result, len(names))
+	for _, name := range names {
+		benches[name] = doc.Benchmarks[name]
+	}
+	return document{Env: doc.Env, Benchmarks: benches}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, res, err := parseLine("BenchmarkE1UncodedBER-8   \t 42   123456 ns/op  2048 B/op   17 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BenchmarkE1UncodedBER" {
+		t.Errorf("name = %q, want suffix stripped", name)
+	}
+	if res.Iterations != 42 || res.NsPerOp != 123456 || res.BytesPerOp != 2048 || res.AllocsPerOp != 17 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+func TestParseLineThroughput(t *testing.T) {
+	name, res, err := parseLine("BenchmarkTXChain/mcs7-4 100 5000 ns/op 350.25 MB/s 0 B/op 0 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BenchmarkTXChain/mcs7" {
+		t.Errorf("name = %q", name)
+	}
+	if res.MBPerSec != 350.25 {
+		t.Errorf("MB/s = %v", res.MBPerSec)
+	}
+}
+
+func TestParseLineSkipsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkE5PERvsSNR", // name echoed without measurements
+		"Benchmark notes: warming up",
+	} {
+		name, _, err := parseLine(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if name != "" {
+			t.Errorf("%q parsed as result %q, want skip", line, name)
+		}
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	stream := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel Xeon
+BenchmarkE1UncodedBER-8   10   1000 ns/op   64 B/op   2 allocs/op
+BenchmarkE5PERvsSNR-8      5   2000 ns/op  128 B/op   3 allocs/op
+PASS
+ok  	repro	1.234s
+`
+	doc := document{Env: map[string]string{}, Benchmarks: map[string]result{}}
+	if err := parse(strings.NewReader(stream), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] != "Intel Xeon" {
+		t.Errorf("env not captured: %+v", doc.Env)
+	}
+	if got := doc.Benchmarks["BenchmarkE5PERvsSNR"]; got.NsPerOp != 2000 || got.AllocsPerOp != 3 {
+		t.Errorf("E5 result: %+v", got)
+	}
+}

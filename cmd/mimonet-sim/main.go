@@ -27,10 +27,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		scenario = flag.String("scenario", "", "restrict fault-injection experiments (e22) to one named scenario")
+		workers  = flag.Int("workers", 0, "Monte-Carlo worker goroutines for the sharded experiments (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 	)
 	flag.Parse()
 
-	opt := sim.Options{Seed: *seed, Packets: *packets, PayloadLen: *payload, Quick: *quick, Scenario: *scenario}
+	opt := sim.Options{Seed: *seed, Packets: *packets, PayloadLen: *payload, Quick: *quick, Scenario: *scenario, Workers: *workers}
 	ids := []string{strings.ToLower(*exp)}
 	if ids[0] == "all" {
 		ids = sim.IDs()

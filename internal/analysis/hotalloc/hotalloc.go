@@ -1,9 +1,13 @@
-// Package hotalloc is a performance lint for flowgraph block Work paths: a
-// make or append inside the chunk-processing loop of a Block.Run method
-// allocates per sample batch, which at 20 Msps turns the GC into a rate
-// limiter. Hoist the buffer out of the loop and reuse it, or — when the
-// allocation IS the semantics, like copying a chunk so downstream owns
-// independent data — annotate //mimonet:alloc-ok.
+// Package hotalloc is a performance lint for the two kinds of hot loops in
+// this codebase. First, flowgraph block Work paths: a make or append inside
+// the chunk-processing loop of a Block.Run method allocates per sample
+// batch, which at 20 Msps turns the GC into a rate limiter. Second, any
+// function annotated //mimonet:hot — the Monte-Carlo shard loops in
+// internal/sim opt in this way, since a per-iteration allocation there
+// multiplies across every shard of every sweep point. In both cases, hoist
+// the buffer out of the loop and reuse it, or — when the allocation IS the
+// semantics, like copying a chunk so downstream owns independent data —
+// annotate //mimonet:alloc-ok.
 package hotalloc
 
 import (
@@ -17,7 +21,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "hotalloc",
 	Doc: "flag per-iteration make/append allocations inside flowgraph block Run loops " +
-		"(hoist and reuse buffers, or annotate //mimonet:alloc-ok)",
+		"and //mimonet:hot-annotated functions (hoist and reuse buffers, or annotate //mimonet:alloc-ok)",
 	Run: run,
 }
 
@@ -25,18 +29,31 @@ func run(pass *framework.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !framework.IsBlockRun(pass.Info, fd) {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			checkRunLoops(pass, fd)
+			if framework.IsBlockRun(pass.Info, fd) || pass.Exempt(fd.Pos(), "hot") {
+				checkHotLoops(pass, fd.Body)
+				continue
+			}
+			// Function literals opt in individually: the annotation sits on
+			// the line holding (or directly above) the literal's func token.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok || !pass.Exempt(lit.Pos(), "hot") {
+					return true
+				}
+				checkHotLoops(pass, lit.Body)
+				return false // nested literals are covered by the outer check
+			})
 		}
 	}
 	return nil
 }
 
-// checkRunLoops flags allocation builtins lexically inside any loop in the
-// Run body.
-func checkRunLoops(pass *framework.Pass, fd *ast.FuncDecl) {
+// checkHotLoops flags allocation builtins lexically inside any loop in the
+// hot body.
+func checkHotLoops(pass *framework.Pass, body *ast.BlockStmt) {
 	var inLoop func(n ast.Node, depth int)
 	inLoop = func(n ast.Node, depth int) {
 		ast.Inspect(n, func(m ast.Node) bool {
@@ -68,10 +85,10 @@ func checkRunLoops(pass *framework.Pass, fd *ast.FuncDecl) {
 					return true
 				}
 				pass.Reportf(stmt.Pos(),
-					"%s allocates on every iteration of a block Run loop; hoist the buffer out of the loop and reuse it, or annotate //mimonet:alloc-ok", id.Name)
+					"%s allocates on every iteration of a hot loop; hoist the buffer out of the loop and reuse it, or annotate //mimonet:alloc-ok", id.Name)
 			}
 			return true
 		})
 	}
-	inLoop(fd.Body, 0)
+	inLoop(body, 0)
 }

@@ -1,0 +1,71 @@
+package hotallocfix
+
+// shardLoop opts into the hot-loop lint: per-iteration allocations in a
+// Monte-Carlo shard body are flagged like block Run loops.
+//
+//mimonet:hot
+func shardLoop(n int) []complex128 {
+	var last []complex128
+	for i := 0; i < n; i++ {
+		buf := make([]complex128, 64) // want `allocates on every iteration`
+		buf[0] = complex(float64(i), 0)
+		last = buf
+	}
+	return last
+}
+
+// coldLoop carries no annotation and is not a block Run: its allocations
+// are nobody's business.
+func coldLoop(n int) []complex128 {
+	var last []complex128
+	for i := 0; i < n; i++ {
+		last = make([]complex128, 64)
+	}
+	return last
+}
+
+// hoistedShard reuses one buffer across iterations: no diagnostic.
+//
+//mimonet:hot
+func hoistedShard(n int) float64 {
+	buf := make([]float64, 64)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		for j := range buf {
+			buf[j] = float64(i + j)
+		}
+		acc += buf[0]
+	}
+	return acc
+}
+
+// escapedShard is hot but its one allocation is the semantics.
+//
+//mimonet:hot
+func escapedShard(n int) [][]float64 {
+	var out [][]float64
+	for i := 0; i < n; i++ {
+		row := make([]float64, 8) //mimonet:alloc-ok caller keeps every row
+		out = append(out, row)    //mimonet:alloc-ok result accumulation
+	}
+	return out
+}
+
+// literalShards checks the closure opt-in: only the annotated literal's
+// loops are linted.
+func literalShards(n int) {
+	flagged :=
+		//mimonet:hot
+		func() {
+			for i := 0; i < n; i++ {
+				_ = make([]byte, i+1) // want `allocates on every iteration`
+			}
+		}
+	unflagged := func() {
+		for i := 0; i < n; i++ {
+			_ = make([]byte, i+1)
+		}
+	}
+	flagged()
+	unflagged()
+}

@@ -101,6 +101,46 @@ func Mul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// MulInto computes a·b into dst, reusing dst's storage when its capacity
+// suffices (its shape is overwritten). dst must not alias a or b. Returns
+// dst, or a fresh matrix when dst was nil or too small — callers keeping a
+// scratch matrix should store the return value back.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("cmatrix: MulInto shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst = reshape(dst, a.Rows, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range brow {
+				row[j] += av * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// reshape returns a rows×cols matrix backed by m's storage when it is large
+// enough, allocating otherwise. Element values are unspecified: every
+// Into-style operation fully overwrites its destination.
+func reshape(m *Matrix, rows, cols int) *Matrix {
+	if m == nil || cap(m.Data) < rows*cols {
+		return New(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:rows*cols]
+	return m
+}
+
 // MulVec returns the matrix-vector product m·x.
 func (m *Matrix) MulVec(x []complex128) []complex128 {
 	if len(x) != m.Cols {
@@ -143,6 +183,18 @@ func (m *Matrix) Hermitian() *Matrix {
 		}
 	}
 	return out
+}
+
+// HermitianInto computes mᴴ into dst under the same storage-reuse contract
+// as MulInto. dst must not alias m.
+func (m *Matrix) HermitianInto(dst *Matrix) *Matrix {
+	dst = reshape(dst, m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			dst.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return dst
 }
 
 // Transpose returns mᵀ without conjugation.
@@ -212,12 +264,28 @@ func (m *Matrix) FrobeniusNorm() float64 {
 // pivoting, or an error if m is singular (pivot below the numerical
 // threshold) or non-square.
 func (m *Matrix) Inverse() (*Matrix, error) {
+	inv, _, err := m.InverseInto(nil, nil)
+	return inv, err
+}
+
+// InverseInto computes m⁻¹ into dst, using work as the Gauss-Jordan
+// elimination workspace; m itself is left untouched. dst and work follow the
+// MulInto storage-reuse contract and must not alias m or each other. Returns
+// (dst, work) so callers holding scratch matrices can store both back.
+func (m *Matrix) InverseInto(dst, work *Matrix) (*Matrix, *Matrix, error) {
 	if m.Rows != m.Cols {
-		return nil, fmt.Errorf("cmatrix: inverse of non-square %dx%d matrix", m.Rows, m.Cols)
+		return nil, work, fmt.Errorf("cmatrix: inverse of non-square %dx%d matrix", m.Rows, m.Cols)
 	}
 	n := m.Rows
-	a := m.Clone()
-	inv := Identity(n)
+	a := reshape(work, n, n)
+	copy(a.Data, m.Data)
+	inv := reshape(dst, n, n)
+	for i := range inv.Data {
+		inv.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		inv.Data[i*n+i] = 1
+	}
 	for col := 0; col < n; col++ {
 		// Partial pivot: largest magnitude in column at/below diagonal.
 		pivot := col
@@ -228,7 +296,7 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 			}
 		}
 		if pmax < 1e-13 {
-			return nil, fmt.Errorf("cmatrix: singular matrix (pivot %g at column %d)", pmax, col)
+			return nil, a, fmt.Errorf("cmatrix: singular matrix (pivot %g at column %d)", pmax, col)
 		}
 		if pivot != col {
 			a.swapRows(col, pivot)
@@ -255,7 +323,7 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 			}
 		}
 	}
-	return inv, nil
+	return inv, a, nil
 }
 
 func (m *Matrix) swapRows(i, j int) {

@@ -311,3 +311,76 @@ func TestDetNonSquare(t *testing.T) {
 		t.Error("non-square Det should fail")
 	}
 }
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var dst *Matrix
+	for trial := 0; trial < 50; trial++ {
+		rows, inner, cols := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(4)
+		a := randMatrix(r, rows, inner)
+		b := randMatrix(r, inner, cols)
+		dst = MulInto(dst, a, b) // reused across trials: shapes vary on purpose
+		if want := Mul(a, b); !ApproxEqual(dst, want, 1e-12) {
+			t.Fatalf("trial %d: MulInto:\n%v\nwant\n%v", trial, dst, want)
+		}
+	}
+}
+
+func TestMulIntoReusesStorage(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	dst := New(2, 2)
+	data := &dst.Data[0]
+	dst = MulInto(dst, a, a)
+	if &dst.Data[0] != data {
+		t.Error("MulInto allocated although dst capacity sufficed")
+	}
+}
+
+func TestHermitianIntoMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	var dst *Matrix
+	for trial := 0; trial < 20; trial++ {
+		m := randMatrix(r, 1+r.Intn(4), 1+r.Intn(4))
+		dst = m.HermitianInto(dst)
+		if want := m.Hermitian(); !ApproxEqual(dst, want, 0) {
+			t.Fatalf("HermitianInto:\n%v\nwant\n%v", dst, want)
+		}
+	}
+}
+
+func TestInverseIntoMatchesInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var dst, work *Matrix
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(4)
+		m := randMatrix(r, n, n)
+		orig := m.Clone()
+		want, err := m.Inverse()
+		var got *Matrix
+		var err2 error
+		got, work, err2 = m.InverseInto(dst, work)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("Inverse err %v vs InverseInto err %v", err, err2)
+		}
+		if err != nil {
+			continue
+		}
+		dst = got
+		if !ApproxEqual(got, want, 1e-12) {
+			t.Fatalf("InverseInto:\n%v\nwant\n%v", got, want)
+		}
+		if !ApproxEqual(m, orig, 0) {
+			t.Fatal("InverseInto mutated its receiver")
+		}
+	}
+}
+
+func TestInverseIntoErrors(t *testing.T) {
+	if _, _, err := New(2, 3).InverseInto(nil, nil); err == nil {
+		t.Error("non-square InverseInto should fail")
+	}
+	sing := FromRows([][]complex128{{1, 2}, {2, 4}})
+	if _, _, err := sing.InverseInto(nil, nil); err == nil {
+		t.Error("singular InverseInto should fail")
+	}
+}

@@ -19,10 +19,11 @@ import (
 // create one plan and reuse it. A plan is safe for concurrent use: Forward
 // and Inverse do not mutate plan state.
 type FFT struct {
-	n       int
-	logN    uint
-	rev     []int        // bit-reversal permutation
-	twiddle []complex128 // e^{-2πi k/n} for k in [0,n/2)
+	n          int
+	logN       uint
+	rev        []int        // bit-reversal permutation
+	twiddle    []complex128 // e^{-2πi k/n} for k in [0,n/2)
+	twiddleInv []complex128 // conjugates, so Inverse skips the per-butterfly Conj
 }
 
 // NewFFT returns a plan for transforms of length n. n must be a power of two
@@ -36,10 +37,11 @@ func NewFFT(n int) (*FFT, error) {
 		logN++
 	}
 	f := &FFT{
-		n:       n,
-		logN:    logN,
-		rev:     make([]int, n),
-		twiddle: make([]complex128, n/2),
+		n:          n,
+		logN:       logN,
+		rev:        make([]int, n),
+		twiddle:    make([]complex128, n/2),
+		twiddleInv: make([]complex128, n/2),
 	}
 	for i := 0; i < n; i++ {
 		f.rev[i] = reverseBits(i, logN)
@@ -47,6 +49,7 @@ func NewFFT(n int) (*FFT, error) {
 	for k := 0; k < n/2; k++ {
 		angle := -2 * math.Pi * float64(k) / float64(n)
 		f.twiddle[k] = cmplx.Exp(complex(0, angle))
+		f.twiddleInv[k] = cmplx.Conj(f.twiddle[k])
 	}
 	return f, nil
 }
@@ -107,18 +110,19 @@ func (f *FFT) transform(dst, src []complex128, inverse bool) {
 			dst[i] = src[j]
 		}
 	}
-	// Iterative Cooley-Tukey butterflies.
+	// Iterative Cooley-Tukey butterflies. The direction only selects which
+	// precomputed twiddle table to read; the innermost loop is branch-free.
+	twiddle := f.twiddle
+	if inverse {
+		twiddle = f.twiddleInv
+	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
 			k := 0
 			for j := start; j < start+half; j++ {
-				tw := f.twiddle[k]
-				if inverse {
-					tw = cmplx.Conj(tw)
-				}
-				t := tw * dst[j+half]
+				t := twiddle[k] * dst[j+half]
 				dst[j+half] = dst[j] - t
 				dst[j] = dst[j] + t
 				k += step

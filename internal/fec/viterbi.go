@@ -21,6 +21,8 @@ type Viterbi struct {
 	// with nextState = in<<5 | s>>1, the predecessor is
 	// s = (ns&31)<<1 | survivor, and the step-t input bit is ns>>5.
 	survivors [][numStates]uint8
+	// hardLLR is the DecodeHard scratch mapping coded bits to ±1 LLRs.
+	hardLLR []float64
 }
 
 // NewViterbi returns a decoder.
@@ -34,8 +36,17 @@ func NewViterbi() *Viterbi {
 // Depuncture expands coded values received at the given rate back to the
 // mother-code stream of 2·dataBits values, inserting zeros (erasures) at
 // punctured positions. dataBits is the number of trellis steps the decoder
-// will run.
+// will run. It allocates the output; hot paths should hold a buffer and use
+// DepunctureInto.
 func Depuncture(llr []float64, dataBits int, rate Rate) ([]float64, error) {
+	return DepunctureInto(nil, llr, dataBits, rate)
+}
+
+// DepunctureInto is Depuncture writing into dst, which is grown only when
+// its capacity is short and returned resliced to 2·dataBits. Punctured
+// positions are explicitly zeroed, so dst may hold stale values. llr and
+// dst must not overlap.
+func DepunctureInto(dst, llr []float64, dataBits int, rate Rate) ([]float64, error) {
 	pa, pb := rate.puncturePattern()
 	period := len(pa)
 	want := codedLen(dataBits, rate)
@@ -43,20 +54,27 @@ func Depuncture(llr []float64, dataBits int, rate Rate) ([]float64, error) {
 		return nil, fmt.Errorf("fec: depuncture got %d values, want %d for %d data bits at rate %v",
 			len(llr), want, dataBits, rate)
 	}
-	out := make([]float64, 2*dataBits)
+	if cap(dst) < 2*dataBits {
+		dst = make([]float64, 2*dataBits)
+	}
+	dst = dst[:2*dataBits]
 	src := 0
 	for i := 0; i < dataBits; i++ {
 		p := i % period
 		if pa[p] {
-			out[2*i] = llr[src]
+			dst[2*i] = llr[src]
 			src++
+		} else {
+			dst[2*i] = 0
 		}
 		if pb[p] {
-			out[2*i+1] = llr[src]
+			dst[2*i+1] = llr[src]
 			src++
+		} else {
+			dst[2*i+1] = 0
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeSoft runs Viterbi decoding over a depunctured mother-code LLR stream
@@ -64,8 +82,16 @@ func Depuncture(llr []float64, dataBits int, rate Rate) ([]float64, error) {
 // data bits, one per trellis step. If terminated is true the trellis is
 // assumed driven back to the all-zero state by tail bits and traceback
 // starts from state 0; otherwise traceback starts from the best-metric end
-// state.
+// state. It allocates the output; hot paths should hold a buffer and use
+// DecodeSoftInto.
 func (v *Viterbi) DecodeSoft(llr []float64, terminated bool) ([]byte, error) {
+	return v.DecodeSoftInto(nil, llr, terminated)
+}
+
+// DecodeSoftInto is DecodeSoft writing the decoded bits into dst, which is
+// grown only when its capacity is short and returned resliced to one byte
+// per trellis step.
+func (v *Viterbi) DecodeSoftInto(dst []byte, llr []float64, terminated bool) ([]byte, error) {
 	if len(llr)%2 != 0 {
 		return nil, fmt.Errorf("fec: soft input length %d is odd", len(llr))
 	}
@@ -126,7 +152,11 @@ func (v *Viterbi) DecodeSoft(llr []float64, terminated bool) ([]byte, error) {
 			}
 		}
 	}
-	bits := make([]byte, steps)
+	bits := dst
+	if cap(bits) < steps {
+		bits = make([]byte, steps)
+	}
+	bits = bits[:steps]
 	for t := steps - 1; t >= 0; t-- {
 		bits[t] = uint8(state >> (ConstraintLength - 2)) // input bit sits at the register top
 		state = ((state << 1) & (numStates - 1)) | int(v.survivors[t][state])
@@ -138,15 +168,8 @@ func (v *Viterbi) DecodeSoft(llr []float64, terminated bool) ([]byte, error) {
 // them to unit-confidence LLRs. The scratch LLR buffer is reused across
 // calls.
 func (v *Viterbi) DecodeHard(coded []byte, terminated bool) ([]byte, error) {
-	llr := make([]float64, len(coded))
-	for i, b := range coded {
-		if b&1 == 0 {
-			llr[i] = 1
-		} else {
-			llr[i] = -1
-		}
-	}
-	return v.DecodeSoft(llr, terminated)
+	v.hardLLR = HardToLLR(v.hardLLR, coded)
+	return v.DecodeSoft(v.hardLLR, terminated)
 }
 
 func (v *Viterbi) ensureTraceback(steps int) {

@@ -28,6 +28,11 @@ type Detector interface {
 
 // linearDetector implements ZF and MMSE, which differ only in the weight
 // matrix computed during Prepare.
+//
+// Prepare runs once per packet (and once per symbol under decision-directed
+// tracking), so all of its working matrices are held on the detector and
+// reused: after the first packet of a steady-state link, Prepare allocates
+// nothing.
 type linearDetector struct {
 	name     string
 	mmse     bool
@@ -38,6 +43,8 @@ type linearDetector struct {
 	w    []*cmatrix.Matrix // weight matrix
 	csi  [][]float64       // per-stream effective CSI weight (1/noise-enhancement)
 	sbuf []complex128
+	// Prepare scratch, reused across calls.
+	hh, gram, gi, work, bias *cmatrix.Matrix
 }
 
 // NewZF returns a zero-forcing detector (W = (HᴴH)⁻¹Hᴴ) for nss streams of
@@ -59,8 +66,13 @@ func (d *linearDetector) Prepare(h []*cmatrix.Matrix, noiseVar float64) error {
 		noiseVar = 1e-12
 	}
 	d.noiseVar = noiseVar
-	d.w = make([]*cmatrix.Matrix, len(h))
-	d.csi = make([][]float64, len(h))
+	if cap(d.w) >= len(h) {
+		d.w = d.w[:len(h)]
+		d.csi = d.csi[:len(h)]
+	} else {
+		d.w = make([]*cmatrix.Matrix, len(h))
+		d.csi = make([][]float64, len(h))
+	}
 	for k, hk := range h {
 		if hk.Cols != d.nss {
 			return fmt.Errorf("mimo: channel at subcarrier %d has %d columns, want %d", k, hk.Cols, d.nss)
@@ -68,22 +80,30 @@ func (d *linearDetector) Prepare(h []*cmatrix.Matrix, noiseVar float64) error {
 		if hk.Rows < d.nss {
 			return fmt.Errorf("mimo: %d receive antennas cannot separate %d streams linearly", hk.Rows, d.nss)
 		}
-		hh := hk.Hermitian()
-		gram := cmatrix.Mul(hh, hk)
+		d.hh = hk.HermitianInto(d.hh)
+		hh := d.hh
+		d.gram = cmatrix.MulInto(d.gram, hh, hk)
 		if d.mmse {
-			gram.AddScaledIdentity(complex(noiseVar, 0))
+			d.gram.AddScaledIdentity(complex(noiseVar, 0))
 		}
-		gi, err := gram.Inverse()
+		gi, work, err := d.gram.InverseInto(d.gi, d.work)
+		d.gi, d.work = gi, work
 		if err != nil {
 			return fmt.Errorf("mimo: subcarrier %d: %w", k, err)
 		}
-		w := cmatrix.Mul(gi, hh)
-		csi := make([]float64, d.nss)
+		w := cmatrix.MulInto(d.w[k], gi, hh)
+		csi := d.csi[k]
+		if cap(csi) >= d.nss {
+			csi = csi[:d.nss]
+		} else {
+			csi = make([]float64, d.nss)
+		}
 		if d.mmse {
 			// Unbias: scale row i by 1/(WH)_{ii}; the post-detection SINR of
 			// stream i is 1/(σ²·Gi_{ii}) − 1 · ... derive from the unbiased
 			// residual: with B = WH, estimate ŝ_i = B_ii s_i + Σ_{j≠i} B_ij s_j + (Wn)_i.
-			b := cmatrix.Mul(w, hk)
+			d.bias = cmatrix.MulInto(d.bias, w, hk)
+			b := d.bias
 			for i := 0; i < d.nss; i++ {
 				bii := b.At(i, i)
 				if bii == 0 {

@@ -121,14 +121,25 @@ func (m *Mapper) Scheme() Scheme { return m.scheme }
 // symbols. The first bit of each group modulates I, per the standard's
 // table ordering.
 func (m *Mapper) Map(bits []byte) ([]complex128, error) {
+	return m.MapTo(nil, bits)
+}
+
+// MapTo is Map writing into dst, which is grown only when its capacity is
+// short and returned resliced to the symbol count, for callers that map
+// many blocks with a reused buffer.
+func (m *Mapper) MapTo(dst []complex128, bits []byte) ([]complex128, error) {
 	if len(bits)%m.nbpsc != 0 {
 		return nil, fmt.Errorf("modem: %d bits is not a multiple of %d", len(bits), m.nbpsc)
 	}
-	out := make([]complex128, len(bits)/m.nbpsc)
-	for i := range out {
-		out[i] = m.MapOne(bits[i*m.nbpsc : (i+1)*m.nbpsc])
+	n := len(bits) / m.nbpsc
+	if cap(dst) < n {
+		dst = make([]complex128, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = m.MapOne(bits[i*m.nbpsc : (i+1)*m.nbpsc])
+	}
+	return dst, nil
 }
 
 // MapOne converts exactly BitsPerSymbol bits to one symbol.

@@ -1,0 +1,152 @@
+// Package montecarlo is the work-sharded parallel sweep engine behind the
+// experiment harness (internal/sim). A sweep is split into independent
+// shards — typically one per SNR point × packet batch — and executed on a
+// bounded worker pool. Three rules make a parallel run bit-identical to the
+// serial run at any worker count:
+//
+//  1. Every shard derives its own random stream from the sweep seed and its
+//     shard index (ShardSeed), never from a stream shared across shards.
+//  2. Workers never share mutable simulation state: each worker builds its
+//     own PHY/modem/Viterbi/channel instances once (the newWorker hook) and
+//     reuses them across the shards it happens to pull — shard results must
+//     not depend on which worker ran them, only on the shard index.
+//  3. Results are merged in shard-index order after all shards complete, so
+//     floating-point accumulation order is fixed.
+//
+// Together these preserve the seeded-determinism invariant that the detrand
+// analyzer and internal/channel's determinism tests enforce: the same
+// Options.Seed produces the same tables whether the sweep runs on one
+// goroutine or sixty-four.
+package montecarlo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values ≤ 0 select
+// runtime.GOMAXPROCS(0); anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ShardSeed derives the independent stream seed of one shard from the
+// sweep's base seed. The shard index is avalanche-mixed (SplitMix64
+// finalizer) before the XOR so that neighbouring shard IDs do not yield
+// correlated low bits — a raw base⊕shard would hand shard 0 the base stream
+// and give shards 2k/2k+1 streams differing in one bit.
+func ShardSeed(base int64, shard int) int64 {
+	z := (uint64(shard) + 1) * 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return base ^ int64(z)
+}
+
+// Run executes fn for every shard index in [0, shards) and returns the
+// results indexed by shard, independent of worker count and scheduling.
+//
+// workers ≤ 0 selects GOMAXPROCS; workers == 1 is the legacy serial path —
+// an inline loop with no goroutines, no channels and no synchronization.
+// With workers > 1, each worker calls newWorker once to build its private
+// state S (simulation objects are generally not concurrency-safe) and then
+// pulls shard indices until the sweep is drained.
+//
+// fn must be a pure function of (state, shard): it may mutate state as
+// scratch, but its result must depend only on the shard index. The first
+// error (by shard order) aborts the sweep and is returned.
+func Run[S, T any](shards, workers int, newWorker func() (S, error), fn func(state S, shard int) (T, error)) ([]T, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("montecarlo: negative shard count %d", shards)
+	}
+	results := make([]T, shards)
+	workers = Workers(workers)
+	if workers > shards {
+		workers = shards
+	}
+	if shards == 0 {
+		return results, nil
+	}
+
+	if workers <= 1 {
+		state, err := newWorker()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < shards; i++ {
+			r, err := fn(state, i)
+			if err != nil {
+				return nil, fmt.Errorf("montecarlo: shard %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next atomic.Int64 // next shard index to hand out
+		stop atomic.Bool  // set on first error to drain the pool early
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make(map[int]error)
+	)
+	fail := func(shard int, err error) {
+		mu.Lock()
+		errs[shard] = err
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			state, err := newWorker()
+			if err != nil {
+				fail(-1, err)
+				return
+			}
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= shards {
+					return
+				}
+				r, err := fn(state, i)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		// Report the lowest-shard error so failures are deterministic too.
+		best := -2
+		for shard := range errs {
+			if best == -2 || shard < best {
+				best = shard
+			}
+		}
+		if best == -1 {
+			return nil, errs[-1]
+		}
+		return nil, fmt.Errorf("montecarlo: shard %d: %w", best, errs[best])
+	}
+	return results, nil
+}
+
+// Map is Run without per-worker state, for sweeps whose shards build all
+// their objects internally (for example one full link simulation per shard).
+func Map[T any](shards, workers int, fn func(shard int) (T, error)) ([]T, error) {
+	return Run(shards, workers,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, shard int) (T, error) { return fn(shard) })
+}

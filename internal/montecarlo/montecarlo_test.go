@@ -1,0 +1,141 @@
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// sweep simulates a sharded accumulation: each shard draws from its own
+// seeded stream, so the result vector must not depend on the worker count.
+func sweep(t *testing.T, shards, workers int, seed int64) []float64 {
+	t.Helper()
+	res, err := Map(shards, workers, func(shard int) (float64, error) {
+		r := rand.New(rand.NewSource(ShardSeed(seed, shard)))
+		acc := 0.0
+		for i := 0; i < 1000; i++ {
+			acc += r.NormFloat64()
+		}
+		return acc, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref := sweep(t, 37, 1, 42)
+	for _, workers := range []int{2, 3, 4, 8, runtime.GOMAXPROCS(0), 64} {
+		got := sweep(t, 37, workers, 42)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: shard %d = %g, serial %g", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunPerWorkerState(t *testing.T) {
+	var built atomic.Int64
+	type scratch struct{ buf []int }
+	res, err := Run(100, 4,
+		func() (*scratch, error) {
+			built.Add(1)
+			return &scratch{buf: make([]int, 8)}, nil
+		},
+		func(s *scratch, shard int) (int, error) {
+			s.buf[0] = shard // mutating private state is allowed
+			return shard * shard, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res {
+		if v != i*i {
+			t.Fatalf("res[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if n := built.Load(); n < 1 || n > 4 {
+		t.Fatalf("newWorker ran %d times, want 1..4", n)
+	}
+}
+
+func TestRunErrorIsLowestShard(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(50, workers, func(shard int) (int, error) {
+			if shard%7 == 3 { // shards 3, 10, 17, ... fail
+				return 0, fmt.Errorf("shard says: %w", sentinel)
+			}
+			return shard, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if workers == 1 && !strings.Contains(err.Error(), "shard 3") {
+			t.Fatalf("serial error %q does not name shard 3", err)
+		}
+	}
+}
+
+func TestRunNewWorkerError(t *testing.T) {
+	sentinel := errors.New("no state")
+	_, err := Run(10, 4,
+		func() (int, error) { return 0, sentinel },
+		func(int, int) (int, error) { return 0, nil })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	res, err := Map(0, 8, func(int) (int, error) { t.Fatal("fn ran"); return 0, nil })
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty sweep: res %v err %v", res, err)
+	}
+	if _, err := Map(-1, 1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative shard count should fail")
+	}
+	// More workers than shards must still complete every shard exactly once.
+	res, err = Map(3, 64, func(shard int) (int, error) { return shard + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 1 || res[1] != 2 || res[2] != 3 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", Workers(-3))
+	}
+	if Workers(5) != 5 {
+		t.Errorf("Workers(5) = %d", Workers(5))
+	}
+}
+
+func TestShardSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for shard := 0; shard < 4096; shard++ {
+		s := ShardSeed(1, shard)
+		if seen[s] {
+			t.Fatalf("seed collision at shard %d", shard)
+		}
+		seen[s] = true
+	}
+	if ShardSeed(1, 0) == 1 {
+		t.Error("shard 0 must not inherit the base seed verbatim")
+	}
+	if ShardSeed(1, 2)^ShardSeed(1, 3) == 1 {
+		t.Error("adjacent shards differ by one bit: mixing is missing")
+	}
+}

@@ -93,6 +93,15 @@ type Receiver struct {
 	legDem *ofdm.Demodulator
 	htDem  *ofdm.Demodulator
 	vit    *fec.Viterbi
+	// Per-packet scratch reused across Receive calls so steady-state
+	// decoding stays off the allocator's hot path.
+	depBuf []float64
+	decBuf []byte
+	// Cached MIMO detector, reused while consecutive packets announce the
+	// same (scheme, streams); Prepare fully resets detector state per packet.
+	det       mimo.Detector
+	detScheme modem.Scheme
+	detNSS    int
 }
 
 // NewReceiver validates the configuration and returns a receiver.
@@ -311,10 +320,14 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	}
 
 	// --- 8. MIMO detection over the data symbols ------------------------
-	detector, err := mimo.NewDetector(r.cfg.Detector, mcs.Scheme, mcs.NSS)
-	if err != nil {
-		return result, err
+	if r.det == nil || r.detScheme != mcs.Scheme || r.detNSS != mcs.NSS {
+		d, derr := mimo.NewDetector(r.cfg.Detector, mcs.Scheme, mcs.NSS)
+		if derr != nil {
+			return result, derr
+		}
+		r.det, r.detScheme, r.detNSS = d, mcs.Scheme, mcs.NSS
 	}
+	detector := r.det
 	if err := detector.Prepare(htEst.DataMatrices(), leg.NoiseVar); err != nil {
 		return result, err
 	}
@@ -446,10 +459,11 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 		return result, err
 	}
 	dataBits := nSym * mcs.NDBPS()
-	dep, err := fec.Depuncture(merged, dataBits, mcs.Rate)
+	dep, err := fec.DepunctureInto(r.depBuf, merged, dataBits, mcs.Rate)
 	if err != nil {
 		return result, err
 	}
+	r.depBuf = dep
 	// The trellis is in the zero state right after the 6 tail bits; the pad
 	// bits that fill the last symbol keep driving it afterwards, so decode
 	// only SERVICE + PSDU + tail steps and anchor traceback at the tail.
@@ -457,10 +471,11 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	if usefulSteps > dataBits {
 		return result, fmt.Errorf("phy: HT-SIG length %d exceeds the %d-symbol data field", htsig.Length, nSym)
 	}
-	decoded, err := r.vit.DecodeSoft(dep[:2*usefulSteps], true)
+	decoded, err := r.vit.DecodeSoftInto(r.decBuf, dep[:2*usefulSteps], true)
 	if err != nil {
 		return result, err
 	}
+	r.decBuf = decoded
 	// Descramble: recover the seed from the SERVICE field (the first 7
 	// scrambled bits reveal the initial state).
 	descrambled := descramble(decoded)

@@ -15,6 +15,9 @@ type sigCodec struct {
 	mapper   *modem.Mapper
 	demapper *modem.Demapper
 	viterbi  *fec.Viterbi
+	// decode scratch, reused across packets.
+	llrBuf []float64
+	depBuf []float64
 }
 
 func newSigCodec() *sigCodec {
@@ -65,7 +68,7 @@ func (c *sigCodec) decode(symbols [][]complex128, csi [][]float64, noiseVar floa
 	if len(symbols) == 0 {
 		return nil, fmt.Errorf("phy: no SIG symbols")
 	}
-	var llr []float64
+	llr := c.llrBuf[:0]
 	buf := make([]float64, 48)
 	for s, tones := range symbols {
 		if len(tones) != 48 {
@@ -85,9 +88,11 @@ func (c *sigCodec) decode(symbols [][]complex128, csi [][]float64, noiseVar floa
 		c.il.DeinterleaveLLR(buf, soft)
 		llr = append(llr, buf...)
 	}
-	dep, err := fec.Depuncture(llr, len(llr)/2, fec.Rate1_2)
+	c.llrBuf = llr
+	dep, err := fec.DepunctureInto(c.depBuf, llr, len(llr)/2, fec.Rate1_2)
 	if err != nil {
 		return nil, err
 	}
+	c.depBuf = dep
 	return c.viterbi.DecodeSoft(dep, true)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mimo"
 	"repro/internal/modem"
+	"repro/internal/montecarlo"
 	"repro/internal/ofdm"
 )
 
@@ -37,9 +38,82 @@ func theoryBER(s modem.Scheme, snr float64) float64 {
 	return math.NaN()
 }
 
+// e1State is one worker's private modulation chain and scratch: OFDM
+// plans plus every buffer the shard loop touches, so steady-state sharded
+// symbol decoding is allocation-free.
+type e1State struct {
+	mod    *ofdm.Modulator
+	dem    *ofdm.Demodulator
+	bits   []byte
+	sym    []complex128
+	body   []complex128
+	tones  []complex128
+	data   []complex128
+	pilots []complex128
+	hard   []byte
+}
+
+func newE1State() (*e1State, error) {
+	return &e1State{
+		mod:  ofdm.NewModulator(ofdm.HTToneMap),
+		dem:  ofdm.NewDemodulator(ofdm.HTToneMap),
+		bits: make([]byte, 52*6), // sized for the widest scheme (64-QAM)
+		sym:  make([]complex128, ofdm.SymbolLen),
+		body: make([]complex128, ofdm.FFTSize),
+		hard: make([]byte, 0, 52*6),
+	}, nil
+}
+
+// e1Shard measures uncoded BER for one (SNR point, scheme) cell on its own
+// seeded random stream.
+//
+//mimonet:hot
+func e1Shard(st *e1State, shard int, seed int64, snrDB float64, scheme modem.Scheme, symbolsPerPoint int) (metrics.BER, error) {
+	r := rand.New(rand.NewSource(montecarlo.ShardSeed(seed, shard)))
+	mapper := modem.NewMapper(scheme)
+	demapper := modem.NewDemapper(scheme)
+	snr := math.Pow(10, snrDB/10)
+	sigma := math.Sqrt(1 / snr / 2)
+	bits := st.bits[:52*scheme.BitsPerSymbol()]
+	txPilots := []complex128{1, 1, 1, -1}
+	var ber metrics.BER
+	for s := 0; s < symbolsPerPoint; s++ {
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		tones, err := mapper.MapTo(st.tones, bits)
+		if err != nil {
+			return ber, err
+		}
+		st.tones = tones
+		if err := st.mod.Symbol(st.sym, tones, txPilots); err != nil {
+			return ber, err
+		}
+		copy(st.body, st.sym[ofdm.CPLen:])
+		for i := range st.body {
+			st.body[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+		}
+		data, pilots, err := st.dem.Symbol(st.body, st.data[:0], st.pilots[:0])
+		if err != nil {
+			return ber, err
+		}
+		st.data, st.pilots = data, pilots
+		got := st.hard[:0]
+		for _, sym := range data {
+			got = demapper.HardOne(got, sym)
+		}
+		st.hard = got
+		if err := ber.AddBits(bits, got); err != nil {
+			return ber, err
+		}
+	}
+	return ber, nil
+}
+
 // E1UncodedBER sweeps uncoded BER vs SNR for every constellation over SISO
 // OFDM in AWGN, against theory. Validates the modulation, OFDM and noise
-// calibration that every later experiment stands on.
+// calibration that every later experiment stands on. One shard per
+// (SNR point, scheme) cell.
 func E1UncodedBER(opt Options) (*Table, error) {
 	t := &Table{
 		ID:    "E1",
@@ -54,46 +128,21 @@ func E1UncodedBER(opt Options) (*Table, error) {
 		snrs = []float64{4, 10, 16}
 		symbolsPerPoint = 40
 	}
-	r := rand.New(rand.NewSource(opt.Seed))
-	mod := ofdm.NewModulator(ofdm.HTToneMap)
-	dem := ofdm.NewDemodulator(ofdm.HTToneMap)
 	schemes := []modem.Scheme{modem.BPSK, modem.QPSK, modem.QAM16, modem.QAM64}
-	for _, snrDB := range snrs {
+	res, err := montecarlo.Run(len(snrs)*len(schemes), opt.Workers, newE1State,
+		func(st *e1State, shard int) (metrics.BER, error) {
+			snrDB := snrs[shard/len(schemes)]
+			scheme := schemes[shard%len(schemes)]
+			return e1Shard(st, shard, opt.Seed, snrDB, scheme, symbolsPerPoint)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
 		row := []float64{snrDB}
 		snr := math.Pow(10, snrDB/10)
-		sigma := math.Sqrt(1 / snr / 2)
-		for _, scheme := range schemes {
-			mapper := modem.NewMapper(scheme)
-			demapper := modem.NewDemapper(scheme)
-			var ber metrics.BER
-			nbits := 52 * scheme.BitsPerSymbol()
-			bits := make([]byte, nbits)
-			sym := make([]complex128, ofdm.SymbolLen)
-			for s := 0; s < symbolsPerPoint; s++ {
-				for i := range bits {
-					bits[i] = byte(r.Intn(2))
-				}
-				tones, err := mapper.Map(bits)
-				if err != nil {
-					return nil, err
-				}
-				if err := mod.Symbol(sym, tones, []complex128{1, 1, 1, -1}); err != nil {
-					return nil, err
-				}
-				body := append([]complex128(nil), sym[ofdm.CPLen:]...)
-				for i := range body {
-					body[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
-				}
-				data, _, err := dem.Symbol(body, nil, nil)
-				if err != nil {
-					return nil, err
-				}
-				got := demapper.Hard(data)
-				if err := ber.AddBits(bits, got); err != nil {
-					return nil, err
-				}
-			}
-			row = append(row, ber.Rate(), theoryBER(scheme, snr))
+		for ci, scheme := range schemes {
+			row = append(row, res[si*len(schemes)+ci].Rate(), theoryBER(scheme, snr))
 		}
 		if err := t.AddRow(row...); err != nil {
 			return nil, err
@@ -103,9 +152,115 @@ func E1UncodedBER(opt Options) (*Table, error) {
 	return t, nil
 }
 
+// e2State is one worker's private coding chain and scratch for E2.
+type e2State struct {
+	mapper   *modem.Mapper
+	demapper *modem.Demapper
+	vit      *fec.Viterbi
+	data     []byte
+	padded   []byte
+	tones    []complex128
+	noisy    []complex128
+	ct       []complex128
+	noisyCT  []complex128
+	hard     []byte
+	llr      []float64
+	dep      []float64
+	dec      []byte
+}
+
+func newE2State() (*e2State, error) {
+	return &e2State{
+		mapper:   modem.NewMapper(modem.QPSK),
+		demapper: modem.NewDemapper(modem.QPSK),
+		vit:      fec.NewViterbi(),
+	}, nil
+}
+
+// e2Result carries one SNR point's counters.
+type e2Result struct {
+	uncoded, rate12, rate34 metrics.BER
+}
+
+// e2Shard measures coded and uncoded QPSK BER for one SNR point on its own
+// seeded random stream. The coded rates run in a fixed order (1/2 then 3/4)
+// so the shared noise stream is consumed deterministically — the legacy
+// loop iterated a map, which randomized the draw order between runs.
+//
+//mimonet:hot
+func e2Shard(st *e2State, shard int, seed int64, snrDB float64, blockBits, blocks int) (e2Result, error) {
+	var res e2Result
+	r := rand.New(rand.NewSource(montecarlo.ShardSeed(seed+2, shard)))
+	snr := math.Pow(10, snrDB/10)
+	sigma := math.Sqrt(1 / snr / 2)
+	if cap(st.data) < blockBits {
+		st.data = make([]byte, blockBits)
+		st.padded = make([]byte, blockBits+6)
+	}
+	data := st.data[:blockBits]
+	padded := st.padded[:blockBits+6]
+	rates := []struct {
+		rate fec.Rate
+		ber  *metrics.BER
+	}{{fec.Rate1_2, &res.rate12}, {fec.Rate3_4, &res.rate34}}
+	for b := 0; b < blocks; b++ {
+		for i := range data {
+			data[i] = byte(r.Intn(2))
+		}
+		// Uncoded reference.
+		tones, err := st.mapper.MapTo(st.tones, data)
+		if err != nil {
+			return res, err
+		}
+		st.tones = tones
+		st.noisy = addAWGNInto(st.noisy, r, tones, sigma)
+		got := st.hard[:0]
+		for _, sym := range st.noisy {
+			got = st.demapper.HardOne(got, sym)
+		}
+		st.hard = got
+		if err := res.uncoded.AddBits(data, got); err != nil {
+			return res, err
+		}
+		// Coded paths.
+		copy(padded, data)
+		for i := blockBits; i < len(padded); i++ {
+			padded[i] = 0
+		}
+		for _, rp := range rates {
+			enc := fec.Encode(padded, rp.rate) //mimonet:alloc-ok encoder sizes its own output
+			ct, err := st.mapper.MapTo(st.ct, enc)
+			if err != nil {
+				return res, err
+			}
+			st.ct = ct
+			st.noisyCT = addAWGNInto(st.noisyCT, r, ct, sigma)
+			llr := st.llr[:0]
+			for _, sym := range st.noisyCT {
+				llr = st.demapper.SoftOne(llr, sym, 2*sigma*sigma, 1)
+			}
+			st.llr = llr
+			dep, err := fec.DepunctureInto(st.dep, llr, len(padded), rp.rate)
+			if err != nil {
+				return res, err
+			}
+			st.dep = dep
+			dec, err := st.vit.DecodeSoftInto(st.dec, dep, true)
+			if err != nil {
+				return res, err
+			}
+			st.dec = dec
+			if err := rp.ber.AddBits(data, dec[:blockBits]); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
 // E2FECGain measures the coding gain of the concatenated FEC (the paper's
 // packet-construction feature): coded vs uncoded BER for QPSK at rates 1/2
-// and 3/4 over AWGN, soft-decision Viterbi.
+// and 3/4 over AWGN, soft-decision Viterbi. One shard per SNR point.
 func E2FECGain(opt Options) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
@@ -119,53 +274,15 @@ func E2FECGain(opt Options) (*Table, error) {
 		snrs = []float64{2, 5, 8}
 		blocks = 6
 	}
-	r := rand.New(rand.NewSource(opt.Seed + 2))
-	mapper := modem.NewMapper(modem.QPSK)
-	demapper := modem.NewDemapper(modem.QPSK)
-	vit := fec.NewViterbi()
-	for _, snrDB := range snrs {
-		snr := math.Pow(10, snrDB/10)
-		sigma := math.Sqrt(1 / snr / 2)
-		var uncoded metrics.BER
-		coded := map[fec.Rate]*metrics.BER{fec.Rate1_2: {}, fec.Rate3_4: {}}
-		for b := 0; b < blocks; b++ {
-			data := make([]byte, blockBits)
-			for i := range data {
-				data[i] = byte(r.Intn(2))
-			}
-			// Uncoded reference.
-			tones, err := mapper.Map(data)
-			if err != nil {
-				return nil, err
-			}
-			rxTones := addAWGN(r, tones, sigma)
-			if err := uncoded.AddBits(data, demapper.Hard(rxTones)); err != nil {
-				return nil, err
-			}
-			// Coded paths.
-			for rate, ber := range coded {
-				padded := append(append([]byte(nil), data...), make([]byte, 6)...)
-				enc := fec.Encode(padded, rate)
-				ct, err := mapper.Map(enc)
-				if err != nil {
-					return nil, err
-				}
-				rxCT := addAWGN(r, ct, sigma)
-				llr := demapper.Soft(rxCT, 2*sigma*sigma, nil)
-				dep, err := fec.Depuncture(llr, len(padded), rate)
-				if err != nil {
-					return nil, err
-				}
-				dec, err := vit.DecodeSoft(dep, true)
-				if err != nil {
-					return nil, err
-				}
-				if err := ber.AddBits(data, dec[:blockBits]); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if err := t.AddRow(snrDB, uncoded.Rate(), coded[fec.Rate1_2].Rate(), coded[fec.Rate3_4].Rate()); err != nil {
+	res, err := montecarlo.Run(len(snrs), opt.Workers, newE2State,
+		func(st *e2State, shard int) (e2Result, error) {
+			return e2Shard(st, shard, opt.Seed, snrs[shard], blockBits, blocks)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
+		if err := t.AddRow(snrDB, res[si].uncoded.Rate(), res[si].rate12.Rate(), res[si].rate34.Rate()); err != nil {
 			return nil, err
 		}
 	}
@@ -173,16 +290,147 @@ func E2FECGain(opt Options) (*Table, error) {
 	return t, nil
 }
 
-func addAWGN(r *rand.Rand, x []complex128, sigma float64) []complex128 {
-	out := make([]complex128, len(x))
-	for i, v := range x {
-		out[i] = v + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+// addAWGNInto adds complex Gaussian noise of per-component deviation sigma
+// to x, writing into dst (grown only when capacity is short).
+func addAWGNInto(dst []complex128, r *rand.Rand, x []complex128, sigma float64) []complex128 {
+	if cap(dst) < len(x) {
+		dst = make([]complex128, len(x))
 	}
-	return out
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = v + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+	}
+	return dst
+}
+
+// e3BatchSize is the channel-realization count per E3 shard: small enough
+// that a full-resolution sweep (300 realizations × 8 SNR points) spreads
+// over ~100 shards, large enough that shard bookkeeping is noise.
+const e3BatchSize = 25
+
+var e3Detectors = []string{"zf", "mmse", "sic", "ml"}
+
+// e3State is one worker's private detector bank and scratch for E3.
+type e3State struct {
+	mapper   *modem.Mapper
+	demapper *modem.Demapper
+	h        *cmatrix.Matrix
+	hs       []*cmatrix.Matrix
+	dets     []mimo.Detector
+	llr      [][]float64
+	x        []complex128
+	y        []complex128
+	bits     [2][2]byte
+	hard     []byte
+}
+
+func newE3State() (*e3State, error) {
+	st := &e3State{
+		mapper:   modem.NewMapper(modem.QPSK),
+		demapper: modem.NewDemapper(modem.QPSK),
+		h:        cmatrix.New(2, 2),
+		llr:      make([][]float64, 2),
+		x:        make([]complex128, 2),
+		y:        make([]complex128, 2),
+		hard:     make([]byte, 0, 2),
+	}
+	st.hs = []*cmatrix.Matrix{st.h}
+	for _, name := range e3Detectors {
+		d, err := mimo.NewDetector(name, modem.QPSK, 2)
+		if err != nil {
+			return nil, err
+		}
+		st.dets = append(st.dets, d)
+	}
+	return st, nil
+}
+
+// e3Result accumulates one shard's per-detector bit-error counters in
+// e3Detectors order, plus the SISO reference.
+type e3Result struct {
+	det  [4]metrics.BER
+	siso metrics.BER
+}
+
+// merge folds other into r (shard counters are pure sums).
+func (r *e3Result) merge(other *e3Result) {
+	for i := range r.det {
+		r.det[i].Add(other.det[i].Errors, other.det[i].Total)
+	}
+	r.siso.Add(other.siso.Errors, other.siso.Total)
+}
+
+// e3Shard runs one batch of channel realizations for one SNR point on its
+// own seeded random stream.
+//
+//mimonet:hot
+func e3Shard(st *e3State, shard int, seed int64, snrDB float64, chans, symsPerChan int) (e3Result, error) {
+	var res e3Result
+	r := rand.New(rand.NewSource(montecarlo.ShardSeed(seed+3, shard)))
+	// Per-stream symbol power 1; per-RX signal power = nss = 2.
+	noiseVar := 2.0 / math.Pow(10, snrDB/10)
+	sigma := math.Sqrt(noiseVar / 2)
+	for c := 0; c < chans; c++ {
+		for i := range st.h.Data {
+			st.h.Data[i] = complex(r.NormFloat64(), r.NormFloat64()) * complex(math.Sqrt(0.5), 0)
+		}
+		ok := true
+		for _, d := range st.dets {
+			if err := d.Prepare(st.hs, noiseVar); err != nil {
+				// Singular draw: skip this channel realization.
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// SISO reference: same total TX power on one stream, one RX
+		// antenna (h00), same noise.
+		hSiso := st.h.At(0, 0)
+		for s := 0; s < symsPerChan; s++ {
+			for i := 0; i < 2; i++ {
+				st.bits[i][0], st.bits[i][1] = byte(r.Intn(2)), byte(r.Intn(2))
+			}
+			st.x[0] = st.mapper.MapOne(st.bits[0][:])
+			st.x[1] = st.mapper.MapOne(st.bits[1][:])
+			st.h.MulVecInto(st.y, st.x)
+			for i := range st.y {
+				st.y[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+			}
+			for di, d := range st.dets {
+				st.llr[0], st.llr[1] = st.llr[0][:0], st.llr[1][:0]
+				llr, err := d.Detect(st.llr, 0, st.y)
+				if err != nil {
+					return res, err
+				}
+				st.llr = llr
+				for i := 0; i < 2; i++ {
+					for b := 0; b < 2; b++ {
+						hard := byte(0)
+						if llr[i][b] < 0 {
+							hard = 1
+						}
+						res.det[di].Add(int64(boolToInt(hard != st.bits[i][b])), 1)
+					}
+				}
+			}
+			// SISO: x0 scaled by √2 to use the same total power, noise
+			// variance scaled to the same per-RX SNR.
+			ySiso := hSiso*st.x[0]*complex(math.Sqrt2, 0) + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+			eq := ySiso / (hSiso * complex(math.Sqrt2, 0))
+			st.hard = st.demapper.HardOne(st.hard[:0], eq)
+			for b := 0; b < 2; b++ {
+				res.siso.Add(int64(boolToInt(st.hard[b] != st.bits[0][b])), 1)
+			}
+		}
+	}
+	return res, nil
 }
 
 // E3DetectorComparison sweeps 2x2 spatial-multiplexing BER for the ZF, MMSE
-// and ML detectors over flat Rayleigh fading, QPSK uncoded.
+// and ML detectors over flat Rayleigh fading, QPSK uncoded. One shard per
+// (SNR point, channel batch); batch counters merge in shard order.
 func E3DetectorComparison(opt Options) (*Table, error) {
 	t := &Table{
 		ID:      "E3",
@@ -196,75 +444,27 @@ func E3DetectorComparison(opt Options) (*Table, error) {
 		snrs = []float64{8, 16}
 		chans = 40
 	}
-	r := rand.New(rand.NewSource(opt.Seed + 3))
-	mapper := modem.NewMapper(modem.QPSK)
-	detNames := []string{"zf", "mmse", "sic", "ml"}
-	for _, snrDB := range snrs {
-		// Per-stream symbol power 1; per-RX signal power = nss = 2.
-		noiseVar := 2.0 / math.Pow(10, snrDB/10)
-		sigma := math.Sqrt(noiseVar / 2)
-		bers := map[string]*metrics.BER{"zf": {}, "mmse": {}, "sic": {}, "ml": {}}
-		var siso metrics.BER
-		for c := 0; c < chans; c++ {
-			h := cmatrix.New(2, 2)
-			for i := range h.Data {
-				h.Data[i] = complex(r.NormFloat64(), r.NormFloat64()) * complex(math.Sqrt(0.5), 0)
+	batches := (chans + e3BatchSize - 1) / e3BatchSize
+	res, err := montecarlo.Run(len(snrs)*batches, opt.Workers, newE3State,
+		func(st *e3State, shard int) (e3Result, error) {
+			snrDB := snrs[shard/batches]
+			batch := shard % batches
+			n := e3BatchSize
+			if (batch+1)*e3BatchSize > chans {
+				n = chans - batch*e3BatchSize
 			}
-			dets := map[string]mimo.Detector{}
-			for _, n := range detNames {
-				d, err := mimo.NewDetector(n, modem.QPSK, 2)
-				if err != nil {
-					return nil, err
-				}
-				if err := d.Prepare([]*cmatrix.Matrix{h}, noiseVar); err != nil {
-					// Singular draw: skip this channel realization.
-					dets = nil
-					break
-				}
-				dets[n] = d
-			}
-			if dets == nil {
-				continue
-			}
-			// SISO reference: same total TX power on one stream, one RX
-			// antenna (h00), same noise.
-			hSiso := h.At(0, 0)
-			llr := make([][]float64, 2)
-			for s := 0; s < symsPerChan; s++ {
-				bits := [][]byte{{byte(r.Intn(2)), byte(r.Intn(2))}, {byte(r.Intn(2)), byte(r.Intn(2))}}
-				x := []complex128{mapper.MapOne(bits[0]), mapper.MapOne(bits[1])}
-				y := h.MulVec(x)
-				for i := range y {
-					y[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
-				}
-				for name, d := range dets {
-					llr[0], llr[1] = llr[0][:0], llr[1][:0]
-					var err error
-					llr, err = d.Detect(llr, 0, y)
-					if err != nil {
-						return nil, err
-					}
-					for i := 0; i < 2; i++ {
-						for b := 0; b < 2; b++ {
-							hard := byte(0)
-							if llr[i][b] < 0 {
-								hard = 1
-							}
-							bers[name].Add(int64(boolToInt(hard != bits[i][b])), 1)
-						}
-					}
-				}
-				// SISO: x0 scaled by √2 to use the same total power, noise
-				// variance scaled to the same per-RX SNR.
-				ySiso := hSiso*x[0]*complex(math.Sqrt2, 0) + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
-				eq := ySiso / (hSiso * complex(math.Sqrt2, 0))
-				hd := modem.NewDemapper(modem.QPSK).HardOne(nil, eq)
-				for b := 0; b < 2; b++ {
-					siso.Add(int64(boolToInt(hd[b] != bits[0][b])), 1)
-				}
-			}
+			return e3Shard(st, shard, opt.Seed, snrDB, n, symsPerChan)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
+		var acc e3Result
+		for b := 0; b < batches; b++ {
+			r := res[si*batches+b]
+			acc.merge(&r)
 		}
-		if err := t.AddRow(snrDB, bers["zf"].Rate(), bers["mmse"].Rate(), bers["sic"].Rate(), bers["ml"].Rate(), siso.Rate()); err != nil {
+		if err := t.AddRow(snrDB, acc.det[0].Rate(), acc.det[1].Rate(), acc.det[2].Rate(), acc.det[3].Rate(), acc.siso.Rate()); err != nil {
 			return nil, err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/montecarlo"
 	"repro/internal/phy"
 )
 
@@ -66,23 +67,35 @@ func E4Throughput(opt Options) (*Table, error) {
 		packets = 10
 	}
 	mcsSet := []int{3, 4, 7, 11, 12, 15}
-	for _, snrDB := range snrs {
-		row := []float64{snrDB}
-		best1, best2 := 0.0, 0.0
-		for _, idx := range mcsSet {
-			m, err := phy.Lookup(idx)
-			if err != nil {
-				return nil, err
-			}
+	// One shard per (SNR, MCS) cell. Each cell already owns a full random
+	// stream derived from (seed, MCS, SNR) — the same formula the legacy
+	// serial loop used — so the sharded tables match it bit for bit.
+	rates, err := montecarlo.Map(len(snrs)*len(mcsSet), opt.Workers,
+		func(shard int) (float64, error) {
+			snrDB := snrs[shard/len(mcsSet)]
+			idx := mcsSet[shard%len(mcsSet)]
 			per, _, err := runPER(core.LinkConfig{
 				MCS:      idx,
 				Detector: "mmse",
 				Channel:  channel.Config{Model: channel.TGnB, SNRdB: snrDB},
 			}, packets, opt.PayloadLen, opt.Seed+int64(idx)*1000+int64(snrDB))
 			if err != nil {
+				return 0, err
+			}
+			return per.Rate(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
+		row := []float64{snrDB}
+		best1, best2 := 0.0, 0.0
+		for mi, idx := range mcsSet {
+			m, err := phy.Lookup(idx)
+			if err != nil {
 				return nil, err
 			}
-			tput := m.DataRateMbps() * (1 - per.Rate())
+			tput := m.DataRateMbps() * (1 - rates[si*len(mcsSet)+mi])
 			row = append(row, tput)
 			if m.NSS == 1 && tput > best1 {
 				best1 = tput
@@ -118,18 +131,29 @@ func E5PERvsSNR(opt Options) (*Table, error) {
 		payload = 200
 	}
 	mcsSet := []int{8, 9, 11, 13, 15}
-	for _, snrDB := range snrs {
-		row := []float64{snrDB}
-		for _, idx := range mcsSet {
+	// One shard per (SNR, MCS) cell, preserving the legacy per-cell seed
+	// formula so the table matches the serial run bit for bit.
+	rates, err := montecarlo.Map(len(snrs)*len(mcsSet), opt.Workers,
+		func(shard int) (float64, error) {
+			snrDB := snrs[shard/len(mcsSet)]
+			idx := mcsSet[shard%len(mcsSet)]
 			per, _, err := runPER(core.LinkConfig{
 				MCS:      idx,
 				Detector: "mmse",
 				Channel:  channel.Config{Model: channel.TGnB, SNRdB: snrDB},
 			}, packets, payload, opt.Seed+int64(idx)*77+int64(snrDB))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, per.Rate())
+			return per.Rate(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
+		row := []float64{snrDB}
+		for mi := range mcsSet {
+			row = append(row, rates[si*len(mcsSet)+mi])
 		}
 		if err := t.AddRow(row...); err != nil {
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/est"
 	"repro/internal/modem"
+	"repro/internal/montecarlo"
 	"repro/internal/ofdm"
 	"repro/internal/preamble"
 	"repro/internal/synchro"
@@ -42,37 +43,53 @@ func E8ChannelEstimation(opt Options) (*Table, error) {
 		snrs = []float64{5, 20}
 		trials = 5
 	}
-	r := rand.New(rand.NewSource(opt.Seed + 8))
-	for _, snrDB := range snrs {
-		row := []float64{snrDB}
-		for _, model := range []channel.Model{channel.TGnB, channel.TGnD} {
-			var mseLS, mseSmooth float64
-			var count int
+	models := []channel.Model{channel.TGnB, channel.TGnD}
+	type e8Result struct {
+		mseLS, mseSmooth float64
+		count            int
+	}
+	// One shard per (SNR point, channel model) cell on its own streams.
+	res, err := montecarlo.Map(len(snrs)*len(models), opt.Workers,
+		func(shard int) (e8Result, error) {
+			snrDB := snrs[shard/len(models)]
+			model := models[shard%len(models)]
+			shardSeed := montecarlo.ShardSeed(opt.Seed+8, shard)
+			r := rand.New(rand.NewSource(shardSeed))
+			var acc e8Result
 			for trial := 0; trial < trials; trial++ {
-				truth, spectra, err := drawHTLTFObservation(r, model, snrDB, int64(trial)*13+opt.Seed)
+				truth, spectra, err := drawHTLTFObservation(r, model, snrDB, shardSeed+int64(trial)*13)
 				if err != nil {
-					return nil, err
+					return acc, err
 				}
 				ls, err := chanest.EstimateHT(spectra, 2)
 				if err != nil {
-					return nil, err
+					return acc, err
 				}
 				smooth, err := chanest.EstimateHT(spectra, 2)
 				if err != nil {
-					return nil, err
+					return acc, err
 				}
 				if err := smooth.Smooth(5); err != nil {
-					return nil, err
+					return acc, err
 				}
 				for _, bin := range ofdm.HTToneMap.Data {
 					d1 := cmatrix.Sub(ls.AtBin(bin), truth[bin])
 					d2 := cmatrix.Sub(smooth.AtBin(bin), truth[bin])
-					mseLS += d1.FrobeniusNorm() * d1.FrobeniusNorm()
-					mseSmooth += d2.FrobeniusNorm() * d2.FrobeniusNorm()
-					count += 4 // 2x2 entries
+					acc.mseLS += d1.FrobeniusNorm() * d1.FrobeniusNorm()
+					acc.mseSmooth += d2.FrobeniusNorm() * d2.FrobeniusNorm()
+					acc.count += 4 // 2x2 entries
 				}
 			}
-			row = append(row, mseLS/float64(count), mseSmooth/float64(count))
+			return acc, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
+		row := []float64{snrDB}
+		for mi := range models {
+			cell := res[si*len(models)+mi]
+			row = append(row, cell.mseLS/float64(cell.count), cell.mseSmooth/float64(cell.count))
 		}
 		if err := t.AddRow(row...); err != nil {
 			return nil, err
@@ -156,40 +173,53 @@ func E9SNREstimation(opt Options) (*Table, error) {
 		snrs = []float64{5, 20}
 		packets = 3
 	}
-	r := rand.New(rand.NewSource(opt.Seed + 9))
-	for _, snrDB := range snrs {
-		// Data-aided from the full receiver.
-		// MCS0 keeps a single transmit chain so the per-antenna received
-		// power equals the configured unit power (multi-chain legacy
-		// preambles split power 1/N_TX per chain, which an identity channel
-		// does not recombine).
-		_, meanSNR, err := runPER(core.LinkConfig{
-			MCS:      0,
-			Detector: "mmse",
-			Channel:  channel.Config{Model: channel.Identity, SNRdB: snrDB},
-		}, packets, 300, opt.Seed+int64(snrDB)*3+9)
-		if err != nil {
-			return nil, err
-		}
-		// Blind M2M4 on raw symbol streams.
-		m2m4 := func(s modem.Scheme) float64 {
-			mapper := modem.NewMapper(s)
-			bits := make([]byte, s.BitsPerSymbol())
-			x := make([]complex128, 8000)
-			sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
-			for i := range x {
-				for j := range bits {
-					bits[j] = byte(r.Intn(2))
-				}
-				x[i] = mapper.MapOne(bits) + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
-			}
-			v, err := est.M2M4(x)
+	type e9Result struct {
+		dataAided, qpsk, qam64 float64
+	}
+	// One shard per SNR point: full-link data-aided estimate plus the two
+	// blind M2M4 streams, all on shard-local randomness.
+	res, err := montecarlo.Map(len(snrs), opt.Workers,
+		func(shard int) (e9Result, error) {
+			snrDB := snrs[shard]
+			// Data-aided from the full receiver.
+			// MCS0 keeps a single transmit chain so the per-antenna received
+			// power equals the configured unit power (multi-chain legacy
+			// preambles split power 1/N_TX per chain, which an identity channel
+			// does not recombine).
+			_, meanSNR, err := runPER(core.LinkConfig{
+				MCS:      0,
+				Detector: "mmse",
+				Channel:  channel.Config{Model: channel.Identity, SNRdB: snrDB},
+			}, packets, 300, opt.Seed+int64(snrDB)*3+9)
 			if err != nil {
-				return math.NaN()
+				return e9Result{}, err
 			}
-			return est.DB(v)
-		}
-		if err := t.AddRow(snrDB, meanSNR, m2m4(modem.QPSK), m2m4(modem.QAM64)); err != nil {
+			// Blind M2M4 on raw symbol streams.
+			r := rand.New(rand.NewSource(montecarlo.ShardSeed(opt.Seed+9, shard)))
+			m2m4 := func(s modem.Scheme) float64 {
+				mapper := modem.NewMapper(s)
+				bits := make([]byte, s.BitsPerSymbol())
+				x := make([]complex128, 8000)
+				sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+				for i := range x {
+					for j := range bits {
+						bits[j] = byte(r.Intn(2))
+					}
+					x[i] = mapper.MapOne(bits) + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+				}
+				v, err := est.M2M4(x)
+				if err != nil {
+					return math.NaN()
+				}
+				return est.DB(v)
+			}
+			return e9Result{dataAided: meanSNR, qpsk: m2m4(modem.QPSK), qam64: m2m4(modem.QAM64)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
+		if err := t.AddRow(snrDB, res[si].dataAided, res[si].qpsk, res[si].qam64); err != nil {
 			return nil, err
 		}
 	}
@@ -213,78 +243,93 @@ func E10PacketDetection(opt Options) (*Table, error) {
 		snrs = []float64{-2, 4}
 		trials = 20
 	}
-	r := rand.New(rand.NewSource(opt.Seed + 10))
-	stf := preamble.LSTF()
-	ltf := preamble.LLTF()
-	for _, snrDB := range snrs {
-		detected := 0
-		latency := 0.0
-		for trial := 0; trial < trials; trial++ {
-			lead := 150 + r.Intn(100)
-			sig := append(append([]complex128{}, stf...), ltf...)
-			sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
-			rx := make([][]complex128, 2)
-			for a := range rx {
-				ang := r.Float64() * 2 * math.Pi
-				ph := complex(math.Cos(ang), math.Sin(ang))
-				s := make([]complex128, lead+len(sig)+100)
-				for i := range s {
-					s[i] = complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
-				}
-				for i, v := range sig {
-					s[lead+i] += v * ph
-				}
-				rx[a] = s
-			}
-			d, err := synchro.NewDetector(2, synchro.DefaultDetectorConfig())
-			if err != nil {
-				return nil, err
-			}
-			samples := make([]complex128, 2)
-			for i := 0; i < len(rx[0]); i++ {
-				samples[0], samples[1] = rx[0][i], rx[1][i]
-				det, err := d.Push(samples)
-				if err != nil {
-					return nil, err
-				}
-				if det != nil {
-					detected++
-					latency += float64(det.Index - lead)
-					break
-				}
-			}
-		}
-		meanLat := math.NaN()
-		if detected > 0 {
-			meanLat = latency / float64(detected)
-		}
-		if err := t.AddRow(snrDB, float64(detected)/float64(trials), meanLat); err != nil {
-			return nil, err
-		}
-	}
-	// False alarm rate on pure noise.
-	d, err := synchro.NewDetector(2, synchro.DefaultDetectorConfig())
-	if err != nil {
-		return nil, err
-	}
 	noiseSamples := 2_000_00
 	if opt.Quick {
 		noiseSamples = 20_000
 	}
-	falseAlarms := 0
-	samples := make([]complex128, 2)
-	for i := 0; i < noiseSamples; i++ {
-		samples[0] = complex(r.NormFloat64(), r.NormFloat64())
-		samples[1] = complex(r.NormFloat64(), r.NormFloat64())
-		det, err := d.Push(samples)
-		if err != nil {
+	type e10Result struct {
+		detected    int
+		latency     float64
+		falseAlarms int
+	}
+	// One shard per SNR point, plus a final shard for the noise-only false
+	// alarm campaign. Each shard owns its preamble copy, detector and
+	// random stream; the detector is re-armed with Reset between trials.
+	res, err := montecarlo.Map(len(snrs)+1, opt.Workers,
+		func(shard int) (e10Result, error) {
+			var acc e10Result
+			r := rand.New(rand.NewSource(montecarlo.ShardSeed(opt.Seed+10, shard)))
+			d, err := synchro.NewDetector(2, synchro.DefaultDetectorConfig())
+			if err != nil {
+				return acc, err
+			}
+			samples := make([]complex128, 2)
+			if shard == len(snrs) {
+				// False alarm rate on pure noise.
+				for i := 0; i < noiseSamples; i++ {
+					samples[0] = complex(r.NormFloat64(), r.NormFloat64())
+					samples[1] = complex(r.NormFloat64(), r.NormFloat64())
+					det, err := d.Push(samples)
+					if err != nil {
+						return acc, err
+					}
+					if det != nil {
+						acc.falseAlarms++
+						d.Reset()
+					}
+				}
+				return acc, nil
+			}
+			snrDB := snrs[shard]
+			sig := append(preamble.LSTF(), preamble.LLTF()...)
+			sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+			rx := [][]complex128{
+				make([]complex128, 0, 250+len(sig)+100),
+				make([]complex128, 0, 250+len(sig)+100),
+			}
+			for trial := 0; trial < trials; trial++ {
+				lead := 150 + r.Intn(100)
+				for a := range rx {
+					ang := r.Float64() * 2 * math.Pi
+					ph := complex(math.Cos(ang), math.Sin(ang))
+					s := rx[a][:lead+len(sig)+100]
+					for i := range s {
+						s[i] = complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+					}
+					for i, v := range sig {
+						s[lead+i] += v * ph
+					}
+					rx[a] = s
+				}
+				d.Reset()
+				for i := 0; i < len(rx[0]); i++ {
+					samples[0], samples[1] = rx[0][i], rx[1][i]
+					det, err := d.Push(samples)
+					if err != nil {
+						return acc, err
+					}
+					if det != nil {
+						acc.detected++
+						acc.latency += float64(det.Index - lead)
+						break
+					}
+				}
+			}
+			return acc, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, snrDB := range snrs {
+		meanLat := math.NaN()
+		if res[si].detected > 0 {
+			meanLat = res[si].latency / float64(res[si].detected)
+		}
+		if err := t.AddRow(snrDB, float64(res[si].detected)/float64(trials), meanLat); err != nil {
 			return nil, err
 		}
-		if det != nil {
-			falseAlarms++
-			d.Reset()
-		}
 	}
+	falseAlarms := res[len(snrs)].falseAlarms
 	t.Notes = append(t.Notes,
 		"latency: samples from STF start to plateau completion",
 		"false alarms on pure noise: "+formatCell(float64(falseAlarms))+" in "+formatCell(float64(noiseSamples))+" samples",

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// renderAt runs one experiment at the given worker count and returns the
+// fully rendered table, notes included, so the comparison covers every
+// digit the user would see.
+func renderAt(t *testing.T, id string, workers int) string {
+	t.Helper()
+	r, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quickOpt()
+	o.Workers = workers
+	tbl, err := r(o)
+	if err != nil {
+		t.Fatalf("%s at %d workers: %v", id, workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestParallelSerialEquivalence is the engine's core invariant: the sharded
+// experiments render byte-identical tables at every worker count because
+// each shard owns its random stream and counters merge in shard order. E1
+// exercises the stateful-worker path (per-worker modem/OFDM scratch) and E5
+// the full-link path; run under -race this also shakes out data races in
+// the pool.
+func TestParallelSerialEquivalence(t *testing.T) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, id := range []string{"e1", "e5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			ref := renderAt(t, id, counts[0])
+			for _, workers := range counts[1:] {
+				if got := renderAt(t, id, workers); got != ref {
+					t.Errorf("table at %d workers differs from serial:\n--- serial ---\n%s--- %d workers ---\n%s",
+						workers, ref, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedExperimentsCoverWorkerSweep smoke-runs every ported experiment
+// at an adversarial worker count (more workers than shards for the small
+// quick sweeps) to catch index-mapping mistakes in the shard → row merge.
+func TestShardedExperimentsCoverWorkerSweep(t *testing.T) {
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e8", "e9", "e10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial := renderAt(t, id, 1)
+			wide := renderAt(t, id, 64)
+			if serial != wide {
+				t.Errorf("table at 64 workers differs from serial:\n--- serial ---\n%s--- 64 workers ---\n%s", serial, wide)
+			}
+		})
+	}
+}

@@ -105,6 +105,12 @@ type Options struct {
 	// Scenario restricts fault-injection experiments (E22) to one named
 	// faults.Scenario; empty runs the full registry.
 	Scenario string
+	// Workers bounds the montecarlo worker pool for the sharded experiments
+	// (E1-E5, E8-E10): 0 (the default) selects GOMAXPROCS, 1 forces the
+	// legacy serial path. Results are bit-identical at every worker count —
+	// each shard owns its random stream and shard counters merge in index
+	// order (see internal/montecarlo).
+	Workers int
 }
 
 // DefaultOptions returns the settings used for EXPERIMENTS.md.
