@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check bench bench-all clean
+.PHONY: all build test race lint fmt fmt-check bench bench-all bench-compare clean
 
 all: build lint test
 
@@ -33,6 +33,12 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchmem -count 1 -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr3.json
 	@echo "wrote BENCH_pr3.json"
+
+# Rerun the tracked benches and diff against the committed baseline;
+# exits non-zero past a 15% ns/op regression on any benchmark.
+bench-compare:
+	$(GO) test -bench . -benchmem -count 1 -run '^$$' . | $(GO) run ./cmd/benchjson > /tmp/bench-new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_pr3.json /tmp/bench-new.json
 
 # Every benchmark in the tree (kernel micro-benches included), untracked.
 bench-all:

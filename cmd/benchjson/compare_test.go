@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, benches map[string]result) string {
+	t.Helper()
+	doc := document{Env: map[string]string{}, Benchmarks: benches}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePassesWithinGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", map[string]result{
+		"BenchmarkE1": {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkE2": {NsPerOp: 500, AllocsPerOp: 3},
+	})
+	newPath := writeDoc(t, dir, "new.json", map[string]result{
+		"BenchmarkE1": {NsPerOp: 1100, AllocsPerOp: 10}, // +10%, inside the 15% gate
+		"BenchmarkE2": {NsPerOp: 400, AllocsPerOp: 3},   // improvement
+	})
+	var out bytes.Buffer
+	if err := runCompare(&out, oldPath, newPath); err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkE1") || !strings.Contains(out.String(), "+10.0%") {
+		t.Errorf("delta output missing expected lines:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("no benchmark should be marked regressed:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsBeyondGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", map[string]result{
+		"BenchmarkE1": {NsPerOp: 1000, AllocsPerOp: 10},
+	})
+	newPath := writeDoc(t, dir, "new.json", map[string]result{
+		"BenchmarkE1": {NsPerOp: 1200, AllocsPerOp: 12}, // +20% ns/op
+	})
+	var out bytes.Buffer
+	err := runCompare(&out, oldPath, newPath)
+	if err == nil {
+		t.Fatalf("compare passed a 20%% regression:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkE1") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("delta line not marked:\n%s", out.String())
+	}
+}
+
+func TestCompareReportsOneSidedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", map[string]result{
+		"BenchmarkGone": {NsPerOp: 100},
+	})
+	newPath := writeDoc(t, dir, "new.json", map[string]result{
+		"BenchmarkNew": {NsPerOp: 100},
+	})
+	var out bytes.Buffer
+	if err := runCompare(&out, oldPath, newPath); err != nil {
+		t.Fatalf("renames must not gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkGone") || !strings.Contains(out.String(), "BenchmarkNew") {
+		t.Errorf("one-sided benchmarks not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", map[string]result{"B": {NsPerOp: 0}})
+	newPath := writeDoc(t, dir, "new.json", map[string]result{"B": {NsPerOp: 50}})
+	var out bytes.Buffer
+	if err := runCompare(&out, oldPath, newPath); err != nil {
+		t.Fatalf("zero baseline must not gate: %v", err)
+	}
+}

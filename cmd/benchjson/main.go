@@ -11,11 +11,19 @@
 // be piped straight in. Metadata lines (goos, goarch, cpu, core count) are
 // captured into an "env" object so the baseline records the machine it was
 // measured on.
+//
+// Comparison mode diffs two such documents and gates regressions:
+//
+//	benchjson -compare BENCH_pr3.json BENCH_new.json
+//
+// prints per-benchmark ns/op and allocs/op deltas and exits 1 when any
+// benchmark present in both documents regressed by more than 15% ns/op.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -41,12 +49,28 @@ type document struct {
 	Benchmarks map[string]result `json:"benchmarks"`
 }
 
+// maxNsRegression is the comparison gate: ns/op growth beyond this fraction
+// fails the run.
+const maxNsRegression = 0.15
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON documents (old new) instead of converting")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchjson -compare old.json new.json")
+		}
+		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
-	if args := os.Args[1:]; len(args) > 0 {
+	if args := flag.Args(); len(args) > 0 {
 		readers := make([]io.Reader, 0, len(args))
 		for _, name := range args {
 			f, err := os.Open(name)
@@ -145,6 +169,77 @@ func parseLine(line string) (string, result, error) {
 		}
 	}
 	return name, res, nil
+}
+
+// loadDoc reads one benchmark JSON document from disk.
+func loadDoc(path string) (document, error) {
+	var doc document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runCompare diffs two benchmark documents, writing one delta line per
+// benchmark present in both, and returns an error naming every benchmark
+// whose ns/op regressed beyond the gate. Benchmarks present on only one
+// side are reported but never gate (renames must not fail CI silently in
+// either direction).
+func runCompare(w io.Writer, oldPath, newPath string) error {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldDoc.Benchmarks))
+	for name := range oldDoc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressed []string
+	for _, name := range names {
+		ob := oldDoc.Benchmarks[name]
+		nb, ok := newDoc.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s only in %s\n", name, oldPath)
+			continue
+		}
+		dns := delta(ob.NsPerOp, nb.NsPerOp)
+		dallocs := delta(ob.AllocsPerOp, nb.AllocsPerOp)
+		mark := ""
+		if dns > maxNsRegression {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Fprintf(w, "%-40s ns/op %12.1f -> %12.1f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)%s\n",
+			name, ob.NsPerOp, nb.NsPerOp, 100*dns, ob.AllocsPerOp, nb.AllocsPerOp, 100*dallocs, mark)
+	}
+	for name := range newDoc.Benchmarks {
+		if _, ok := oldDoc.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-40s only in %s\n", name, newPath)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regression beyond %d%%: %s",
+			int(maxNsRegression*100), strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+// delta returns (new-old)/old, or 0 when the baseline is zero (nothing to
+// regress against).
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
 }
 
 // ordered re-materialises the document with benchmark keys sorted so the

@@ -3,12 +3,21 @@
 // per-packet report: sync state, estimated SNR and CFO, MCS, and FCS
 // outcome.
 //
+// The receive path runs as a two-block flowgraph (burst source → receiver
+// sink) so block health and per-edge throughput are observable. With
+// -metrics-listen the process additionally serves live telemetry:
+// /metrics (Prometheus text: SNR/BER/PER series, block and edge
+// instruments, link counters), /healthz (per-block health snapshots),
+// /trace (recent per-packet stage traces) and /debug/pprof.
+//
 // Usage:
 //
 //	mimonet-rx -listen 127.0.0.1:9750 -antennas 2 -count 20
+//	mimonet-rx -file burst.iq -metrics-listen 127.0.0.1:9751 -metrics-hold 30s
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,7 +26,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/blocks"
+	"repro/internal/flowgraph"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/radio"
 )
@@ -26,14 +38,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mimonet-rx: ")
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9750", "UDP listen address")
-		antennas = flag.Int("antennas", 2, "receive antenna count")
-		detector = flag.String("detector", "mmse", "MIMO detector: zf, mmse, sic, ml")
-		count    = flag.Int("count", 0, "stop after this many bursts (0 = run forever)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-burst receive timeout")
-		file     = flag.String("file", "", "replay IQ bursts from this recording instead of listening on UDP")
+		listen        = flag.String("listen", "127.0.0.1:9750", "UDP listen address")
+		antennas      = flag.Int("antennas", 2, "receive antenna count")
+		detector      = flag.String("detector", "mmse", "MIMO detector: zf, mmse, sic, ml")
+		count         = flag.Int("count", 0, "stop after this many bursts (0 = run forever)")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-burst receive timeout")
+		file          = flag.String("file", "", "replay IQ bursts from this recording instead of listening on UDP")
+		metricsListen = flag.String("metrics-listen", "", "serve /metrics, /healthz, /trace and /debug/pprof on this address (empty = telemetry off)")
+		metricsHold   = flag.Duration("metrics-hold", 0, "keep the telemetry server up this long after the stream ends, so scrapers catch the final values")
 	)
 	flag.Parse()
+
+	// Telemetry root. A nil registry keeps every downstream hook a no-op.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+		rxObs  *phy.RxObs
+	)
+	if *metricsListen != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(256, nil)
+		rxObs = phy.NewRxObs(reg, tracer)
+	}
 
 	var read func() ([][]complex128, uint64, error)
 	var rxSock *radio.UDPReceiver
@@ -55,6 +81,9 @@ func main() {
 			log.Fatal(err)
 		}
 		defer sock.Close()
+		if reg != nil {
+			sock.Instrument(reg)
+		}
 		rxSock = sock
 		read = func() ([][]complex128, uint64, error) {
 			b, err := sock.ReadBurst(*timeout)
@@ -66,12 +95,99 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	okCount, errCount := 0, 0
+	rcv.SetObs(rxObs)
+
+	okCount, errCount, burstNo := 0, 0, 0
 	var lost uint64
-	for i := 0; *count == 0 || i < *count; i++ {
-		burst, nLost, err := read()
+	src := &burstSource{antennas: *antennas, count: *count, read: read,
+		onLost: func(n uint64) { lost = n }}
+	sink := &blocks.RXBlock{RX: rcv, Antennas: *antennas, Obs: rxObs,
+		OnReport: func(rep blocks.RXReport) {
+			i := burstNo
+			burstNo++
+			if rep.Err != nil && (rep.Res == nil || rep.Res.PSDU == nil) {
+				errCount++
+				fmt.Printf("burst %d: DECODE FAILED (%v)\n", i, rep.Err)
+				return
+			}
+			status := "FCS OK"
+			if rep.Err != nil {
+				errCount++
+				status = "FCS BAD"
+			} else {
+				okCount++
+			}
+			res := rep.Res
+			fmt.Printf("burst %d: %s seq=%d %s snr=%.1fdB cfo=%.1fHz len=%d lost_dgrams=%d\n",
+				i, status, seqOf(rep.Frame), res.MCS, res.SNRdB,
+				res.CFO*20e6/(2*3.141592653589793), res.HTSIG.Length, lost)
+		}}
+
+	g := flowgraph.New()
+	if err := g.Add(src); err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Add(sink); err != nil {
+		log.Fatal(err)
+	}
+	for a := 0; a < *antennas; a++ {
+		if err := g.Connect(src, a, sink, a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.SetPolicy(flowgraph.Policy{TrackHealth: true, Metrics: reg}); err != nil {
+		log.Fatal(err)
+	}
+
+	if reg != nil {
+		srv := obs.NewServer(reg, tracer, func() any { return g.Health() })
+		addr, err := srv.Listen(*metricsListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", addr)
+	}
+
+	if err := g.Run(context.Background()); err != nil {
+		log.Printf("flowgraph: %v", err)
+	}
+	if rxSock != nil {
+		fmt.Printf("done: %d ok, %d errors, %d datagrams lost, %d corrupt, %d late\n",
+			okCount, errCount, lost, rxSock.Corrupt, rxSock.Late)
+	} else {
+		fmt.Printf("done: %d ok, %d errors, %d datagrams lost\n", okCount, errCount, lost)
+	}
+	if *metricsListen != "" && *metricsHold > 0 {
+		fmt.Printf("holding telemetry server for %s\n", *metricsHold)
+		time.Sleep(*metricsHold)
+	}
+}
+
+// burstSource adapts the burst reader (UDP socket or recording) into a
+// 0-in, N-out flowgraph block, one output port per antenna.
+type burstSource struct {
+	antennas int
+	count    int
+	read     func() ([][]complex128, uint64, error)
+	onLost   func(uint64)
+}
+
+// Name implements flowgraph.Block.
+func (s *burstSource) Name() string { return "burst-source" }
+
+// Inputs implements flowgraph.Block.
+func (s *burstSource) Inputs() int { return 0 }
+
+// Outputs implements flowgraph.Block.
+func (s *burstSource) Outputs() int { return s.antennas }
+
+// Run implements flowgraph.Block.
+func (s *burstSource) Run(ctx context.Context, _ []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	for i := 0; s.count == 0 || i < s.count; i++ {
+		burst, nLost, err := s.read()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
 			// A timed-out or malformed burst is an operational event on a
@@ -81,49 +197,20 @@ func main() {
 				continue
 			}
 			log.Printf("burst %d: read failed (%v); skipping", i, err)
-			errCount++
 			continue
 		}
-		lost = nLost
-		if len(burst) != *antennas {
-			log.Printf("burst %d: %d streams, expected %d; skipping", i, len(burst), *antennas)
+		s.onLost(nLost)
+		if len(burst) != s.antennas {
+			log.Printf("burst %d: %d streams, expected %d; skipping", i, len(burst), s.antennas)
 			continue
 		}
-		res, err := safeReceive(rcv, burst)
-		if err != nil {
-			errCount++
-			fmt.Printf("burst %d: DECODE FAILED (%v)\n", i, err)
-			continue
+		for a, stream := range burst {
+			if !flowgraph.Send(ctx, out[a], stream) {
+				return ctx.Err()
+			}
 		}
-		frame, ferr := mac.Decode(res.PSDU)
-		status := "FCS OK"
-		if ferr != nil {
-			errCount++
-			status = "FCS BAD"
-		} else {
-			okCount++
-		}
-		fmt.Printf("burst %d: %s seq=%d %s snr=%.1fdB cfo=%.1fHz len=%d lost_dgrams=%d\n",
-			i, status, seqOf(frame), res.MCS, res.SNRdB,
-			res.CFO*20e6/(2*3.141592653589793), res.HTSIG.Length, lost)
 	}
-	if rxSock != nil {
-		fmt.Printf("done: %d ok, %d errors, %d datagrams lost, %d corrupt, %d late\n",
-			okCount, errCount, lost, rxSock.Corrupt, rxSock.Late)
-	} else {
-		fmt.Printf("done: %d ok, %d errors, %d datagrams lost\n", okCount, errCount, lost)
-	}
-}
-
-// safeReceive contains a receiver panic on hostile input so one bad burst
-// cannot take the listener down.
-func safeReceive(rcv *phy.Receiver, burst [][]complex128) (res *phy.RxResult, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			res, err = nil, fmt.Errorf("receiver panic: %v", p)
-		}
-	}()
-	return rcv.Receive(burst)
+	return nil
 }
 
 func seqOf(f *mac.Frame) int {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -21,15 +22,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mimonet-sim: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment id (e1..e12) or \"all\"")
-		packets  = flag.Int("packets", 200, "Monte-Carlo packets/trials per sweep point")
-		payload  = flag.Int("payload", 500, "MAC payload size in octets")
-		seed     = flag.Int64("seed", 1, "random seed")
-		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		scenario = flag.String("scenario", "", "restrict fault-injection experiments (e22) to one named scenario")
-		workers  = flag.Int("workers", 0, "Monte-Carlo worker goroutines for the sharded experiments (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		exp           = flag.String("exp", "all", "experiment id (e1..e12) or \"all\"")
+		packets       = flag.Int("packets", 200, "Monte-Carlo packets/trials per sweep point")
+		payload       = flag.Int("payload", 500, "MAC payload size in octets")
+		seed          = flag.Int64("seed", 1, "random seed")
+		quick         = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		scenario      = flag.String("scenario", "", "restrict fault-injection experiments (e22) to one named scenario")
+		workers       = flag.Int("workers", 0, "Monte-Carlo worker goroutines for the sharded experiments (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		metricsListen = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address while experiments run (empty = telemetry off)")
 	)
 	flag.Parse()
+
+	var done *obs.Counter
+	if *metricsListen != "" {
+		reg := obs.NewRegistry()
+		done = reg.Counter("mimonet_sim_experiments_total", "experiments completed this run")
+		srv := obs.NewServer(reg, nil, nil)
+		addr, err := srv.Listen(*metricsListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", addr)
+	}
 
 	opt := sim.Options{Seed: *seed, Packets: *packets, PayloadLen: *payload, Quick: *quick, Scenario: *scenario, Workers: *workers}
 	ids := []string{strings.ToLower(*exp)}
@@ -48,6 +63,7 @@ func main() {
 		if err := table.Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+		done.Inc()
 		fmt.Println()
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/radio"
 )
@@ -26,18 +27,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mimonet-tx: ")
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9750", "receiver UDP address")
-		mcs     = flag.Int("mcs", 11, "modulation and coding scheme (0-31)")
-		count   = flag.Int("count", 10, "number of frames to send")
-		payload = flag.Int("payload", 500, "payload size in octets")
-		snr     = flag.Float64("snr", 30, "channel SNR in dB")
-		model   = flag.String("model", "tgn-b", "channel model (identity, rayleigh, tgn-a..tgn-f)")
-		cfo     = flag.Float64("cfo", 0, "carrier frequency offset in Hz")
-		seed    = flag.Int64("seed", time.Now().UnixNano(), "random seed")
-		gapMs   = flag.Int("gap", 20, "inter-frame gap in milliseconds")
-		file    = flag.String("file", "", "record IQ bursts to this file instead of sending over UDP")
+		addr          = flag.String("addr", "127.0.0.1:9750", "receiver UDP address")
+		mcs           = flag.Int("mcs", 11, "modulation and coding scheme (0-31)")
+		count         = flag.Int("count", 10, "number of frames to send")
+		payload       = flag.Int("payload", 500, "payload size in octets")
+		snr           = flag.Float64("snr", 30, "channel SNR in dB")
+		model         = flag.String("model", "tgn-b", "channel model (identity, rayleigh, tgn-a..tgn-f)")
+		cfo           = flag.Float64("cfo", 0, "carrier frequency offset in Hz")
+		seed          = flag.Int64("seed", time.Now().UnixNano(), "random seed")
+		gapMs         = flag.Int("gap", 20, "inter-frame gap in milliseconds")
+		file          = flag.String("file", "", "record IQ bursts to this file instead of sending over UDP")
+		metricsListen = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address (empty = telemetry off)")
 	)
 	flag.Parse()
+
+	var frames, samples *obs.Counter
+	if *metricsListen != "" {
+		reg := obs.NewRegistry()
+		frames = reg.Counter("mimonet_tx_frames_total", "PPDU bursts transmitted")
+		samples = reg.Counter("mimonet_tx_samples_total", "baseband samples produced per chain")
+		srv := obs.NewServer(reg, nil, nil)
+		maddr, err := srv.Listen(*metricsListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", maddr)
+	}
 
 	m, err := channel.ParseModel(*model)
 	if err != nil {
@@ -97,6 +113,8 @@ func main() {
 		if err := write(faded); err != nil {
 			log.Fatal(err)
 		}
+		frames.Inc()
+		samples.Add(int64(len(faded[0])))
 		fmt.Printf("sent frame %d: %d octets, %s, %d samples/chain\n",
 			i, len(psdu), tx.MCS(), len(faded[0]))
 		time.Sleep(time.Duration(*gapMs) * time.Millisecond)

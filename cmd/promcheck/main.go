@@ -1,0 +1,73 @@
+// Command promcheck validates a Prometheus text exposition read from stdin
+// (or files named as arguments): every line must be a well-formed comment,
+// sample, or blank, every sample family must be typed, and histogram
+// families must expose their _bucket/_sum/_count series coherently. With
+// -require it additionally asserts that specific metric families are
+// present, which is how CI checks a scraped /metrics endpoint actually
+// carries the receiver's telemetry:
+//
+//	curl -s http://127.0.0.1:9751/metrics | promcheck -require mimonet_rx_snr_db,mimonet_rx_per
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promcheck: ")
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	list := flag.Bool("list", false, "print the families found")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if args := flag.Args(); len(args) > 0 {
+		readers := make([]io.Reader, 0, len(args))
+		for _, name := range args {
+			f, err := os.Open(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+
+	families, err := obs.ValidateExposition(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		names := make([]string, 0, len(families))
+		for name := range families {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Println(name)
+		}
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := families[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("missing required families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("exposition ok: %d families\n", len(families))
+}

@@ -1,6 +1,6 @@
 // Package detrand keeps the simulation campaigns reproducible from their
 // seeds: inside the deterministic packages (sim, faults, channel,
-// flowgraph, radio) it forbids
+// flowgraph, radio, obs) it forbids
 //
 //   - math/rand (and math/rand/v2) top-level functions, which draw from the
 //     global, unseeded source — randomness must flow through an explicitly
@@ -24,7 +24,7 @@ import (
 )
 
 // DeterministicPackages is the set of guarded package leaf names.
-var DeterministicPackages = []string{"sim", "faults", "channel", "flowgraph", "radio"}
+var DeterministicPackages = []string{"sim", "faults", "channel", "flowgraph", "radio", "obs"}
 
 // wallClockFuncs are the time package functions that read or schedule on
 // the wall clock. Pure functions (time.Unix, time.Date, time.ParseDuration)

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetrand(t *testing.T) {
-	atest.Run(t, "testdata", detrand.Analyzer, "sim", "viz")
+	atest.Run(t, "testdata", detrand.Analyzer, "sim", "viz", "obs")
 }

@@ -1,0 +1,32 @@
+// Package obs is a detrand fixture named after the telemetry package leaf:
+// trace timestamps must flow through the injectable clock seam, never
+// time.Now, so traces recorded under a fake clock are deterministic.
+package obs
+
+import "time"
+
+// Clock mirrors the repro/internal/clock seam. Method calls on an injected
+// clock are not time.* selectors, so the analyzer lets them through.
+type Clock interface {
+	Now() time.Time
+}
+
+// stampDirect reads the wall clock: flagged.
+func stampDirect() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+// stampViaSeam threads the injected clock: no diagnostic.
+func stampViaSeam(clk Clock) int64 {
+	return clk.Now().UnixNano()
+}
+
+// holdOpen schedules on the wall clock: flagged.
+func holdOpen() {
+	time.Sleep(time.Millisecond) // want `reads the wall clock`
+}
+
+// auditedScrape is an annotated wall-clock exception: exempt.
+func auditedScrape() time.Time {
+	return time.Now() //mimonet:wallclock-ok exposition timestamp
+}

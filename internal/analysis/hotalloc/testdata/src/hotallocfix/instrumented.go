@@ -1,0 +1,52 @@
+package hotallocfix
+
+// counter mimics the obs nil-safe instrument shape: methods on a nil
+// receiver are no-ops, so un-instrumented paths carry the call sites at
+// zero cost.
+type counter struct{ v int64 }
+
+func (c *counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+type histogram struct{ sum float64 }
+
+func (h *histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+}
+
+// instrumentedPump is the edge-pump shape: per-chunk telemetry hooks are
+// method calls on pre-registered instruments, not allocation builtins, so
+// an instrumented hot loop stays clean.
+//
+//mimonet:hot
+func instrumentedPump(chunks [][]float64, c *counter, h *histogram) float64 {
+	acc := 0.0
+	for _, chunk := range chunks {
+		c.Inc()
+		h.Observe(float64(len(chunk)))
+		for _, v := range chunk {
+			acc += v
+		}
+	}
+	return acc
+}
+
+// labelledPerChunk resolves labels inside the loop: flagged — instruments
+// must be looked up once, outside the hot path.
+//
+//mimonet:hot
+func labelledPerChunk(chunks [][]float64, c *counter) {
+	for range chunks {
+		labels := make([]string, 0, 2)  // want `allocates on every iteration`
+		labels = append(labels, "edge") // want `allocates on every iteration`
+		_ = labels
+		c.Inc()
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/flowgraph"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 )
 
@@ -124,6 +125,10 @@ type RXBlock struct {
 	Antennas int
 	// OnReport is called for every burst (decode success or failure).
 	OnReport func(RXReport)
+	// Obs, when set, closes each packet's telemetry: the crc trace span
+	// around the MAC FCS check and the terminal PER/post-FEC accounting.
+	// Attach the same RxObs to RX so the trace spans share a chain.
+	Obs *phy.RxObs
 }
 
 // Name implements flowgraph.Block.
@@ -173,12 +178,15 @@ func (b *RXBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, _ []chan
 		res, err := safeReceive(b.RX, rx)
 		rep := RXReport{Res: res, Err: err}
 		if err == nil {
+			tr := b.Obs.ActiveTrace()
+			tr.Begin(obs.StageCRC)
 			frame, derr := mac.Decode(res.PSDU)
 			if derr != nil {
 				rep.Err = derr
 			} else {
 				rep.Frame = frame
 			}
+			b.Obs.PacketResult(derr == nil, len(res.PSDU))
 		}
 		b.OnReport(rep)
 	}

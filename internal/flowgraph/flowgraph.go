@@ -211,7 +211,7 @@ func (g *Graph) Run(ctx context.Context) error {
 		if _, dup := g.health[name]; dup {
 			name = fmt.Sprintf("%s#%d", name, i)
 		}
-		h := metrics.NewHealth()
+		h := metrics.NewHealthIn(policy.Metrics, name)
 		g.health[name] = h
 		states[b] = &blockState{name: name, health: h}
 	}
@@ -245,7 +245,9 @@ func (g *Graph) Run(ctx context.Context) error {
 		outOwned[k.from][k.fromOut] = pOut
 		ins[k.to][k.toIn] = cIn
 		prod, cons := states[k.from], states[k.to]
-		pumps = append(pumps, func() { pump(runCtx, pOut, cIn, prod, cons) })
+		eo := newEdgeObs(policy.Metrics, policy.Clock,
+			fmt.Sprintf("%s:%d->%s:%d", prod.name, k.fromOut, cons.name, k.toIn))
+		pumps = append(pumps, func() { pump(runCtx, pOut, cIn, prod, cons, eo) })
 	}
 	g.mu.Unlock()
 

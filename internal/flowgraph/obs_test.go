@@ -1,0 +1,114 @@
+package flowgraph
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// gatherFamily returns the named family's snapshot, or nil.
+func gatherFamily(reg *obs.Registry, name string) *obs.FamilySnapshot {
+	for _, f := range reg.Gather() {
+		if f.Name == name {
+			return &f
+		}
+	}
+	return nil
+}
+
+func TestPolicyMetricsExposesBlocksAndEdges(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := New()
+	src := mkSource("src", 7, 1)
+	var got int64
+	sink := &SinkFunc{BlockName: "sink", Consume: func(c Chunk) error {
+		atomic.AddInt64(&got, int64(len(c)))
+		return nil
+	}}
+	for _, b := range []Block{src, sink} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Metrics alone must imply edge instrumentation — no TrackHealth needed.
+	if err := g.SetPolicy(Policy{Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Block health counters live in the registry, labelled by block, and
+	// agree with Graph.Health().
+	in := gatherFamily(reg, metrics.FamChunksIn)
+	if in == nil {
+		t.Fatalf("family %s not registered", metrics.FamChunksIn)
+	}
+	byBlock := map[string]float64{}
+	for _, p := range in.Points {
+		if len(p.Labels) != 1 || p.Labels[0].Key != "block" {
+			t.Fatalf("chunks_in labels = %+v", p.Labels)
+		}
+		byBlock[p.Labels[0].Value] = p.Value
+	}
+	health := g.Health()
+	for name, snap := range health {
+		if int64(byBlock[name]) != snap.ChunksIn {
+			t.Errorf("block %s: registry chunks_in %v, health %d", name, byBlock[name], snap.ChunksIn)
+		}
+	}
+	if health["sink"].ChunksIn != 7 {
+		t.Fatalf("sink chunks in = %d, want 7", health["sink"].ChunksIn)
+	}
+
+	// Edge instruments: one labelled point each, wait _count equal to the
+	// chunks pumped across the edge.
+	depth := gatherFamily(reg, "mimonet_edge_queue_depth")
+	wait := gatherFamily(reg, "mimonet_edge_wait_seconds")
+	if depth == nil || wait == nil {
+		t.Fatal("edge families not registered")
+	}
+	if len(wait.Points) != 1 {
+		t.Fatalf("edge wait points = %d, want 1", len(wait.Points))
+	}
+	p := wait.Points[0]
+	if p.Labels[0].Key != "edge" || p.Labels[0].Value != "src:0->sink:0" {
+		t.Fatalf("edge label = %+v", p.Labels)
+	}
+	if p.Count != 7 {
+		t.Fatalf("edge wait count = %d, want 7 chunks", p.Count)
+	}
+	if wait.Kind != obs.KindHistogram || depth.Kind != obs.KindGauge {
+		t.Fatalf("edge kinds = %s, %s", wait.Kind, depth.Kind)
+	}
+}
+
+func TestNoMetricsKeepsRegistryOut(t *testing.T) {
+	g := New()
+	src := mkSource("src", 3, 1)
+	sink := &SinkFunc{BlockName: "sink", Consume: func(Chunk) error { return nil }}
+	for _, b := range []Block{src, sink} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetPolicy(Policy{TrackHealth: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Health still counts through standalone obs counters.
+	if g.Health()["sink"].ChunksIn != 3 {
+		t.Fatalf("health = %+v", g.Health())
+	}
+}

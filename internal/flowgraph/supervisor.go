@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Policy tunes block supervision. The zero value still contains panics
@@ -34,6 +35,13 @@ type Policy struct {
 	// TrackHealth enables per-chunk health accounting (edge pumps) even
 	// without a watchdog. Implied by StallTimeout > 0.
 	TrackHealth bool
+	// Metrics, when set, is the obs registry the graph exposes itself
+	// through: per-block health counters register under the
+	// mimonet_block_* families and every edge pump maintains a queue-depth
+	// gauge and a delivery-wait histogram (whose _count is the chunk
+	// throughput series). Setting it implies edge instrumentation. Nil
+	// keeps the un-instrumented fast path allocation-free.
+	Metrics *obs.Registry
 	// Clock supplies the time source for the watchdog, backoff, and grace
 	// waits. Nil means the system clock; tests inject clock.Fake to drive
 	// stall detection without wall-clock sleeps.
@@ -60,7 +68,40 @@ func (p Policy) withDefaults() Policy {
 }
 
 // instrumented reports whether edges need counting pumps.
-func (p Policy) instrumented() bool { return p.TrackHealth || p.StallTimeout > 0 }
+func (p Policy) instrumented() bool {
+	return p.TrackHealth || p.StallTimeout > 0 || p.Metrics != nil
+}
+
+// edgeObs holds one edge's exposition instruments. A nil *edgeObs (no
+// Policy.Metrics) keeps the pump on its metric-free path with zero clock
+// reads per chunk.
+type edgeObs struct {
+	// queue tracks the producer-side proxy buffer occupancy in chunks.
+	queue *obs.Gauge
+	// wait observes the seconds each chunk spends blocked between the
+	// producer proxy and consumer acceptance — the backpressure-wait /
+	// chunk-delivery latency distribution. Its _count doubles as the
+	// per-edge chunk throughput counter (items/sec under rate()).
+	wait *obs.Histogram
+	clk  clock.Clock
+}
+
+// newEdgeObs registers the instruments for one edge, labelled
+// edge="from:port->to:port". Returns nil when no registry is configured.
+func newEdgeObs(reg *obs.Registry, clk clock.Clock, edge string) *edgeObs {
+	if reg == nil {
+		return nil
+	}
+	label := obs.Label{Key: "edge", Value: edge}
+	return &edgeObs{
+		queue: reg.Gauge("mimonet_edge_queue_depth",
+			"chunks buffered in the edge's producer-side proxy", label),
+		wait: reg.Histogram("mimonet_edge_wait_seconds",
+			"seconds a chunk waits between production and consumer acceptance",
+			obs.ExpBuckets(1e-6, 4, 10), label),
+		clk: clk,
+	}
+}
 
 // blockState is the supervisor's runtime accounting for one block.
 type blockState struct {
@@ -79,9 +120,12 @@ func (st *blockState) activity() int64 { return st.health.ChunksIn() + st.health
 
 // pump forwards chunks from a producer-side proxy channel to a
 // consumer-side one, counting per-block progress so the watchdog can tell a
-// stalled block from a merely idle or backpressured one. It closes the
-// downstream channel on exit so shutdown cascades even under cancellation.
-func pump(ctx context.Context, from <-chan Chunk, to chan<- Chunk, prod, cons *blockState) {
+// stalled block from a merely idle or backpressured one. When eo is set it
+// additionally maintains the edge's exposition instruments (queue depth,
+// delivery-wait histogram); when nil, no clock is read and nothing
+// allocates per chunk. It closes the downstream channel on exit so shutdown
+// cascades even under cancellation.
+func pump(ctx context.Context, from <-chan Chunk, to chan<- Chunk, prod, cons *blockState, eo *edgeObs) {
 	defer close(to)
 	for {
 		var c Chunk
@@ -97,11 +141,19 @@ func pump(ctx context.Context, from <-chan Chunk, to chan<- Chunk, prod, cons *b
 		prod.health.AddOut(1)
 		prod.outPressure.Add(1)
 		cons.inWait.Add(1)
+		var sendStart time.Time
+		if eo != nil {
+			eo.queue.Set(float64(len(from)))
+			sendStart = eo.clk.Now()
+		}
 		select {
 		case to <- c:
 			prod.outPressure.Add(-1)
 			cons.inWait.Add(-1)
 			cons.health.AddIn(1)
+			if eo != nil {
+				eo.wait.Observe(eo.clk.Since(sendStart).Seconds())
+			}
 		case <-ctx.Done():
 			prod.outPressure.Add(-1)
 			cons.inWait.Add(-1)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Selective-repeat ARQ in the style of 802.11n Block Ack: the sender
@@ -65,6 +67,11 @@ type ARQSender struct {
 	Backoffs int
 	// failRounds is the current consecutive all-loss round streak.
 	failRounds int
+	// Exposition counters mirroring the tallies above (nil until Instrument).
+	cRetries   *obs.Counter
+	cBackoffs  *obs.Counter
+	cDelivered *obs.Counter
+	cDropped   *obs.Counter
 }
 
 // NewARQSender returns a sender with a window of up to `window` outstanding
@@ -81,6 +88,19 @@ func NewARQSender(window int) (*ARQSender, error) {
 		BackoffBase: time.Millisecond,
 		BackoffMax:  64 * time.Millisecond,
 	}, nil
+}
+
+// Instrument registers the sender's ARQ counters in reg. A nil registry
+// leaves the sender un-instrumented (counters stay no-ops).
+func (s *ARQSender) Instrument(reg *obs.Registry) {
+	s.cRetries = reg.Counter("mimonet_arq_retries_total",
+		"MPDU retransmissions (transmissions beyond each frame's first)")
+	s.cBackoffs = reg.Counter("mimonet_arq_backoffs_total",
+		"rounds in which pending frames went entirely unacknowledged")
+	s.cDelivered = reg.Counter("mimonet_arq_delivered_total",
+		"payloads acknowledged and released from the window")
+	s.cDropped = reg.Counter("mimonet_arq_dropped_total",
+		"payloads dropped after exhausting the retry budget")
 }
 
 // Queue accepts a payload for reliable delivery and returns its assigned
@@ -117,7 +137,11 @@ func (s *ARQSender) Round() []*Frame {
 			delete(s.pending, seq)
 			delete(s.retries, seq)
 			s.Dropped++
+			s.cDropped.Inc()
 			continue
+		}
+		if s.retries[seq] > 0 {
+			s.cRetries.Inc()
 		}
 		s.retries[seq]++
 		frames = append(frames, &Frame{Seq: seq, Payload: s.pending[seq]})
@@ -137,6 +161,7 @@ func (s *ARQSender) Apply(ack BlockAck) {
 			delete(s.pending, seq)
 			delete(s.retries, seq)
 			s.Delivered++
+			s.cDelivered.Inc()
 			acked++
 		}
 	}
@@ -146,6 +171,7 @@ func (s *ARQSender) Apply(ack BlockAck) {
 	if acked == 0 {
 		s.failRounds++
 		s.Backoffs++
+		s.cBackoffs.Inc()
 	} else {
 		s.failRounds = 0
 	}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): per family a # HELP and # TYPE line, then one sample per
+// point; histograms expand into cumulative _bucket{le=...} samples plus
+// _sum and _count. Families and points come out of Gather pre-sorted, so
+// the output is byte-stable between metric updates.
+func WriteProm(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if _, err := fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, p := range f.Points {
+			switch f.Kind {
+			case KindHistogram:
+				for _, b := range p.Buckets {
+					le := formatFloat(b.UpperBound)
+					if math.IsInf(b.UpperBound, 1) {
+						le = "+Inf"
+					}
+					labels := promLabels(p.Labels, Label{Key: "le", Value: le})
+					if _, err := fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name, labels, b.Count); err != nil {
+						return err
+					}
+				}
+				labels := promLabels(p.Labels)
+				if _, err := fmt.Fprintf(bw, "%s_sum%s %s\n%s_count%s %d\n",
+					f.Name, labels, formatFloat(p.Sum), f.Name, labels, p.Count); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(bw, "%s%s %s\n", f.Name, promLabels(p.Labels), formatFloat(p.Value)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// promLabels renders a label set (plus any extras) as {k="v",...}, or the
+// empty string when there are none. Extras are appended after the sorted
+// base labels, matching the common le-last convention.
+func promLabels(base []Label, extra ...Label) string {
+	if len(base)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for _, l := range base {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		n++
+	}
+	for _, l := range extra {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		n++
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+var (
+	helpLine   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)( [0-9]+)?$`)
+)
+
+// ValidateExposition strictly checks a Prometheus text stream: every line
+// must be a well-formed HELP/TYPE comment or sample, sample values must
+// parse, every sample's family must have a preceding TYPE line, and
+// histogram families must close with _sum and _count. It returns the set of
+// family names seen, so callers can additionally require specific series
+// (the CI obs gate does).
+func ValidateExposition(r io.Reader) (map[string]Kind, error) {
+	families := make(map[string]Kind)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeLine.FindStringSubmatch(line); m != nil {
+				families[m[1]] = Kind(m[2])
+				continue
+			}
+			if helpLine.MatchString(line) {
+				continue
+			}
+			return families, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return families, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, value := m[1], m[5]
+		switch value {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return families, fmt.Errorf("line %d: bad sample value %q: %w", lineNo, value, err)
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && families[trimmed] == KindHistogram {
+				base = trimmed
+				break
+			}
+		}
+		if _, ok := families[base]; !ok {
+			return families, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return families, err
+	}
+	return families, nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every instrument shape the
+// exposition has to render: bare and labelled counters, gauges (including
+// non-finite values), and a labelled histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("mimonet_rx_packets_total", "packets by terminal outcome",
+		Label{Key: "result", Value: "ok"}).Add(7)
+	r.Counter("mimonet_rx_packets_total", "packets by terminal outcome",
+		Label{Key: "result", Value: "fcs_bad"}).Add(2)
+	r.Counter("mimonet_udp_datagrams_total", "datagrams received").Add(41)
+	r.Gauge("mimonet_rx_snr_db", "last packet SNR (dB)").Set(23.5)
+	r.Gauge("mimonet_rx_cfo_hz", "corrected CFO with a\nmultiline \\ help").Set(-150.25)
+	h := r.Histogram("mimonet_edge_wait_seconds", "chunk delivery wait",
+		[]float64{0.001, 0.01, 0.1}, Label{Key: "edge", Value: `src:0->sink:0`})
+	for _, v := range []float64{0.0005, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePromOutputValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ValidateExposition(&buf)
+	if err != nil {
+		t.Fatalf("own output failed validation: %v", err)
+	}
+	want := map[string]Kind{
+		"mimonet_rx_packets_total":    KindCounter,
+		"mimonet_udp_datagrams_total": KindCounter,
+		"mimonet_rx_snr_db":           KindGauge,
+		"mimonet_rx_cfo_hz":           KindGauge,
+		"mimonet_edge_wait_seconds":   KindHistogram,
+	}
+	for name, kind := range want {
+		if fams[name] != kind {
+			t.Errorf("family %s = %q, want %q", name, fams[name], kind)
+		}
+	}
+}
+
+func TestWritePromNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q, want empty", buf.String())
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "orphan_metric 1\n",
+		"malformed comment":    "# NONSENSE foo bar\n",
+		"bad value":            "# TYPE m gauge\nm 1.2.3\n",
+		"unquoted label value": "# TYPE m gauge\nm{k=v} 1\n",
+		"garbage line":         "# TYPE m gauge\n{} 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsHistogramSuffixes(t *testing.T) {
+	in := `# HELP lat latency
+# TYPE lat histogram
+lat_bucket{le="0.1"} 1
+lat_bucket{le="+Inf"} 2
+lat_sum 0.35
+lat_count 2
+`
+	fams, err := ValidateExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["lat"] != KindHistogram {
+		t.Fatalf("families = %v", fams)
+	}
+}

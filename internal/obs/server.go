@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server exposes the telemetry surfaces over HTTP:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/healthz      JSON from the health function (flowgraph Graph.Health)
+//	/trace        JSON of the tracer's recent packet traces, newest first
+//	/debug/pprof  the standard runtime profiles
+//
+// The zero value is not usable; construct with NewServer. A Server with a
+// nil registry, tracer, or health function still serves every endpoint
+// (empty exposition, {} health, [] traces) so wiring stays unconditional.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	health func() any
+
+	mu sync.Mutex
+	ln net.Listener
+	hs *http.Server
+}
+
+// NewServer returns a server over the given telemetry roots. health may be
+// nil; when set it is called per /healthz request and its result JSON
+// encoded (the flowgraph wires Graph.Health here).
+func NewServer(reg *Registry, tracer *Tracer, health func() any) *Server {
+	return &Server{reg: reg, tracer: tracer, health: health}
+}
+
+// Handler returns the route mux, for tests and for embedding into an
+// existing server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteProm(w, s.reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any = map[string]any{}
+		if s.health != nil {
+			v = s.health()
+		}
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := s.tracer.Snapshots()
+		if traces == nil {
+			traces = []TraceSnapshot{}
+		}
+		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Listen binds addr and starts serving in a background goroutine, returning
+// the bound address (useful with port 0).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %q: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.Handler()}
+	hs := s.hs
+	s.mu.Unlock()
+	go func() {
+		// ErrServerClosed and accept-after-Close errors are the normal
+		// shutdown path; anything the operator needs shows up on scrape.
+		_ = hs.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener. Safe to call without a prior Listen.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hs == nil {
+		return nil
+	}
+	err := s.hs.Close()
+	s.hs, s.ln = nil, nil
+	return err
+}

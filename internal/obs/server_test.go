@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func testServer(t *testing.T) (*Server, *Registry, *Tracer) {
+	t.Helper()
+	reg := NewRegistry()
+	tracer := NewTracer(8, clock.NewFake(time.Unix(2000, 0)))
+	srv := NewServer(reg, tracer, func() any {
+		return map[string]int{"blocks": 2}
+	})
+	return srv, reg, tracer
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv, reg, _ := testServer(t)
+	reg.Counter("mimonet_rx_packets_total", "h", Label{Key: "result", Value: "ok"}).Add(3)
+	reg.Gauge("mimonet_rx_snr_db", "h").Set(21)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	fams, err := ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["mimonet_rx_packets_total"] != KindCounter || fams["mimonet_rx_snr_db"] != KindGauge {
+		t.Fatalf("families = %v", fams)
+	}
+}
+
+func TestServerHealthzEndpoint(t *testing.T) {
+	srv, _, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["blocks"] != 2 {
+		t.Fatalf("healthz = %v", got)
+	}
+}
+
+func TestServerTraceEndpoint(t *testing.T) {
+	srv, _, tracer := testServer(t)
+	tr := tracer.Start()
+	tr.Begin(StageSync)
+	tr.Finish(true)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Spans) != 1 || got[0].Spans[0].Stage != StageSync {
+		t.Fatalf("trace = %+v", got)
+	}
+}
+
+func TestServerNilRootsServeEmpty(t *testing.T) {
+	srv := NewServer(nil, nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for path, want := range map[string]string{
+		"/metrics": "",
+		"/healthz": "{}",
+		"/trace":   "[]",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(string(body)); got != want {
+			t.Errorf("%s = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestServerListenAndClose(t *testing.T) {
+	srv, reg, _ := testServer(t)
+	reg.Counter("up_total", "h").Inc()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestConcurrentScrapeWhileUpdate hammers every endpoint while writers spin
+// on the same instruments and tracer. Run under -race this is the data-race
+// gate for the whole exposition path.
+func TestConcurrentScrapeWhileUpdate(t *testing.T) {
+	srv, reg, tracer := testServer(t)
+	c := reg.Counter("spin_total", "h")
+	g := reg.Gauge("spin", "h")
+	h := reg.Histogram("spin_seconds", "h", ExpBuckets(1e-6, 10, 6))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(seed + float64(i))
+				h.Observe(seed * float64(i%100))
+				tr := tracer.Start()
+				tr.Begin(StageSync)
+				tr.Begin(StageDemod)
+				tr.Finish(i%2 == 0)
+				// New families mid-scrape exercise the registration lock too.
+				reg.Counter("spin_total", "h").Add(0)
+			}
+		}(float64(w) + 0.5)
+	}
+	for i := 0; i < 25; i++ {
+		for _, path := range []string{"/metrics", "/healthz", "/trace"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if path == "/metrics" {
+				if _, err := ValidateExposition(resp.Body); err != nil {
+					t.Fatalf("scrape %d: %v", i, err)
+				}
+			} else {
+				io.Copy(io.Discard, resp.Body)
+			}
+			resp.Body.Close()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

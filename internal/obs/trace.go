@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// maxSpans bounds the stages one trace can record. The RX chain uses six
+// (sync, chanest, demod, detector, viterbi, crc); the headroom is for
+// experiment-specific stages.
+const maxSpans = 8
+
+// Canonical RX chain stage names, in packet order.
+const (
+	StageSync     = "sync"
+	StageChanest  = "chanest"
+	StageDemod    = "demod"
+	StageDetector = "detector"
+	StageViterbi  = "viterbi"
+	StageCRC      = "crc"
+)
+
+// Span is one stage of a packet's trip through the chain. Stages whose work
+// is interleaved (per-symbol demod/detect loops) accumulate: Start is the
+// first entry, End the last exit, Total the summed in-stage time, Count the
+// number of Begin/End pairs.
+type Span struct {
+	Stage string
+	Start time.Time
+	End   time.Time
+	Total time.Duration
+	Count int
+}
+
+// Trace records one packet's spans. Traces live in the Tracer's fixed ring
+// and are reused in place on wraparound; recording into one is
+// allocation-free. All methods are safe for concurrent use with snapshot
+// reads and no-ops on a nil *Trace.
+type Trace struct {
+	// tracer is assigned once at ring construction and never rewritten, so
+	// methods may read it before taking its lock.
+	tracer *Tracer
+	id     uint64
+	start  time.Time
+	done   bool
+	ok     bool
+	spans  [maxSpans]Span
+	nspans int
+	// open is the index of the span a Begin has entered and End has not yet
+	// left, or -1.
+	open      int
+	openSince time.Time
+}
+
+// Tracer owns a fixed ring of packet traces. Start reuses the oldest slot,
+// so memory is bounded no matter how long the receiver runs. Timestamps
+// come from the injected clock, never the wall clock directly.
+type Tracer struct {
+	mu     sync.Mutex
+	clk    clock.Clock
+	ring   []Trace
+	nextID uint64
+	active *Trace
+}
+
+// NewTracer returns a tracer holding the most recent capacity traces,
+// stamped by clk (nil means the system clock).
+func NewTracer(capacity int, clk clock.Clock) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{clk: clock.Or(clk), ring: make([]Trace, capacity)}
+	for i := range t.ring {
+		t.ring[i].tracer = t
+	}
+	return t
+}
+
+// Start begins a new trace, evicting the oldest when the ring is full, and
+// marks it active. Returns nil on a nil tracer.
+func (t *Tracer) Start() *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := &t.ring[t.nextID%uint64(len(t.ring))]
+	t.nextID++
+	// Reset in place, field by field: the tracer pointer stays stable so a
+	// stale *Trace held across a ring wrap can still lock safely.
+	tr.id = t.nextID
+	tr.start = t.clk.Now()
+	tr.done, tr.ok = false, false
+	tr.nspans, tr.open = 0, -1
+	tr.openSince = time.Time{}
+	t.active = tr
+	return tr
+}
+
+// Active returns the most recently started trace (which may already be
+// finished), or nil. The receiver starts a trace per packet and leaves it
+// active so the caller layer (MAC CRC check) can append its span.
+func (t *Tracer) Active() *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// Begin enters the named stage, creating its span on first entry. Entering
+// a stage while another is open closes the open one first, so sequential
+// chains need no explicit End between stages.
+func (tr *Trace) Begin(stage string) {
+	if tr == nil {
+		return
+	}
+	t := tr.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clk.Now()
+	tr.endLocked(now)
+	for i := 0; i < tr.nspans; i++ {
+		if tr.spans[i].Stage == stage {
+			tr.open = i
+			tr.openSince = now
+			return
+		}
+	}
+	if tr.nspans == maxSpans {
+		return // span budget exhausted; drop rather than allocate
+	}
+	tr.spans[tr.nspans] = Span{Stage: stage, Start: now}
+	tr.open = tr.nspans
+	tr.openSince = now
+	tr.nspans++
+}
+
+// End leaves the currently open stage, accumulating its duration.
+func (tr *Trace) End() {
+	if tr == nil {
+		return
+	}
+	t := tr.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr.endLocked(t.clk.Now())
+}
+
+func (tr *Trace) endLocked(now time.Time) {
+	if tr.open < 0 {
+		return
+	}
+	s := &tr.spans[tr.open]
+	s.End = now
+	s.Total += now.Sub(tr.openSince)
+	s.Count++
+	tr.open = -1
+}
+
+// Finish closes any open span and marks the trace complete with the
+// packet's terminal outcome (FCS verified or not).
+func (tr *Trace) Finish(ok bool) {
+	if tr == nil {
+		return
+	}
+	t := tr.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr.endLocked(t.clk.Now())
+	tr.done = true
+	tr.ok = ok
+}
+
+// SpanSnapshot is a plain-value copy of one span, JSON-ready for /trace.
+type SpanSnapshot struct {
+	Stage   string `json:"stage"`
+	StartNs int64  `json:"start_unix_ns"`
+	EndNs   int64  `json:"end_unix_ns"`
+	TotalNs int64  `json:"total_ns"`
+	Count   int    `json:"count"`
+}
+
+// TraceSnapshot is a plain-value copy of one trace.
+type TraceSnapshot struct {
+	ID      uint64         `json:"id"`
+	StartNs int64          `json:"start_unix_ns"`
+	Done    bool           `json:"done"`
+	OK      bool           `json:"ok"`
+	Spans   []SpanSnapshot `json:"spans"`
+}
+
+// Snapshots copies the live ring, newest trace first. Returns nil on a nil
+// tracer.
+func (t *Tracer) Snapshots() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(t.ring))
+	n := uint64(len(t.ring))
+	for back := uint64(0); back < n && back < t.nextID; back++ {
+		tr := &t.ring[(t.nextID-1-back)%n]
+		ts := TraceSnapshot{
+			ID:      tr.id,
+			StartNs: tr.start.UnixNano(),
+			Done:    tr.done,
+			OK:      tr.ok,
+			Spans:   make([]SpanSnapshot, tr.nspans),
+		}
+		for i := 0; i < tr.nspans; i++ {
+			s := tr.spans[i]
+			ts.Spans[i] = SpanSnapshot{
+				Stage:   s.Stage,
+				StartNs: s.Start.UnixNano(),
+				EndNs:   s.End.UnixNano(),
+				TotalNs: int64(s.Total),
+				Count:   s.Count,
+			}
+		}
+		out = append(out, ts)
+	}
+	return out
+}

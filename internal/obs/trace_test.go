@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func fakeClock() *clock.Fake {
+	return clock.NewFake(time.Unix(1000, 0))
+}
+
+func TestTraceSpansWithFakeClock(t *testing.T) {
+	clk := fakeClock()
+	tracer := NewTracer(4, clk)
+	tr := tracer.Start()
+
+	tr.Begin(StageSync)
+	clk.Advance(10 * time.Millisecond)
+	// Entering the next stage closes sync implicitly.
+	tr.Begin(StageChanest)
+	clk.Advance(5 * time.Millisecond)
+	tr.Begin(StageDemod)
+	clk.Advance(2 * time.Millisecond)
+	// Re-entering an existing stage accumulates instead of adding a span.
+	tr.Begin(StageChanest)
+	clk.Advance(3 * time.Millisecond)
+	tr.Finish(true)
+
+	snaps := tracer.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	ts := snaps[0]
+	if !ts.Done || !ts.OK || ts.ID != 1 {
+		t.Fatalf("trace header: %+v", ts)
+	}
+	if len(ts.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (chanest accumulates)", len(ts.Spans))
+	}
+	byStage := map[string]SpanSnapshot{}
+	for _, s := range ts.Spans {
+		byStage[s.Stage] = s
+	}
+	if got := byStage[StageSync].TotalNs; got != int64(10*time.Millisecond) {
+		t.Fatalf("sync total = %d, want 10ms", got)
+	}
+	if got := byStage[StageChanest].TotalNs; got != int64(8*time.Millisecond) {
+		t.Fatalf("chanest total = %d, want 5ms+3ms accumulated", got)
+	}
+	if got := byStage[StageChanest].Count; got != 2 {
+		t.Fatalf("chanest count = %d, want 2", got)
+	}
+	if got := byStage[StageDemod].TotalNs; got != int64(2*time.Millisecond) {
+		t.Fatalf("demod total = %d, want 2ms", got)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	clk := fakeClock()
+	tracer := NewTracer(2, clk)
+	for i := 0; i < 5; i++ {
+		tr := tracer.Start()
+		tr.Begin(StageSync)
+		clk.Advance(time.Millisecond)
+		tr.Finish(i%2 == 0)
+	}
+	snaps := tracer.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want ring capacity 2", len(snaps))
+	}
+	// Newest first: ids 5, 4.
+	if snaps[0].ID != 5 || snaps[1].ID != 4 {
+		t.Fatalf("ids = %d, %d, want 5, 4", snaps[0].ID, snaps[1].ID)
+	}
+	if !snaps[0].Done || snaps[0].OK != true {
+		t.Fatalf("trace 5 outcome: %+v", snaps[0])
+	}
+	if snaps[1].OK != false {
+		t.Fatalf("trace 4 outcome: %+v", snaps[1])
+	}
+}
+
+func TestTracerPartialRingSnapshots(t *testing.T) {
+	tracer := NewTracer(8, fakeClock())
+	tracer.Start().Finish(true)
+	tracer.Start()
+	if got := len(tracer.Snapshots()); got != 2 {
+		t.Fatalf("snapshots = %d, want only the 2 started traces", got)
+	}
+}
+
+func TestTraceSpanBudget(t *testing.T) {
+	clk := fakeClock()
+	tracer := NewTracer(1, clk)
+	tr := tracer.Start()
+	for i := 0; i < maxSpans+3; i++ {
+		tr.Begin(fmt.Sprintf("stage%d", i))
+		clk.Advance(time.Millisecond)
+	}
+	tr.Finish(true)
+	snaps := tracer.Snapshots()
+	if got := len(snaps[0].Spans); got != maxSpans {
+		t.Fatalf("spans = %d, want capped at %d", got, maxSpans)
+	}
+}
+
+func TestNilTracerAndTraceNoOps(t *testing.T) {
+	var tracer *Tracer
+	if tracer.Start() != nil || tracer.Active() != nil || tracer.Snapshots() != nil {
+		t.Fatal("nil tracer should hand out nils")
+	}
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Begin(StageSync)
+		tr.End()
+		tr.Finish(true)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil trace ops allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestActiveSurvivesFinish(t *testing.T) {
+	tracer := NewTracer(2, fakeClock())
+	tr := tracer.Start()
+	tr.Finish(true)
+	if tracer.Active() != tr {
+		t.Fatal("Active should keep returning the last started trace")
+	}
+}

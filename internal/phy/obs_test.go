@@ -1,0 +1,194 @@
+package phy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// obsLoop runs one instrumented loopback packet and returns the telemetry
+// roots alongside the decode outcome.
+func obsLoop(t *testing.T, snrDB float64, seed int64) (*obs.Registry, *obs.Tracer, *RxResult, []byte, error) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(16, clock.NewFake(time.Unix(3000, 0)))
+	r := rand.New(rand.NewSource(seed))
+	tx, err := NewTransmitter(TxConfig{MCS: 9, ScramblerSeed: byte(seed) | 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := randPSDU(r, 400)
+	burst, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := channel.New(channel.Config{NumTX: 2, NumRX: 2, Model: channel.Identity,
+		SNRdB: snrDB, Seed: seed, SampleRate: 20e6,
+		TimingOffset: 280, TrailingSilence: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := c.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := NewRxObs(reg, tracer)
+	rx.SetObs(ro)
+	res, rxErr := rx.Receive(rxs)
+	if rxErr == nil {
+		// The caller layer closes the packet (normally blocks.RXBlock).
+		ro.ActiveTrace().Begin(obs.StageCRC)
+		ro.PacketResult(true, len(res.PSDU))
+	}
+	return reg, tracer, res, psdu, rxErr
+}
+
+func gaugeValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, f := range reg.Gather() {
+		if f.Name == name {
+			if len(f.Points) != 1 {
+				t.Fatalf("%s has %d points", name, len(f.Points))
+			}
+			return f.Points[0].Value
+		}
+	}
+	t.Fatalf("family %s not registered", name)
+	return 0
+}
+
+func counterValue(reg *obs.Registry, name, labelValue string) float64 {
+	for _, f := range reg.Gather() {
+		if f.Name != name {
+			continue
+		}
+		for _, p := range f.Points {
+			if len(p.Labels) == 0 && labelValue == "" {
+				return p.Value
+			}
+			for _, l := range p.Labels {
+				if l.Value == labelValue {
+					return p.Value
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func TestRxObsCleanPacket(t *testing.T) {
+	reg, tracer, res, psdu, err := obsLoop(t, 30, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.PSDU, psdu) {
+		t.Fatal("loopback failed")
+	}
+	if snr := gaugeValue(t, reg, "mimonet_rx_snr_db"); snr < 20 || snr > 45 {
+		t.Errorf("SNR gauge = %g, want near 30", snr)
+	}
+	if ber := gaugeValue(t, reg, "mimonet_rx_prefec_ber"); ber < 0 || ber > 0.05 {
+		t.Errorf("pre-FEC BER = %g on a 30dB channel", ber)
+	}
+	if bits := counterValue(reg, "mimonet_rx_prefec_bits_total", ""); bits == 0 {
+		t.Error("pre-FEC comparison saw no bits")
+	}
+	if got := counterValue(reg, "mimonet_rx_packets_total", "ok"); got != 1 {
+		t.Errorf("ok packets = %g, want 1", got)
+	}
+	if per := gaugeValue(t, reg, "mimonet_rx_per"); per != 0 {
+		t.Errorf("PER = %g, want 0", per)
+	}
+	if ber := gaugeValue(t, reg, "mimonet_rx_postfec_ber"); ber != 0 {
+		t.Errorf("post-FEC BER = %g, want 0", ber)
+	}
+
+	// The stage trace must carry the full chain in packet order.
+	snaps := tracer.Snapshots()
+	if len(snaps) != 1 || !snaps[0].Done || !snaps[0].OK {
+		t.Fatalf("trace: %+v", snaps)
+	}
+	want := []string{obs.StageSync, obs.StageChanest, obs.StageDemod, obs.StageDetector, obs.StageViterbi, obs.StageCRC}
+	if len(snaps[0].Spans) != len(want) {
+		t.Fatalf("spans = %+v, want stages %v", snaps[0].Spans, want)
+	}
+	for i, stage := range want {
+		if snaps[0].Spans[i].Stage != stage {
+			t.Errorf("span %d = %s, want %s", i, snaps[0].Spans[i].Stage, stage)
+		}
+	}
+	// The interleaved per-symbol stages must have accumulated multiple entries.
+	for _, s := range snaps[0].Spans {
+		if (s.Stage == obs.StageDemod || s.Stage == obs.StageDetector) && s.Count < 2 {
+			t.Errorf("stage %s count = %d, want accumulation over symbols", s.Stage, s.Count)
+		}
+	}
+}
+
+func TestRxObsSyncFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(4, clock.NewFake(time.Unix(3000, 0)))
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.SetObs(NewRxObs(reg, tracer))
+	// Pure silence: the detector never fires.
+	silent := [][]complex128{make([]complex128, 2000), make([]complex128, 2000)}
+	if _, err := rx.Receive(silent); err == nil {
+		t.Fatal("decoded silence")
+	}
+	if got := counterValue(reg, "mimonet_rx_packets_total", "sync_fail"); got != 1 {
+		t.Errorf("sync_fail = %g, want 1", got)
+	}
+	if per := gaugeValue(t, reg, "mimonet_rx_per"); per != 1 {
+		t.Errorf("PER = %g, want 1", per)
+	}
+	snaps := tracer.Snapshots()
+	if len(snaps) != 1 || !snaps[0].Done || snaps[0].OK {
+		t.Fatalf("failed packet trace: %+v", snaps)
+	}
+}
+
+func TestReceiverWithoutObsUnchanged(t *testing.T) {
+	// The un-instrumented path must still decode (nil-safety of every hook).
+	r := rand.New(rand.NewSource(17))
+	tx, err := NewTransmitter(TxConfig{MCS: 9, ScramblerSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := randPSDU(r, 300)
+	burst, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := channel.New(channel.Config{NumTX: 2, NumRX: 2, Model: channel.Identity,
+		SNRdB: 30, Seed: 17, SampleRate: 20e6, TimingOffset: 280, TrailingSilence: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := c.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.Receive(rxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.PSDU, psdu) {
+		t.Fatal("loopback failed without obs")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fec"
 	"repro/internal/mimo"
 	"repro/internal/modem"
+	"repro/internal/obs"
 	"repro/internal/ofdm"
 	"repro/internal/preamble"
 	"repro/internal/sounding"
@@ -28,6 +29,10 @@ var ErrBadSIG = errors.New("phy: SIG field failed validation")
 // captured streams: decoding would read outside the sample buffers. The
 // receiver rejects such headers up front instead of failing mid-symbol.
 var ErrSIGBounds = errors.New("phy: SIG-announced length out of bounds")
+
+// ErrNoPacket marks a capture in which the detector never fired: there is
+// nothing to synchronize to. Telemetry classifies it as a sync failure.
+var ErrNoPacket = errors.New("phy: no packet detected")
 
 // RxConfig configures a receiver.
 type RxConfig struct {
@@ -102,7 +107,13 @@ type Receiver struct {
 	det       mimo.Detector
 	detScheme modem.Scheme
 	detNSS    int
+	// obs, when set, receives per-packet telemetry (SNR/BER/PER series and
+	// stage traces). Nil keeps the decode path free of telemetry cost.
+	obs *RxObs
 }
+
+// SetObs attaches the receiver's telemetry surface. Nil detaches it.
+func (r *Receiver) SetObs(o *RxObs) { r.obs = o }
 
 // NewReceiver validates the configuration and returns a receiver.
 func NewReceiver(cfg RxConfig) (*Receiver, error) {
@@ -144,11 +155,33 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 // Receive synchronizes to and decodes the first PPDU in the streams.
 // rx[a] is the baseband of antenna a; all must be equal length. The samples
 // are modified in place by CFO correction.
+//
+// With an attached RxObs the call additionally records a stage trace
+// (sync → chanest → demod → detector → viterbi; the caller's FCS check adds
+// crc via ActiveTrace/PacketResult) and updates the SNR/BER/PER series.
 func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
+	tr := r.obs.startTrace()
+	res, err := r.receive(rx, tr)
+	if err != nil {
+		r.obs.recordFailure(err)
+		tr.Finish(false)
+		return res, err
+	}
+	r.obs.packetDecoded(res)
+	// Close the viterbi span but leave the trace active: the caller owns
+	// the crc stage and terminal verdict (PacketResult).
+	tr.End()
+	return res, nil
+}
+
+// receive is the synchronization and decode chain behind Receive, with
+// stage span markers threaded through it.
+func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) {
 	if len(rx) != r.cfg.NumAntennas {
 		return nil, fmt.Errorf("phy: %d streams for %d antennas", len(rx), r.cfg.NumAntennas)
 	}
 	// --- 1. Packet detection on the STF periodicity ---------------------
+	tr.Begin(obs.StageSync)
 	det, err := r.detect(rx)
 	if err != nil {
 		return nil, err
@@ -200,6 +233,7 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	totalCFO := coarse + fine
 
 	// --- 4. Legacy channel estimate + SNR from the L-LTF ----------------
+	tr.Begin(obs.StageChanest)
 	bo := r.cfg.TimingBackoff
 	ltfSpectra := make([][][]complex128, len(rx))
 	for a := range rx {
@@ -227,6 +261,7 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	// --- 5. L-SIG ---------------------------------------------------------
 	// Offsets relative to the located LTF start (which is OffLLTF+32 within
 	// the PPDU).
+	tr.Begin(obs.StageDemod)
 	base := ltfStart - (OffLLTF + 32)
 	lsigSym, lsigCSI, err := r.equalizeLegacySymbols(rx, leg, base+OffLSIG, 1)
 	if err != nil {
@@ -292,6 +327,7 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	}
 
 	// --- 7. HT channel estimation from the HT-LTFs ----------------------
+	tr.Begin(obs.StageChanest)
 	htSpectra := make([][][]complex128, len(rx))
 	for a := range rx {
 		htSpectra[a] = make([][]complex128, nltf)
@@ -320,6 +356,7 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	}
 
 	// --- 8. MIMO detection over the data symbols ------------------------
+	tr.Begin(obs.StageDetector)
 	if r.det == nil || r.detScheme != mcs.Scheme || r.detNSS != mcs.NSS {
 		d, derr := mimo.NewDetector(r.cfg.Detector, mcs.Scheme, mcs.NSS)
 		if derr != nil {
@@ -365,6 +402,9 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	pilotTones := make([][]complex128, len(rx))
 	y := make([]complex128, len(rx))
 	for n := 0; n < nSym; n++ {
+		// Demod (FFT + pilot CPE) and detection interleave per symbol; the
+		// trace accumulates each stage's share across the whole data field.
+		tr.Begin(obs.StageDemod)
 		off := dataStart + n*dataSymLen + dataCP - dataBO
 		for a := range rx {
 			if off+ofdm.FFTSize > len(rx[a]) {
@@ -393,6 +433,7 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 			}
 		}
 		// Per-subcarrier MIMO detection into per-stream LLRs.
+		tr.Begin(obs.StageDetector)
 		for iss := range perSymbol {
 			perSymbol[iss] = perSymbol[iss][:0]
 		}
@@ -454,6 +495,7 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	}
 
 	// --- 9. Merge streams, depuncture, decode, descramble ---------------
+	tr.Begin(obs.StageViterbi)
 	merged, err := parser.MergeLLR(streamLLR)
 	if err != nil {
 		return result, err
@@ -476,6 +518,10 @@ func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 		return result, err
 	}
 	r.decBuf = decoded
+	if r.obs != nil {
+		errs, bits := preFECCompare(decoded, merged, mcs.Rate)
+		r.obs.prefec(errs, bits)
+	}
 	// Descramble: recover the seed from the SERVICE field (the first 7
 	// scrambled bits reveal the initial state).
 	descrambled := descramble(decoded)
@@ -550,7 +596,7 @@ func (r *Receiver) detect(rx [][]complex128) (*synchro.Detection, error) {
 			return det, nil
 		}
 	}
-	return nil, fmt.Errorf("phy: no packet detected in %d samples", n)
+	return nil, fmt.Errorf("%w in %d samples", ErrNoPacket, n)
 }
 
 // bins demodulates a 64-sample window starting at off into a full spectrum.

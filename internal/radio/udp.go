@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 )
 
 // UDPSender streams bursts as UDP datagrams, one frame per datagram. UDP
@@ -121,6 +122,11 @@ type UDPReceiver struct {
 	// clk computes read deadlines; injectable (SetClock) so deadline logic
 	// is testable without wall-clock dependence.
 	clk clock.Clock
+	// Exposition counters mirroring the tallies above (nil until Instrument).
+	cDatagrams *obs.Counter
+	cLost      *obs.Counter
+	cCorrupt   *obs.Counter
+	cLate      *obs.Counter
 }
 
 // maxGapFill caps the zero-fill for one sequence gap (in samples per
@@ -144,6 +150,20 @@ func NewUDPReceiver(addr string) (*UDPReceiver, error) {
 // Nil restores the system clock.
 func (r *UDPReceiver) SetClock(c clock.Clock) { r.clk = clock.Or(c) }
 
+// Instrument registers the receiver's link counters in reg: datagrams seen
+// plus the loss/corruption/reorder tallies the exported fields track. A nil
+// registry leaves the receiver un-instrumented (counters stay no-ops).
+func (r *UDPReceiver) Instrument(reg *obs.Registry) {
+	r.cDatagrams = reg.Counter("mimonet_udp_datagrams_total",
+		"UDP sample datagrams received (including discarded ones)")
+	r.cLost = reg.Counter("mimonet_udp_lost_total",
+		"datagrams missing from the sequence, zero-filled as erasures")
+	r.cCorrupt = reg.Counter("mimonet_udp_corrupt_total",
+		"datagrams with unparseable headers or truncated payloads")
+	r.cLate = reg.Counter("mimonet_udp_late_total",
+		"reordered or duplicated datagrams discarded after their gap was filled")
+}
+
 // Close releases the socket.
 func (r *UDPReceiver) Close() error { return r.conn.Close() }
 
@@ -166,21 +186,25 @@ func (r *UDPReceiver) ReadBurst(timeout time.Duration) ([][]complex128, error) {
 		if err != nil {
 			return nil, fmt.Errorf("radio: udp read: %w", err)
 		}
+		r.cDatagrams.Inc()
 		h, err := DecodeHeader(r.buf[:n])
 		if err != nil {
 			// Foreign, truncated, or corrupted beyond recognition.
 			r.Corrupt++
+			r.cCorrupt.Inc()
 			continue
 		}
 		if r.started && h.Seq < r.nextSeq {
 			// Reordered or duplicated: its position was already zero-filled
 			// (or consumed); splicing it in now would misalign the stream.
 			r.Late++
+			r.cLate.Inc()
 			continue
 		}
 		if r.started && h.Seq > r.nextSeq {
 			gap := h.Seq - r.nextSeq
 			r.Lost += gap
+			r.cLost.Add(int64(gap))
 			// Zero-fill the missing samples so the stream stays aligned,
 			// bounded so a corrupted sequence number cannot force an absurd
 			// allocation.
@@ -207,6 +231,7 @@ func (r *UDPReceiver) ReadBurst(timeout time.Duration) ([][]complex128, error) {
 			// samples this frame claimed to carry. The end-of-burst flag is
 			// still honoured so the burst terminates.
 			r.Corrupt++
+			r.cCorrupt.Inc()
 			for s := range out {
 				out[s] = append(out[s], make([]complex128, h.Count)...)
 			}
