@@ -1,0 +1,81 @@
+// Command mimonet-dump merges flight-recorder dump files from both ends of
+// a link into per-packet timelines: for every TX-assigned packet ID it
+// renders the node records in link order (tx → sim → rx) with the stage-span
+// waterfall, the per-subcarrier EVM table, the channel-estimate condition
+// summary, and a worst-case verdict — the post-mortem view of one packet's
+// life across processes.
+//
+// Usage:
+//
+//	mimonet-dump dumps/flight-tx-0000-end_of_run.json dumps/flight-rx-0000-crc_fail.json
+//	mimonet-dump -packet 7 dumps/*.json
+//	mimonet-dump -failed dumps/*.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+func main() {
+	var (
+		packet  = flag.Uint64("packet", 0, "render only this packet ID (0 = all)")
+		failed  = flag.Bool("failed", false, "render only packets whose worst verdict is a failure")
+		logJSON = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: mimonet-dump [flags] dump.json [dump.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON, "dump")
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dumps := make([]*flight.DumpFile, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		df, err := flight.Load(path)
+		if err != nil {
+			logger.Error("dump load failed", slog.String("file", path), slog.String("err", err.Error()))
+			os.Exit(1)
+		}
+		logger.Info("loaded dump", slog.String("file", path), slog.String("node", df.Node),
+			slog.String("reason", df.Reason), slog.Int("packets", len(df.Packets)))
+		dumps = append(dumps, df)
+	}
+
+	timelines := flight.Merge(dumps...)
+	rendered := 0
+	for i := range timelines {
+		t := &timelines[i]
+		if *packet != 0 && t.PacketID != *packet {
+			continue
+		}
+		if *failed && !isFailure(t.Verdict()) {
+			continue
+		}
+		if rendered > 0 {
+			fmt.Println()
+		}
+		flight.Render(os.Stdout, t)
+		rendered++
+	}
+	if rendered == 0 {
+		logger.Warn("no packets matched", slog.Int("timelines", len(timelines)))
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d packet(s) across %d dump(s)\n", rendered, len(dumps))
+}
+
+// isFailure mirrors Evidence.Failed for a timeline's worst verdict.
+func isFailure(v string) bool {
+	return v != flight.VerdictOK && v != flight.VerdictSent && v != flight.VerdictRestart
+}

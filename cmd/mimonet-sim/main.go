@@ -1,5 +1,7 @@
 // Command mimonet-sim runs the paper's reconstructed experiments (E1-E12,
-// see DESIGN.md) and prints their tables.
+// see DESIGN.md) and prints their tables. Operational events (telemetry
+// endpoint, failures) go to stderr through the shared structured-logging
+// seam; the tables themselves are the program's output and stay on stdout.
 //
 // Usage:
 //
@@ -10,7 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -19,8 +21,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mimonet-sim: ")
 	var (
 		exp           = flag.String("exp", "all", "experiment id (e1..e12) or \"all\"")
 		packets       = flag.Int("packets", 200, "Monte-Carlo packets/trials per sweep point")
@@ -30,8 +30,14 @@ func main() {
 		scenario      = flag.String("scenario", "", "restrict fault-injection experiments (e22) to one named scenario")
 		workers       = flag.Int("workers", 0, "Monte-Carlo worker goroutines for the sharded experiments (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 		metricsListen = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address while experiments run (empty = telemetry off)")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON, "sim")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		os.Exit(1)
+	}
 
 	var done *obs.Counter
 	if *metricsListen != "" {
@@ -40,10 +46,10 @@ func main() {
 		srv := obs.NewServer(reg, nil, nil)
 		addr, err := srv.Listen(*metricsListen)
 		if err != nil {
-			log.Fatal(err)
+			fatal("telemetry listen failed", err)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics\n", addr)
+		logger.Info("telemetry listening", slog.String("addr", "http://"+addr.String()+"/metrics"))
 	}
 
 	opt := sim.Options{Seed: *seed, Packets: *packets, PayloadLen: *payload, Quick: *quick, Scenario: *scenario, Workers: *workers}
@@ -54,14 +60,14 @@ func main() {
 	for _, id := range ids {
 		runner, err := sim.Lookup(id)
 		if err != nil {
-			log.Fatal(err)
+			fatal("unknown experiment", err)
 		}
 		table, err := runner(opt)
 		if err != nil {
-			log.Fatalf("%s: %v", id, err)
+			fatal("experiment "+id+" failed", err)
 		}
 		if err := table.Render(os.Stdout); err != nil {
-			log.Fatal(err)
+			fatal("table render failed", err)
 		}
 		done.Inc()
 		fmt.Println()

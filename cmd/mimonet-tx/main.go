@@ -2,6 +2,11 @@
 // (to a mimonet-rx process), optionally passing them through the simulated
 // radio channel first — the software analogue of feeding USRP front-ends.
 //
+// Every burst carries a TX-assigned packet ID in the radio framing header,
+// the correlation key mimonet-rx threads through its traces, logs, and
+// flight-recorder evidence; with -flight-dir the transmit side keeps its own
+// flight record so mimonet-dump can merge both ends into one link timeline.
+//
 // Usage:
 //
 //	mimonet-rx -listen 127.0.0.1:9750 &
@@ -11,7 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"os"
 	"time"
@@ -19,13 +24,12 @@ import (
 	"repro/internal/channel"
 	"repro/internal/mac"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/phy"
 	"repro/internal/radio"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mimonet-tx: ")
 	var (
 		addr          = flag.String("addr", "127.0.0.1:9750", "receiver UDP address")
 		mcs           = flag.Int("mcs", 11, "modulation and coding scheme (0-31)")
@@ -38,8 +42,20 @@ func main() {
 		gapMs         = flag.Int("gap", 20, "inter-frame gap in milliseconds")
 		file          = flag.String("file", "", "record IQ bursts to this file instead of sending over UDP")
 		metricsListen = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address (empty = telemetry off)")
+		flightDir     = flag.String("flight-dir", "", "write flight-recorder dumps to this directory (empty = recorder off)")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON, "tx")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		os.Exit(1)
+	}
+
+	var rec *flight.Recorder
+	if *flightDir != "" {
+		rec = flight.New(flight.Config{Capacity: 64, Dir: *flightDir, Node: "tx"})
+	}
 
 	var frames, samples *obs.Counter
 	if *metricsListen != "" {
@@ -47,21 +63,24 @@ func main() {
 		frames = reg.Counter("mimonet_tx_frames_total", "PPDU bursts transmitted")
 		samples = reg.Counter("mimonet_tx_samples_total", "baseband samples produced per chain")
 		srv := obs.NewServer(reg, nil, nil)
+		if rec != nil {
+			srv.SetDumper(rec.Dump)
+		}
 		maddr, err := srv.Listen(*metricsListen)
 		if err != nil {
-			log.Fatal(err)
+			fatal("telemetry listen failed", err)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics\n", maddr)
+		logger.Info("telemetry listening", slog.String("addr", "http://"+maddr.String()+"/metrics"))
 	}
 
 	m, err := channel.ParseModel(*model)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad channel model", err)
 	}
 	tx, err := phy.NewTransmitter(phy.TxConfig{MCS: *mcs})
 	if err != nil {
-		log.Fatal(err)
+		fatal("transmitter setup failed", err)
 	}
 	ch, err := channel.New(channel.Config{
 		NumTX: tx.NumChains(), NumRX: tx.NumChains(),
@@ -70,53 +89,74 @@ func main() {
 		TimingOffset: 300, TrailingSilence: 150,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("channel setup failed", err)
 	}
-	var write func([][]complex128) error
+	var write func(uint64, [][]complex128) error
 	if *file != "" {
 		f, err := os.Create(*file)
 		if err != nil {
-			log.Fatal(err)
+			fatal("recording file", err)
 		}
 		defer f.Close()
 		w, err := radio.NewStreamWriter(f, tx.NumChains())
 		if err != nil {
-			log.Fatal(err)
+			fatal("stream writer setup failed", err)
 		}
-		write = w.WriteBurst
+		write = w.WriteBurstID
 	} else {
 		sender, err := radio.NewUDPSender(*addr, tx.NumChains())
 		if err != nil {
-			log.Fatal(err)
+			fatal("UDP sender setup failed", err)
 		}
 		defer sender.Close()
-		write = sender.WriteBurst
+		write = sender.WriteBurstID
 	}
 
 	r := rand.New(rand.NewSource(*seed))
 	buf := make([]byte, *payload)
 	for i := 0; i < *count; i++ {
 		r.Read(buf)
+		// The packet ID is the cross-process correlation key: stamped into
+		// the framing header here, recovered by mimonet-rx from the first
+		// datagram of the burst.
+		packetID := uint64(i) + 1
 		frame := &mac.Frame{Seq: uint16(i & 0x0FFF), Payload: buf}
 		psdu, err := frame.Encode()
 		if err != nil {
-			log.Fatal(err)
+			fatal("frame encode failed", err)
 		}
 		burst, err := tx.Transmit(psdu)
 		if err != nil {
-			log.Fatal(err)
+			fatal("transmit failed", err)
 		}
 		faded, err := ch.Apply(burst)
 		if err != nil {
-			log.Fatal(err)
+			fatal("channel apply failed", err)
 		}
-		if err := write(faded); err != nil {
-			log.Fatal(err)
+		if err := write(packetID, faded); err != nil {
+			fatal("burst write failed", err)
 		}
 		frames.Inc()
 		samples.Add(int64(len(faded[0])))
-		fmt.Printf("sent frame %d: %d octets, %s, %d samples/chain\n",
-			i, len(psdu), tx.MCS(), len(faded[0]))
+		if rec != nil {
+			rec.Record(flight.Evidence{
+				PacketID: packetID,
+				Verdict:  flight.VerdictSent,
+				MCS:      *mcs,
+				SNRdB:    *snr,
+				Note:     fmt.Sprintf("seq=%d octets=%d samples/chain=%d", frame.Seq, len(psdu), len(faded[0])),
+			})
+		}
+		logger.Info("sent frame", obs.LogPacket(packetID),
+			slog.Int("seq", int(frame.Seq)), slog.Int("octets", len(psdu)),
+			slog.String("mcs", fmt.Sprint(tx.MCS())), slog.Int("samples_per_chain", len(faded[0])))
 		time.Sleep(time.Duration(*gapMs) * time.Millisecond)
+	}
+	if rec != nil {
+		dumpFile, err := rec.Dump("end_of_run")
+		if err != nil {
+			fatal("flight dump failed", err)
+		}
+		logger.Info("flight dump written", slog.String("file", dumpFile))
 	}
 }

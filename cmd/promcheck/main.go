@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -41,9 +42,18 @@ func main() {
 		}
 		in = io.MultiReader(readers...)
 	}
-
-	families, err := obs.ValidateExposition(in)
+	// Two validation passes (syntax, then histogram semantics) need the
+	// stream twice, so buffer it; expositions are small.
+	input, err := io.ReadAll(in)
 	if err != nil {
+		log.Fatal(err)
+	}
+
+	families, err := obs.ValidateExposition(bytes.NewReader(input))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.ValidateHistograms(bytes.NewReader(input)); err != nil {
 		log.Fatal(err)
 	}
 	if *list {

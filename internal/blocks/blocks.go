@@ -24,7 +24,13 @@ type TXBlock struct {
 	TX *phy.Transmitter
 	// NextPayload supplies the next MAC payload; io.EOF ends the stream.
 	NextPayload func() ([]byte, error)
-	seq         uint16
+	// OnBurst, when set, observes each burst's TX-assigned packet ID (a
+	// 1-based monotone counter) and MAC sequence just before transmission —
+	// the hook that lets a driver thread the correlation key to the receive
+	// side and into its own flight record.
+	OnBurst  func(packetID uint64, seq uint16)
+	seq      uint16
+	packetID uint64
 }
 
 // Name implements flowgraph.Block.
@@ -51,6 +57,10 @@ func (b *TXBlock) Run(ctx context.Context, _ []<-chan flowgraph.Chunk, out []cha
 		}
 		frame := &mac.Frame{Seq: b.seq, Payload: payload}
 		b.seq = (b.seq + 1) & 0x0FFF
+		b.packetID++
+		if b.OnBurst != nil {
+			b.OnBurst(b.packetID, frame.Seq)
+		}
 		psdu, err := frame.Encode()
 		if err != nil {
 			return err
@@ -129,6 +139,11 @@ type RXBlock struct {
 	// around the MAC FCS check and the terminal PER/post-FEC accounting.
 	// Attach the same RxObs to RX so the trace spans share a chain.
 	Obs *phy.RxObs
+	// NextPacketID, when set, supplies the TX-assigned packet ID of the
+	// burst about to be decoded (0 = unknown) — typically the transport's
+	// LastPacketID threaded through the source block. Called once per burst,
+	// after assembly and before decode.
+	NextPacketID func() uint64
 }
 
 // Name implements flowgraph.Block.
@@ -174,6 +189,9 @@ func (b *RXBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, _ []chan
 				return fmt.Errorf("blocks: rx input %d ended mid-burst", a)
 			}
 			rx[a] = chunk
+		}
+		if b.NextPacketID != nil {
+			b.RX.SetPacketID(b.NextPacketID())
 		}
 		res, err := safeReceive(b.RX, rx)
 		rep := RXReport{Res: res, Err: err}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,15 @@ type Policy struct {
 	// waits. Nil means the system clock; tests inject clock.Fake to drive
 	// stall detection without wall-clock sleeps.
 	Clock clock.Clock
+	// Logger, when set, receives structured supervision events — block
+	// stalls, panics, restarts, and terminal failures — with the block name
+	// and attempt attached. Nil keeps supervision silent.
+	Logger *slog.Logger
+	// OnRestart, when set, observes every supervisor restart just before
+	// the block re-runs: the hook a flight recorder uses to dump the
+	// evidence ring that preceded the crash. err is the failure that
+	// triggered the restart.
+	OnRestart func(block string, attempt int, err error)
 }
 
 func (p Policy) withDefaults() Policy {
@@ -191,6 +201,7 @@ func (s *supervisor) runBlock(ctx context.Context, b Block, ins []<-chan Chunk, 
 			return nil
 		}
 		if berr.Kind == KindFatal || !restartable || attempt >= s.policy.MaxRestarts || ctx.Err() != nil {
+			s.logEvent(slog.LevelError, "block failed", st.name, attempt, berr)
 			return berr
 		}
 		delay := s.policy.BackoffBase
@@ -200,6 +211,7 @@ func (s *supervisor) runBlock(ctx context.Context, b Block, ins []<-chan Chunk, 
 		if delay > s.policy.BackoffMax {
 			delay = s.policy.BackoffMax
 		}
+		s.logEvent(slog.LevelWarn, "block restarting", st.name, attempt, berr)
 		timer := s.policy.Clock.NewTimer(delay)
 		select {
 		case <-timer.C:
@@ -208,7 +220,21 @@ func (s *supervisor) runBlock(ctx context.Context, b Block, ins []<-chan Chunk, 
 			return berr
 		}
 		st.health.AddRestart()
+		if s.policy.OnRestart != nil {
+			s.policy.OnRestart(st.name, attempt+1, berr)
+		}
 	}
+}
+
+// logEvent emits one supervision record through the policy logger, carrying
+// the canonical block attribute plus the attempt index and failure taxonomy.
+func (s *supervisor) logEvent(level slog.Level, msg, block string, attempt int, berr *BlockError) {
+	if s.policy.Logger == nil {
+		return
+	}
+	s.policy.Logger.Log(context.Background(), level, msg,
+		obs.LogBlock(block), slog.Int("attempt", attempt),
+		slog.String("kind", berr.Kind.String()), slog.String("err", berr.Err.Error()))
 }
 
 // attempt runs Run once with panic containment and, when enabled, the stall

@@ -1,0 +1,170 @@
+package flowgraph
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// restartRecord is what the OnRestart hook hands a flight recorder.
+type restartRecord struct {
+	block   string
+	attempt int
+	err     string
+}
+
+// TestSupervisorOnRestartHookAndLogging drives a scripted recoverable failure
+// through the supervisor on a fake clock and verifies both observation
+// channels: the OnRestart hook fires with the block identity, attempt number
+// and triggering error, and the policy logger emits structured warn records
+// carrying the canonical block attribute.
+func TestSupervisorOnRestartHookAndLogging(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	var restarts []restartRecord
+
+	g := New()
+	rt := &restartableTransform{name: "flaky", panicAt: -1, failAt: 0, stallAt: -1, restarting: true}
+	fed := 0
+	src := &SourceFunc{BlockName: "src", Next: func() (Chunk, error) {
+		if fed >= 2 {
+			return nil, io.EOF
+		}
+		fed++
+		return Chunk{complex(float64(fed), 0)}, nil
+	}}
+	sink := &SinkFunc{BlockName: "sink", Consume: func(Chunk) error { return nil }}
+	for _, b := range []Block{src, rt, sink} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, rt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(rt, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := g.SetPolicy(Policy{
+		MaxRestarts: 1, BackoffBase: time.Hour, BackoffMax: time.Hour, Clock: fc,
+		Logger: obs.NewLogger(&logBuf, slog.LevelDebug, true, "sim"),
+		OnRestart: func(block string, attempt int, err error) {
+			mu.Lock()
+			restarts = append(restarts, restartRecord{block, attempt, err.Error()})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Run(context.Background()) }()
+	deadline := time.After(10 * time.Second)
+loop:
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Run = %v, want clean completion after restart", err)
+			}
+			break loop
+		case <-deadline:
+			t.Fatal("restart never happened — backoff not driven by injected clock")
+		default:
+			fc.Advance(30 * time.Minute)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(restarts) != 1 {
+		t.Fatalf("OnRestart fired %d times, want 1 (%v)", len(restarts), restarts)
+	}
+	r := restarts[0]
+	if r.block != "flaky" || r.attempt != 1 {
+		t.Errorf("hook saw block=%q attempt=%d, want flaky/1", r.block, r.attempt)
+	}
+	if !strings.Contains(r.err, "scripted failure") {
+		t.Errorf("hook error = %q, want the triggering failure", r.err)
+	}
+
+	// The logger carries the same event as a structured warn record keyed by
+	// the canonical block attribute.
+	var rec struct {
+		Level   string `json:"level"`
+		Msg     string `json:"msg"`
+		Block   string `json:"block"`
+		Attempt int    `json:"attempt"`
+		Kind    string `json:"kind"`
+		Err     string `json:"err"`
+		Node    string `json:"node"`
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if line == "" || !strings.Contains(line, "block restarting") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %v\n%s", err, line)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatalf("no restart record in log output:\n%s", logBuf.String())
+	}
+	if rec.Level != "WARN" || rec.Block != "flaky" || rec.Kind != "recoverable" ||
+		rec.Node != "sim" || !strings.Contains(rec.Err, "scripted failure") {
+		t.Errorf("restart log record = %+v", rec)
+	}
+}
+
+// TestSupervisorLogsTerminalFailure checks that a block failure the policy
+// will not restart is logged at error level before it aborts the graph.
+func TestSupervisorLogsTerminalFailure(t *testing.T) {
+	var logBuf bytes.Buffer
+	g := New()
+	rt := &restartableTransform{name: "doomed", panicAt: -1, failAt: 0, stallAt: -1, restarting: false}
+	fed := 0
+	src := &SourceFunc{BlockName: "src", Next: func() (Chunk, error) {
+		if fed >= 1 {
+			return nil, io.EOF
+		}
+		fed++
+		return Chunk{1}, nil
+	}}
+	sink := &SinkFunc{BlockName: "sink", Consume: func(Chunk) error { return nil }}
+	for _, b := range []Block{src, rt, sink} {
+		if err := g.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, rt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(rt, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetPolicy(Policy{Logger: obs.NewLogger(&logBuf, slog.LevelInfo, true, "")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(context.Background()); err == nil {
+		t.Fatal("Run succeeded, want scripted failure to surface")
+	}
+	out := logBuf.String()
+	if !strings.Contains(out, `"msg":"block failed"`) ||
+		!strings.Contains(out, `"block":"doomed"`) ||
+		!strings.Contains(out, `"level":"ERROR"`) {
+		t.Fatalf("terminal failure not logged:\n%s", out)
+	}
+}

@@ -56,6 +56,12 @@ type ARQSender struct {
 	// retries tracks transmissions per sequence for the give-up policy.
 	retries    map[uint16]int
 	MaxRetries int
+	// packetIDs maps sequence → the globally unique TX-assigned packet ID,
+	// the correlation key stamped into radio frames and flight dumps. Unlike
+	// the 12-bit sequence it never wraps, so a retransmission keeps the same
+	// identity across rounds.
+	packetIDs    map[uint16]uint64
+	nextPacketID uint64
 	// BackoffBase and BackoffMax shape RetryDelay's exponential backoff:
 	// the delay doubles per consecutive all-loss round, capped at
 	// BackoffMax. Defaults 1ms and 64ms.
@@ -84,6 +90,7 @@ func NewARQSender(window int) (*ARQSender, error) {
 		window:      window,
 		pending:     make(map[uint16][]byte),
 		retries:     make(map[uint16]int),
+		packetIDs:   make(map[uint16]uint64),
 		MaxRetries:  7,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  64 * time.Millisecond,
@@ -109,8 +116,16 @@ func (s *ARQSender) Queue(payload []byte) uint16 {
 	seq := s.nextSeq
 	s.nextSeq = (s.nextSeq + 1) & 0x0FFF
 	s.pending[seq] = payload
+	s.nextPacketID++
+	s.packetIDs[seq] = s.nextPacketID
 	return seq
 }
+
+// PacketID returns the TX-assigned packet ID of a pending sequence (0 once
+// the payload left the window, or for an unknown sequence). Drivers stamp
+// this into the radio frames carrying the MPDU (WriteBurstID) so RX-side
+// telemetry correlates with this sender's record.
+func (s *ARQSender) PacketID(seq uint16) uint64 { return s.packetIDs[seq] }
 
 // Outstanding returns the number of unacknowledged payloads.
 func (s *ARQSender) Outstanding() int { return len(s.pending) }
@@ -136,6 +151,7 @@ func (s *ARQSender) Round() []*Frame {
 		if s.retries[seq] >= s.MaxRetries {
 			delete(s.pending, seq)
 			delete(s.retries, seq)
+			delete(s.packetIDs, seq)
 			s.Dropped++
 			s.cDropped.Inc()
 			continue
@@ -160,6 +176,7 @@ func (s *ARQSender) Apply(ack BlockAck) {
 		if ack.Acked(seq) {
 			delete(s.pending, seq)
 			delete(s.retries, seq)
+			delete(s.packetIDs, seq)
 			s.Delivered++
 			s.cDelivered.Inc()
 			acked++

@@ -1,0 +1,197 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Load reads one dump artifact.
+func Load(path string) (*DumpFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	var df DumpFile
+	if err := json.Unmarshal(data, &df); err != nil {
+		return nil, fmt.Errorf("flight: parse %s: %w", path, err)
+	}
+	return &df, nil
+}
+
+// Timeline is one packet's merged cross-process record: every node's
+// evidence for the same TX-assigned packet ID.
+type Timeline struct {
+	PacketID uint64
+	Entries  []Evidence // TX-side first, then by capture time
+}
+
+// Verdict is the link-level outcome: the worst verdict any node recorded.
+// A transmit-side "sent" only stands when no receive-side record exists —
+// once a receiver weighed in, its outcome (ok or any failure) is the
+// packet's fate.
+func (t *Timeline) Verdict() string {
+	verdict, rank := "", -1
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.Verdict == VerdictRestart {
+			continue
+		}
+		r := 1 // a receive-side outcome
+		switch {
+		case e.Failed():
+			r = 2
+		case e.Verdict == VerdictSent:
+			r = 0
+		}
+		if r > rank {
+			verdict, rank = e.Verdict, r
+		}
+	}
+	if verdict == "" {
+		verdict = VerdictRestart
+	}
+	return verdict
+}
+
+// roleOrder places TX evidence before RX in a merged timeline, mirroring the
+// packet's actual trip across the link.
+func roleOrder(node string) int {
+	switch node {
+	case "tx":
+		return 0
+	case "sim":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Merge correlates evidence across dump files by packet ID, returning
+// timelines sorted by packet ID. Entries with packet ID 0 (unknown) are
+// grouped under ID 0 rather than dropped, so pre-v2 captures stay visible.
+func Merge(dumps ...*DumpFile) []Timeline {
+	byID := map[uint64][]Evidence{}
+	for _, df := range dumps {
+		if df == nil {
+			continue
+		}
+		for _, ev := range df.Packets {
+			if ev.Node == "" {
+				ev.Node = df.Node
+			}
+			byID[ev.PacketID] = append(byID[ev.PacketID], ev)
+		}
+	}
+	out := make([]Timeline, 0, len(byID))
+	for id, entries := range byID {
+		sort.SliceStable(entries, func(i, j int) bool {
+			ri, rj := roleOrder(entries[i].Node), roleOrder(entries[j].Node)
+			if ri != rj {
+				return ri < rj
+			}
+			return entries[i].CapturedNs < entries[j].CapturedNs
+		})
+		out = append(out, Timeline{PacketID: id, Entries: entries})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PacketID < out[j].PacketID })
+	return out
+}
+
+// waterfallWidth is the character budget for one span bar.
+const waterfallWidth = 32
+
+// Render writes one packet's human-readable post-mortem: the verdict line,
+// each node's span waterfall, the channel condition summary, and the
+// per-subcarrier EVM table.
+func Render(w io.Writer, t *Timeline) {
+	fmt.Fprintf(w, "packet %d  verdict=%s  (%d node record(s))\n", t.PacketID, t.Verdict(), len(t.Entries))
+	for i := range t.Entries {
+		renderEntry(w, &t.Entries[i])
+	}
+}
+
+func renderEntry(w io.Writer, e *Evidence) {
+	fmt.Fprintf(w, "  [%s] verdict=%s snr=%.1fdB mcs=%d sync@%d", nameOr(e.Node, "?"), e.Verdict, e.SNRdB, e.MCS, e.SyncIndex)
+	if e.CFOHz != 0 {
+		fmt.Fprintf(w, " cfo=%.1fHz", e.CFOHz)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(w, " note=%q", e.Note)
+	}
+	fmt.Fprintln(w)
+	renderWaterfall(w, e.Trace)
+	if len(e.ChanEst) > 0 {
+		min, max, mean := condSummary(e.ChanEst)
+		fmt.Fprintf(w, "    chanest: %d tones, cond dB min=%.1f mean=%.1f max=%.1f\n", len(e.ChanEst), min, mean, max)
+	}
+	if len(e.SyncIQ) > 0 {
+		fmt.Fprintf(w, "    sync IQ: %d chain(s) x %d samples\n", len(e.SyncIQ), len(e.SyncIQ[0]))
+	}
+	if e.SoftBits.Count > 0 {
+		fmt.Fprintf(w, "    soft bits: n=%d mean|LLR|=%.2f weak=%.1f%%\n", e.SoftBits.Count, e.SoftBits.MeanAbs, 100*e.SoftBits.WeakFrac)
+	}
+	renderEVM(w, e.EVM)
+}
+
+func renderWaterfall(w io.Writer, tr obs.TraceSnapshot) {
+	if len(tr.Spans) == 0 {
+		return
+	}
+	var total int64
+	for _, s := range tr.Spans {
+		total += s.TotalNs
+	}
+	var offset int64
+	for _, s := range tr.Spans {
+		bar := barAt(offset, s.TotalNs, total)
+		fmt.Fprintf(w, "    %-10s %s %8.3fms x%d\n", s.Stage, bar, float64(s.TotalNs)/1e6, s.Count)
+		offset += s.TotalNs
+	}
+}
+
+// barAt renders a waterfall bar: spaces up to the span's cumulative offset,
+// then a block proportional to its share of the trace.
+func barAt(offset, dur, total int64) string {
+	if total <= 0 {
+		return strings.Repeat(".", waterfallWidth)
+	}
+	lead := int(offset * waterfallWidth / total)
+	fill := int(dur * waterfallWidth / total)
+	if fill < 1 {
+		fill = 1
+	}
+	if lead+fill > waterfallWidth {
+		fill = waterfallWidth - lead
+	}
+	return strings.Repeat(" ", lead) + strings.Repeat("#", fill) + strings.Repeat(".", waterfallWidth-lead-fill)
+}
+
+func condSummary(ce []ChannelEstimate) (min, max, mean float64) {
+	min = ce[0].CondDB
+	for _, c := range ce {
+		if c.CondDB < min {
+			min = c.CondDB
+		}
+		if c.CondDB > max {
+			max = c.CondDB
+		}
+		mean += c.CondDB
+	}
+	return min, max, mean / float64(len(ce))
+}
+
+func renderEVM(w io.Writer, bins []SubcarrierEVM) {
+	if len(bins) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "    %-4s %-10s %-8s %s\n", "tone", "evm_rms", "snr_db", "syms")
+	for _, b := range bins {
+		fmt.Fprintf(w, "    %-4d %-10.4f %-8.1f %d\n", b.Subcarrier, b.EVMRMS, b.SNRdB, b.Count)
+	}
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The histogram semantic layer of exposition checking. ValidateExposition
+// accepts any syntactically well-formed stream; a histogram can still lie —
+// bucket counts that shrink as le grows, a +Inf bucket that disagrees with
+// _count, a point missing its _sum. Those bugs pass every scrape and only
+// surface as impossible quantiles in dashboards, so promcheck runs this
+// second pass over the same input.
+
+var labelPair = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+
+// histPoint accumulates one histogram labelset's samples across the stream.
+type histPoint struct {
+	family  string
+	labels  string // canonical sorted label text, le removed
+	buckets map[float64]float64
+	sum     bool
+	count   bool
+	nCount  float64
+}
+
+func (p *histPoint) id() string {
+	if p.labels == "" {
+		return p.family
+	}
+	return p.family + "{" + p.labels + "}"
+}
+
+// ValidateHistograms semantically checks every histogram family in a
+// Prometheus text stream: per labelset the cumulative bucket counts must be
+// non-decreasing in le, a +Inf bucket must exist and equal _count, and both
+// _sum and _count must be present. Families are recognised by their # TYPE
+// line, so run ValidateExposition first to reject malformed streams.
+func ValidateHistograms(r io.Reader) error {
+	hists := make(map[string]bool)
+	points := make(map[string]*histPoint)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeLine.FindStringSubmatch(line); m != nil && Kind(m[2]) == KindHistogram {
+				hists[m[1]] = true
+			}
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			continue // syntax is ValidateExposition's concern
+		}
+		name, labelBlock, value := m[1], m[2], m[5]
+		var family, suffix string
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if f := strings.TrimSuffix(name, s); f != name && hists[f] {
+				family, suffix = f, s
+				break
+			}
+		}
+		if family == "" {
+			continue
+		}
+		v, err := parseSampleValue(value)
+		if err != nil {
+			return fmt.Errorf("line %d: %s: %w", lineNo, name, err)
+		}
+		le, rest, hasLE := splitLE(labelBlock)
+		if suffix != "_bucket" {
+			// le on _sum/_count would make it a different series; treat it as
+			// an ordinary label so the mismatch surfaces as a missing bucket.
+			rest = canonicalLabels(labelBlock, false)
+		}
+		p := points[family+"\x00"+rest]
+		if p == nil {
+			p = &histPoint{family: family, labels: rest, buckets: make(map[float64]float64)}
+			points[family+"\x00"+rest] = p
+		}
+		switch suffix {
+		case "_bucket":
+			if !hasLE {
+				return fmt.Errorf("line %d: %s: _bucket sample without le label", lineNo, p.id())
+			}
+			bound, err := parseLE(le)
+			if err != nil {
+				return fmt.Errorf("line %d: %s: %w", lineNo, p.id(), err)
+			}
+			if prev, dup := p.buckets[bound]; dup && prev != v {
+				return fmt.Errorf("line %d: %s: duplicate le=%q bucket with conflicting counts", lineNo, p.id(), le)
+			}
+			p.buckets[bound] = v
+		case "_sum":
+			p.sum = true
+		case "_count":
+			p.count, p.nCount = true, v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(points))
+	for k := range points {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := points[k]
+		if len(p.buckets) == 0 {
+			return fmt.Errorf("histogram %s: no _bucket samples", p.id())
+		}
+		if !p.count {
+			return fmt.Errorf("histogram %s: missing _count", p.id())
+		}
+		if !p.sum {
+			return fmt.Errorf("histogram %s: missing _sum", p.id())
+		}
+		bounds := make([]float64, 0, len(p.buckets))
+		for le := range p.buckets {
+			bounds = append(bounds, le)
+		}
+		sort.Float64s(bounds)
+		top := bounds[len(bounds)-1]
+		if !math.IsInf(top, 1) {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", p.id())
+		}
+		prev := math.Inf(-1)
+		prevCount := -1.0
+		for _, le := range bounds {
+			c := p.buckets[le]
+			if c < prevCount {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative: le=%s count %g < le=%s count %g",
+					p.id(), formatFloat(le), c, formatFloat(prev), prevCount)
+			}
+			prev, prevCount = le, c
+		}
+		if inf := p.buckets[top]; inf != p.nCount {
+			return fmt.Errorf("histogram %s: +Inf bucket count %g != _count %g", p.id(), inf, p.nCount)
+		}
+	}
+	return nil
+}
+
+// splitLE extracts the le label from a sample's label block and returns the
+// remaining labels in canonical (sorted) form.
+func splitLE(block string) (le, rest string, ok bool) {
+	var others []string
+	for _, m := range labelPair.FindAllStringSubmatch(block, -1) {
+		if m[1] == "le" {
+			le, ok = m[2], true
+			continue
+		}
+		others = append(others, m[1]+`="`+m[2]+`"`)
+	}
+	sort.Strings(others)
+	return le, strings.Join(others, ","), ok
+}
+
+// canonicalLabels sorts a label block's pairs into the same form splitLE
+// produces, optionally keeping le.
+func canonicalLabels(block string, keepLE bool) string {
+	var pairs []string
+	for _, m := range labelPair.FindAllStringSubmatch(block, -1) {
+		if !keepLE && m[1] == "le" {
+			continue
+		}
+		pairs = append(pairs, m[1]+`="`+m[2]+`"`)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+// parseLE parses a bucket upper bound, accepting the +Inf sentinel.
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// parseSampleValue parses a sample value the exposition syntax admits.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q: %w", s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func checkHist(t *testing.T, exposition string) error {
+	t.Helper()
+	// The semantic pass assumes syntactically valid input.
+	if _, err := ValidateExposition(strings.NewReader(exposition)); err != nil {
+		t.Fatalf("crafted input is not even syntactically valid: %v", err)
+	}
+	return ValidateHistograms(strings.NewReader(exposition))
+}
+
+const goodHist = `# HELP h test
+# TYPE h histogram
+h_bucket{le="1"} 3
+h_bucket{le="2"} 5
+h_bucket{le="+Inf"} 7
+h_sum 9.5
+h_count 7
+`
+
+func TestValidateHistogramsAcceptsCoherent(t *testing.T) {
+	if err := checkHist(t, goodHist); err != nil {
+		t.Fatalf("coherent histogram rejected: %v", err)
+	}
+}
+
+func TestValidateHistogramsAcceptsRealExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("mimonet_test_seconds", "help", []float64{0.1, 1, 10},
+		Label{Key: "edge", Value: "a->b"})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	reg.Counter("mimonet_test_total", "help").Inc()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("registry output failed syntax pass: %v", err)
+	}
+	if err := ValidateHistograms(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("registry output failed semantic pass: %v\n%s", err, buf.String())
+	}
+}
+
+func TestValidateHistogramsRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{
+			name: "non-monotone buckets",
+			input: `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 7
+h_sum 9.5
+h_count 7
+`,
+			wantErr: "not cumulative",
+		},
+		{
+			name: "inf bucket disagrees with count",
+			input: `# TYPE h histogram
+h_bucket{le="1"} 3
+h_bucket{le="+Inf"} 7
+h_sum 9.5
+h_count 8
+`,
+			wantErr: "+Inf bucket count 7 != _count 8",
+		},
+		{
+			name: "missing inf bucket",
+			input: `# TYPE h histogram
+h_bucket{le="1"} 3
+h_bucket{le="2"} 5
+h_sum 9.5
+h_count 5
+`,
+			wantErr: `missing le="+Inf"`,
+		},
+		{
+			name: "missing sum",
+			input: `# TYPE h histogram
+h_bucket{le="+Inf"} 7
+h_count 7
+`,
+			wantErr: "missing _sum",
+		},
+		{
+			name: "missing count",
+			input: `# TYPE h histogram
+h_bucket{le="+Inf"} 7
+h_sum 9.5
+`,
+			wantErr: "missing _count",
+		},
+		{
+			name: "count without buckets",
+			input: `# TYPE h histogram
+h_sum 9.5
+h_count 7
+`,
+			wantErr: "no _bucket samples",
+		},
+		{
+			name: "bucket without le",
+			input: `# TYPE h histogram
+h_bucket{edge="x"} 7
+h_sum 9.5
+h_count 7
+`,
+			wantErr: "without le label",
+		},
+		{
+			name: "duplicate conflicting bucket",
+			input: `# TYPE h histogram
+h_bucket{le="1"} 3
+h_bucket{le="1"} 4
+h_bucket{le="+Inf"} 7
+h_sum 9.5
+h_count 7
+`,
+			wantErr: "conflicting counts",
+		},
+		{
+			name: "bad labelset among good ones",
+			input: `# TYPE h histogram
+h_bucket{edge="good",le="1"} 1
+h_bucket{edge="good",le="+Inf"} 2
+h_sum{edge="good"} 1
+h_count{edge="good"} 2
+h_bucket{edge="bad",le="1"} 9
+h_bucket{edge="bad",le="+Inf"} 2
+h_sum{edge="bad"} 1
+h_count{edge="bad"} 2
+`,
+			wantErr: `h{edge="bad"}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkHist(t, tc.input)
+			if err == nil {
+				t.Fatalf("accepted bad input:\n%s", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateHistogramsLabelOrderInsensitive(t *testing.T) {
+	// The same labelset spelled in two orders is one point; le position in
+	// the block is irrelevant.
+	input := `# TYPE h histogram
+h_bucket{a="1",b="2",le="1"} 3
+h_bucket{le="+Inf",b="2",a="1"} 7
+h_sum{b="2",a="1"} 9.5
+h_count{a="1",b="2"} 7
+`
+	if err := checkHist(t, input); err != nil {
+		t.Fatalf("label order changed point identity: %v", err)
+	}
+}
+
+func TestValidateHistogramsIgnoresNonHistogramSuffixes(t *testing.T) {
+	// A counter that merely ends in _count must not be mistaken for a
+	// histogram component.
+	input := `# TYPE widgets_count counter
+widgets_count 12
+`
+	if err := checkHist(t, input); err != nil {
+		t.Fatalf("standalone counter misclassified: %v", err)
+	}
+}

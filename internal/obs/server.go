@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 )
 
@@ -13,7 +14,11 @@ import (
 //
 //	/metrics      Prometheus text exposition of the registry
 //	/healthz      JSON from the health function (flowgraph Graph.Health)
-//	/trace        JSON of the tracer's recent packet traces, newest first
+//	/trace        JSON of the tracer's recent packet traces, newest first;
+//	              ?n=K keeps the newest K, ?failed=1 keeps only finished
+//	              traces whose terminal verdict was a failure
+//	/dump         POST triggers the registered flight-recorder dumper and
+//	              returns the artifact path (404 until SetDumper is called)
 //	/debug/pprof  the standard runtime profiles
 //
 // The zero value is not usable; construct with NewServer. A Server with a
@@ -24,9 +29,18 @@ type Server struct {
 	tracer *Tracer
 	health func() any
 
-	mu sync.Mutex
-	ln net.Listener
-	hs *http.Server
+	mu     sync.Mutex
+	ln     net.Listener
+	hs     *http.Server
+	dumper func(reason string) (string, error)
+}
+
+// SetDumper registers the hook behind POST /dump — typically a flight
+// recorder's on-demand Dump. Until set, /dump answers 404.
+func (s *Server) SetDumper(d func(reason string) (string, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dumper = d
 }
 
 // NewServer returns a server over the given telemetry roots. health may be
@@ -54,13 +68,57 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, v)
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		traces := s.tracer.Snapshots()
 		if traces == nil {
 			traces = []TraceSnapshot{}
 		}
+		q := r.URL.Query()
+		if q.Get("failed") == "1" {
+			kept := traces[:0]
+			for _, t := range traces {
+				if t.Done && !t.OK {
+					kept = append(kept, t)
+				}
+			}
+			traces = kept
+		}
+		if nStr := q.Get("n"); nStr != "" {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad n=%q: want a non-negative integer", nStr), http.StatusBadRequest)
+				return
+			}
+			if n < len(traces) {
+				traces = traces[:n] // snapshots are newest-first
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/dump", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		s.mu.Lock()
+		dumper := s.dumper
+		s.mu.Unlock()
+		if dumper == nil {
+			http.Error(w, "no flight recorder configured", http.StatusNotFound)
+			return
+		}
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "manual"
+		}
+		file, err := dumper(reason)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, map[string]string{"file": file, "reason": reason})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

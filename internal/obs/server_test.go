@@ -185,3 +185,121 @@ func TestConcurrentScrapeWhileUpdate(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// traceQuery fetches /trace with the given query string and decodes it.
+func traceQuery(t *testing.T, base, query string) []TraceSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/trace" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/trace%s: status %d: %s", query, resp.StatusCode, body)
+	}
+	var got []TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestServerTraceFilters is the golden test for the ?n= and ?failed=
+// operator filters: four traces (ids 1..4; 2 and 4 failed), pulled back
+// through every filter combination.
+func TestServerTraceFilters(t *testing.T) {
+	srv, _, tracer := testServer(t)
+	for i := 1; i <= 4; i++ {
+		tr := tracer.Start()
+		tr.SetPacketID(uint64(100 + i))
+		tr.Begin(StageSync)
+		tr.Finish(i%2 == 1)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ids := func(snaps []TraceSnapshot) []uint64 {
+		out := make([]uint64, len(snaps))
+		for i, s := range snaps {
+			out[i] = s.ID
+		}
+		return out
+	}
+
+	if got := ids(traceQuery(t, ts.URL, "")); len(got) != 4 || got[0] != 4 {
+		t.Fatalf("unfiltered ids = %v, want [4 3 2 1]", got)
+	}
+	if got := ids(traceQuery(t, ts.URL, "?n=2")); len(got) != 2 || got[0] != 4 || got[1] != 3 {
+		t.Fatalf("?n=2 ids = %v, want [4 3]", got)
+	}
+	failed := traceQuery(t, ts.URL, "?failed=1")
+	if got := ids(failed); len(got) != 2 || got[0] != 4 || got[1] != 2 {
+		t.Fatalf("?failed=1 ids = %v, want [4 2]", got)
+	}
+	for _, s := range failed {
+		if !s.Done || s.OK {
+			t.Fatalf("?failed=1 returned a non-failed trace: %+v", s)
+		}
+	}
+	if got := ids(traceQuery(t, ts.URL, "?failed=1&n=1")); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("?failed=1&n=1 ids = %v, want [4]", got)
+	}
+	if got := traceQuery(t, ts.URL, "?n=0"); len(got) != 0 {
+		t.Fatalf("?n=0 ids = %v, want []", got)
+	}
+	resp, err := http.Get(ts.URL + "/trace?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?n=bogus status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerDumpEndpoint(t *testing.T) {
+	srv, _, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Without a dumper: 404. With GET: 405.
+	resp, err := http.Post(ts.URL+"/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("dump without dumper: status %d, want 404", resp.StatusCode)
+	}
+
+	var gotReason string
+	srv.SetDumper(func(reason string) (string, error) {
+		gotReason = reason
+		return "/tmp/flight-rx-1.json", nil
+	})
+	resp, err = http.Get(ts.URL + "/dump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /dump: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/dump?reason=ci", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body["file"] != "/tmp/flight-rx-1.json" || gotReason != "ci" {
+		t.Fatalf("POST /dump = %d %v (reason %q)", resp.StatusCode, body, gotReason)
+	}
+}

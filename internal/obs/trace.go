@@ -43,11 +43,15 @@ type Trace struct {
 	// methods may read it before taking its lock.
 	tracer *Tracer
 	id     uint64
-	start  time.Time
-	done   bool
-	ok     bool
-	spans  [maxSpans]Span
-	nspans int
+	// packetID is the TX-assigned transport correlation key (0 = unknown);
+	// it ties this trace to the matching flight-recorder evidence and to
+	// the sender-side trace across the process boundary.
+	packetID uint64
+	start    time.Time
+	done     bool
+	ok       bool
+	spans    [maxSpans]Span
+	nspans   int
 	// open is the index of the span a Begin has entered and End has not yet
 	// left, or -1.
 	open      int
@@ -63,6 +67,10 @@ type Tracer struct {
 	ring   []Trace
 	nextID uint64
 	active *Trace
+	// role labels every snapshot with the node's place in the link
+	// ("tx", "rx", "sim", ...), so merged cross-process traces stay
+	// attributable.
+	role string
 }
 
 // NewTracer returns a tracer holding the most recent capacity traces,
@@ -91,12 +99,24 @@ func (t *Tracer) Start() *Trace {
 	// Reset in place, field by field: the tracer pointer stays stable so a
 	// stale *Trace held across a ring wrap can still lock safely.
 	tr.id = t.nextID
+	tr.packetID = 0
 	tr.start = t.clk.Now()
 	tr.done, tr.ok = false, false
 	tr.nspans, tr.open = 0, -1
 	tr.openSince = time.Time{}
 	t.active = tr
 	return tr
+}
+
+// SetRole labels every snapshot this tracer emits with the node's link role
+// ("tx", "rx", "sim", ...). Safe on a nil tracer.
+func (t *Tracer) SetRole(role string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.role = role
 }
 
 // Active returns the most recently started trace (which may already be
@@ -109,6 +129,18 @@ func (t *Tracer) Active() *Trace {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.active
+}
+
+// SetPacketID attaches the TX-assigned transport packet ID to the trace,
+// the correlation key flight dumps and cross-process traces share.
+func (tr *Trace) SetPacketID(id uint64) {
+	if tr == nil {
+		return
+	}
+	t := tr.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr.packetID = id
 }
 
 // Begin enters the named stage, creating its span on first entry. Entering
@@ -186,11 +218,23 @@ type SpanSnapshot struct {
 
 // TraceSnapshot is a plain-value copy of one trace.
 type TraceSnapshot struct {
-	ID      uint64         `json:"id"`
-	StartNs int64          `json:"start_unix_ns"`
-	Done    bool           `json:"done"`
-	OK      bool           `json:"ok"`
-	Spans   []SpanSnapshot `json:"spans"`
+	ID       uint64         `json:"id"`
+	PacketID uint64         `json:"packet_id,omitempty"`
+	Role     string         `json:"role,omitempty"`
+	StartNs  int64          `json:"start_unix_ns"`
+	Done     bool           `json:"done"`
+	OK       bool           `json:"ok"`
+	Spans    []SpanSnapshot `json:"spans"`
+}
+
+// unixNanoOrZero converts a timestamp for JSON, mapping the zero time.Time
+// (an unset Start/End) to 0 rather than the huge negative UnixNano of the
+// zero instant.
+func unixNanoOrZero(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
 }
 
 // Snapshots copies the live ring, newest trace first. Returns nil on a nil
@@ -204,25 +248,42 @@ func (t *Tracer) Snapshots() []TraceSnapshot {
 	out := make([]TraceSnapshot, 0, len(t.ring))
 	n := uint64(len(t.ring))
 	for back := uint64(0); back < n && back < t.nextID; back++ {
-		tr := &t.ring[(t.nextID-1-back)%n]
-		ts := TraceSnapshot{
-			ID:      tr.id,
-			StartNs: tr.start.UnixNano(),
-			Done:    tr.done,
-			OK:      tr.ok,
-			Spans:   make([]SpanSnapshot, tr.nspans),
-		}
-		for i := 0; i < tr.nspans; i++ {
-			s := tr.spans[i]
-			ts.Spans[i] = SpanSnapshot{
-				Stage:   s.Stage,
-				StartNs: s.Start.UnixNano(),
-				EndNs:   s.End.UnixNano(),
-				TotalNs: int64(s.Total),
-				Count:   s.Count,
-			}
-		}
-		out = append(out, ts)
+		out = append(out, t.ring[(t.nextID-1-back)%n].snapshotLocked(t.role))
 	}
 	return out
+}
+
+// Snapshot copies one trace's current state. Returns the zero snapshot on a
+// nil trace.
+func (tr *Trace) Snapshot() TraceSnapshot {
+	if tr == nil {
+		return TraceSnapshot{}
+	}
+	t := tr.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return tr.snapshotLocked(t.role)
+}
+
+func (tr *Trace) snapshotLocked(role string) TraceSnapshot {
+	ts := TraceSnapshot{
+		ID:       tr.id,
+		PacketID: tr.packetID,
+		Role:     role,
+		StartNs:  unixNanoOrZero(tr.start),
+		Done:     tr.done,
+		OK:       tr.ok,
+		Spans:    make([]SpanSnapshot, tr.nspans),
+	}
+	for i := 0; i < tr.nspans; i++ {
+		s := tr.spans[i]
+		ts.Spans[i] = SpanSnapshot{
+			Stage:   s.Stage,
+			StartNs: unixNanoOrZero(s.Start),
+			EndNs:   unixNanoOrZero(s.End),
+			TotalNs: int64(s.Total),
+			Count:   s.Count,
+		}
+	}
+	return ts
 }

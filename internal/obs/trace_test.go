@@ -112,14 +112,64 @@ func TestNilTracerAndTraceNoOps(t *testing.T) {
 	if tracer.Start() != nil || tracer.Active() != nil || tracer.Snapshots() != nil {
 		t.Fatal("nil tracer should hand out nils")
 	}
+	tracer.SetRole("rx") // must not panic
 	var tr *Trace
 	allocs := testing.AllocsPerRun(100, func() {
 		tr.Begin(StageSync)
 		tr.End()
+		tr.SetPacketID(7)
 		tr.Finish(true)
 	})
 	if allocs != 0 {
 		t.Fatalf("nil trace ops allocated %v/op, want 0", allocs)
+	}
+	if got := tr.Snapshot(); got.ID != 0 || got.Spans != nil {
+		t.Fatalf("nil trace snapshot = %+v, want zero value", got)
+	}
+}
+
+// TestSnapshotUnsetTimestampsAreZero pins the regression where a span whose
+// End (or a trace whose fields) still held the zero time.Time serialized as
+// the zero instant's UnixNano — a huge negative sentinel — in /trace JSON.
+func TestSnapshotUnsetTimestampsAreZero(t *testing.T) {
+	clk := fakeClock()
+	tracer := NewTracer(2, clk)
+	tr := tracer.Start()
+	tr.Begin(StageSync) // never ended: End stays the zero time
+	snaps := tracer.Snapshots()
+	if len(snaps) != 1 || len(snaps[0].Spans) != 1 {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	span := snaps[0].Spans[0]
+	if span.EndNs != 0 {
+		t.Fatalf("unset End serialized as %d, want 0", span.EndNs)
+	}
+	if span.StartNs != time.Unix(1000, 0).UnixNano() {
+		t.Fatalf("set Start = %d, want the fake clock instant", span.StartNs)
+	}
+}
+
+func TestTracePacketIDAndRole(t *testing.T) {
+	tracer := NewTracer(2, fakeClock())
+	tracer.SetRole("rx")
+	tr := tracer.Start()
+	tr.SetPacketID(42)
+	tr.Begin(StageSync)
+	tr.Finish(false)
+
+	got := tr.Snapshot()
+	if got.PacketID != 42 || got.Role != "rx" {
+		t.Fatalf("snapshot = %+v, want packet_id 42 role rx", got)
+	}
+	snaps := tracer.Snapshots()
+	if snaps[0].PacketID != 42 || snaps[0].Role != "rx" {
+		t.Fatalf("ring snapshot = %+v", snaps[0])
+	}
+	// A reused ring slot must not leak the previous packet ID.
+	tracer.Start()
+	tracer.Start() // wraps onto tr's slot (capacity 2)
+	if got := tracer.Snapshots()[0].PacketID; got != 0 {
+		t.Fatalf("reused slot packet_id = %d, want reset to 0", got)
 	}
 }
 

@@ -1,0 +1,194 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// flightLoop runs one instrumented loopback packet with a flight recorder
+// attached, returning the telemetry roots and the FCS verdict it reported.
+func flightLoop(t *testing.T, rec *flight.Recorder, packetID uint64, fcsOK bool) *obs.Tracer {
+	t.Helper()
+	tracer := obs.NewTracer(8, clock.NewFake(time.Unix(3000, 0)))
+	tracer.SetRole("rx")
+	r := rand.New(rand.NewSource(21))
+	tx, err := NewTransmitter(TxConfig{MCS: 9, ScramblerSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := tx.Transmit(randPSDU(r, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := channel.New(channel.Config{NumTX: 2, NumRX: 2, Model: channel.Identity,
+		SNRdB: 30, Seed: 21, SampleRate: 20e6, TimingOffset: 280, TrailingSilence: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxs, err := c.Apply(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := NewRxObs(nil, tracer)
+	ro.SetFlight(rec)
+	rx.SetObs(ro)
+	rx.SetPacketID(packetID)
+	res, err := rx.Receive(rxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro.ActiveTrace().Begin(obs.StageCRC)
+	ro.PacketResult(fcsOK, len(res.PSDU))
+	return tracer
+}
+
+func TestFlightEvidenceCaptured(t *testing.T) {
+	rec := flight.New(flight.Config{Capacity: 4, Dir: t.TempDir(), Node: "rx",
+		Clock: clock.NewFake(time.Unix(3000, 0))})
+	tracer := flightLoop(t, rec, 55, true)
+
+	if got := tracer.Snapshots()[0].PacketID; got != 55 {
+		t.Fatalf("trace packet id = %d, want 55", got)
+	}
+	file, err := rec.Dump("manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := flight.Load(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(df.Packets) != 1 {
+		t.Fatalf("recorded %d packets, want 1", len(df.Packets))
+	}
+	ev := df.Packets[0]
+	if ev.PacketID != 55 || ev.Verdict != flight.VerdictOK || ev.Node != "rx" {
+		t.Fatalf("evidence header = %+v", ev)
+	}
+	if ev.SNRdB < 20 || ev.SNRdB > 45 {
+		t.Errorf("evidence SNR = %g, want near 30", ev.SNRdB)
+	}
+	if ev.MCS != 9 {
+		t.Errorf("evidence MCS = %d, want 9", ev.MCS)
+	}
+	if len(ev.SyncIQ) != 2 || len(ev.SyncIQ[0]) == 0 {
+		t.Fatalf("sync IQ: %d chains", len(ev.SyncIQ))
+	}
+	if len(ev.ChanEst) != 52 {
+		t.Fatalf("chanest tones = %d, want 52", len(ev.ChanEst))
+	}
+	for _, ce := range ev.ChanEst {
+		if ce.CondDB < 0 || ce.CondDB > 150 {
+			t.Fatalf("tone %d cond = %g dB", ce.Subcarrier, ce.CondDB)
+		}
+	}
+	if len(ev.EVM) != 52 {
+		t.Fatalf("EVM bins = %d, want 52", len(ev.EVM))
+	}
+	// On a 30 dB identity channel the decision-directed EVM should imply a
+	// healthy per-tone SNR.
+	for _, b := range ev.EVM {
+		if b.Count == 0 || b.SNRdB < 10 {
+			t.Fatalf("tone %d: %+v", b.Subcarrier, b)
+		}
+	}
+	if ev.SoftBits.Count == 0 || ev.SoftBits.MeanAbs == 0 {
+		t.Fatalf("soft bits = %+v", ev.SoftBits)
+	}
+	if len(ev.Trace.Spans) == 0 || !ev.Trace.Done || !ev.Trace.OK || ev.Trace.Role != "rx" {
+		t.Fatalf("embedded trace = %+v", ev.Trace)
+	}
+}
+
+func TestFlightCRCFailureTriggersDump(t *testing.T) {
+	dir := t.TempDir()
+	rec := flight.New(flight.Config{Capacity: 4, Dir: dir, Node: "rx", OnFailure: true,
+		Clock: clock.NewFake(time.Unix(3000, 0))})
+	flightLoop(t, rec, 9, false) // the MAC verdict is a failed FCS
+
+	// The failure trigger must have fired during PacketResult: the artifact
+	// exists without any explicit Dump call, holding the crc_fail evidence.
+	file, err := rec.Dump("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := flight.Load(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Seq != 1 {
+		t.Fatalf("probe dump seq = %d, want 1 (a trigger dump preceded it)", df.Seq)
+	}
+	ev := df.Packets[0]
+	if ev.Verdict != flight.VerdictCRCFail || ev.PacketID != 9 {
+		t.Fatalf("evidence = verdict %q packet %d", ev.Verdict, ev.PacketID)
+	}
+	if !ev.Trace.Done || ev.Trace.OK {
+		t.Fatalf("embedded trace = %+v", ev.Trace)
+	}
+}
+
+func TestFlightDecodeErrorFinalizesEvidence(t *testing.T) {
+	rec := flight.New(flight.Config{Capacity: 4, Dir: t.TempDir(), Node: "rx",
+		Clock: clock.NewFake(time.Unix(3000, 0))})
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "mmse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := NewRxObs(nil, obs.NewTracer(4, clock.NewFake(time.Unix(3000, 0))))
+	ro.SetFlight(rec)
+	rx.SetObs(ro)
+	// Silence: the detector never fires, so no evidence record opens at all.
+	silent := [][]complex128{make([]complex128, 2000), make([]complex128, 2000)}
+	if _, err := rx.Receive(silent); err == nil {
+		t.Fatal("decoded silence")
+	}
+	if ro.evidence() != nil {
+		t.Fatal("pending evidence leaked across a sync failure")
+	}
+}
+
+// TestFlightDisabledPathAllocFree pins the nil-safe instrument convention
+// for the evidence hooks the decode path now carries: with a nil recorder
+// every capture call must be an allocation-free no-op, on both an
+// instrumented RxObs and a nil one.
+func TestFlightDisabledPathAllocFree(t *testing.T) {
+	ro := NewRxObs(nil, nil)
+	ro.SetFlight(nil)
+	var nilObs *RxObs
+	rx := [][]complex128{make([]complex128, 256), make([]complex128, 256)}
+	allocs := testing.AllocsPerRun(200, func() {
+		ro.beginEvidence(7, rx, 128)
+		_ = ro.evidence()
+		ro.finishEvidence(flight.VerdictOK, nil)
+		nilObs.beginEvidence(7, rx, 128)
+		_ = nilObs.evidence()
+		nilObs.finishEvidence(flight.VerdictOK, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path capture hooks allocated %v/op, want 0", allocs)
+	}
+	if ro.pending != nil {
+		t.Fatal("nil recorder accumulated evidence")
+	}
+}
+
+// TestFlightNilRecorderDecodeRecordsNothing runs the full instrumented
+// decode with no recorder attached and verifies the capture path stayed
+// dormant end to end.
+func TestFlightNilRecorderDecodeRecordsNothing(t *testing.T) {
+	tracer := flightLoop(t, nil, 3, true)
+	if got := tracer.Snapshots()[0].PacketID; got != 3 {
+		t.Fatalf("trace packet id = %d, want 3 (IDs work without a recorder)", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fec"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // RxObs is the receiver's telemetry surface: the paper's headline
@@ -14,6 +15,14 @@ import (
 // hook in the decode path an allocation-free no-op.
 type RxObs struct {
 	tracer *obs.Tracer
+
+	// flight, when set, receives per-packet PHY evidence; pending is the
+	// evidence under construction for the packet currently in the chain,
+	// finalized when its terminal verdict arrives (PacketResult or a decode
+	// error). Both stay nil on the disabled path, which keeps every capture
+	// hook allocation-free.
+	flight  *flight.Recorder
+	pending *flight.Evidence
 
 	snr     *obs.Gauge
 	snrDist *obs.Histogram
@@ -73,6 +82,70 @@ func NewRxObs(reg *obs.Registry, tracer *obs.Tracer) *RxObs {
 	}
 }
 
+// SetFlight attaches a flight recorder for per-packet evidence capture. Nil
+// (the default) disables capture without touching the decode path.
+func (o *RxObs) SetFlight(rec *flight.Recorder) {
+	if o == nil {
+		return
+	}
+	o.flight = rec
+}
+
+// flightOn reports whether evidence capture should run for this packet.
+func (o *RxObs) flightOn() bool { return o != nil && o.flight.Enabled() }
+
+// beginEvidence opens the pending evidence record at the sync point,
+// capturing the raw IQ window around it before CFO correction mutates the
+// buffers. syncHalf bounds the window to ±syncHalf samples per chain.
+func (o *RxObs) beginEvidence(packetID uint64, rx [][]complex128, syncIdx int) {
+	if !o.flightOn() {
+		return
+	}
+	o.pending = &flight.Evidence{
+		PacketID:  packetID,
+		SyncIndex: syncIdx,
+		SyncIQ:    flight.CaptureIQ(rx, syncIdx, syncHalfWindow),
+	}
+}
+
+// evidence returns the pending record, nil when capture is off — callers
+// nil-check rather than re-testing flightOn.
+func (o *RxObs) evidence() *flight.Evidence {
+	if o == nil {
+		return nil
+	}
+	return o.pending
+}
+
+// finishEvidence stamps the terminal verdict and trace onto the pending
+// evidence and hands it to the recorder, which may fire a trigger dump.
+func (o *RxObs) finishEvidence(verdict string, tr *obs.Trace) {
+	if o == nil || o.pending == nil {
+		return
+	}
+	ev := o.pending
+	o.pending = nil
+	ev.Verdict = verdict
+	ev.Trace = tr.Snapshot()
+	o.flight.Record(*ev)
+}
+
+// verdictFor maps a Receive error onto the flight-recorder verdict scheme.
+func verdictFor(err error) string {
+	switch {
+	case errors.Is(err, ErrNoPacket):
+		return flight.VerdictNoPacket
+	case errors.Is(err, ErrBadSIG) || errors.Is(err, ErrSIGBounds):
+		return flight.VerdictBadSIG
+	default:
+		return flight.VerdictDecode
+	}
+}
+
+// syncHalfWindow is the evidence IQ half-window around the sync point: wide
+// enough to cover the detection transient and the STF tail on both sides.
+const syncHalfWindow = 64
+
 // ActiveTrace returns the trace of the packet most recently entered into
 // the chain, so the caller layer (MAC CRC check) can append its span.
 func (o *RxObs) ActiveTrace() *obs.Trace {
@@ -116,6 +189,11 @@ func (o *RxObs) packetDecoded(res *RxResult) {
 	o.snr.Set(res.SNRdB)
 	o.snrDist.Observe(res.SNRdB)
 	o.cfoHz.Set(res.CFO * sampleRateHz / (2 * pi))
+	if ev := o.pending; ev != nil {
+		ev.SNRdB = res.SNRdB
+		ev.CFOHz = res.CFO * sampleRateHz / (2 * pi)
+		ev.MCS = int(res.HTSIG.MCS)
+	}
 }
 
 // prefec folds one packet's re-encode comparison into the pre-FEC BER
@@ -153,6 +231,11 @@ func (o *RxObs) PacketResult(ok bool, psduBytes int) {
 	o.updatePER()
 	tr := o.tracer.Active()
 	tr.Finish(ok)
+	verdict := flight.VerdictOK
+	if !ok {
+		verdict = flight.VerdictCRCFail
+	}
+	o.finishEvidence(verdict, tr)
 }
 
 func (o *RxObs) updatePER() {

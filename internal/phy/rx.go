@@ -10,9 +10,11 @@ import (
 	"repro/internal/cmatrix"
 	"repro/internal/est"
 	"repro/internal/fec"
+	"repro/internal/metrics"
 	"repro/internal/mimo"
 	"repro/internal/modem"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/ofdm"
 	"repro/internal/preamble"
 	"repro/internal/sounding"
@@ -110,10 +112,31 @@ type Receiver struct {
 	// obs, when set, receives per-packet telemetry (SNR/BER/PER series and
 	// stage traces). Nil keeps the decode path free of telemetry cost.
 	obs *RxObs
+	// packetID is the TX-assigned correlation key of the burst about to be
+	// decoded (0 = unknown), stamped onto traces and flight evidence.
+	packetID uint64
 }
 
 // SetObs attaches the receiver's telemetry surface. Nil detaches it.
 func (r *Receiver) SetObs(o *RxObs) { r.obs = o }
+
+// SetPacketID labels the next Receive call with the TX-assigned packet ID
+// recovered from the transport (radio frame header), tying the packet's
+// trace and flight evidence to the sender's record.
+func (r *Receiver) SetPacketID(id uint64) { r.packetID = id }
+
+// htDataSubcarriers maps data-tone position to the signed logical subcarrier
+// index (−28..28), the labeling flight dumps use.
+var htDataSubcarriers = func() []int {
+	out := make([]int, len(ofdm.HTToneMap.Data))
+	for i, b := range ofdm.HTToneMap.Data {
+		if b >= ofdm.FFTSize/2 {
+			b -= ofdm.FFTSize
+		}
+		out[i] = b
+	}
+	return out
+}()
 
 // NewReceiver validates the configuration and returns a receiver.
 func NewReceiver(cfg RxConfig) (*Receiver, error) {
@@ -161,10 +184,14 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 // crc via ActiveTrace/PacketResult) and updates the SNR/BER/PER series.
 func (r *Receiver) Receive(rx [][]complex128) (*RxResult, error) {
 	tr := r.obs.startTrace()
+	tr.SetPacketID(r.packetID)
 	res, err := r.receive(rx, tr)
 	if err != nil {
 		r.obs.recordFailure(err)
 		tr.Finish(false)
+		// A packet that dies inside the PHY never reaches the caller's FCS
+		// check, so its evidence is finalized here with the classified error.
+		r.obs.finishEvidence(verdictFor(err), tr)
 		return res, err
 	}
 	r.obs.packetDecoded(res)
@@ -186,6 +213,9 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Evidence capture opens here, before CFO correction rewrites rx in
+	// place: the dump keeps the sync-point IQ as the antenna actually saw it.
+	r.obs.beginEvidence(r.packetID, rx, det.Index)
 	// The detection index lies inside the STF. Estimate the STF region for
 	// coarse CFO: use up to 96 samples ending at the detection index.
 	stfEnd := det.Index
@@ -354,6 +384,9 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 			result.Sounding = rep
 		}
 	}
+	if ev := r.obs.evidence(); ev != nil {
+		ev.ChanEst = flight.CaptureChanEst(htEst.DataMatrices(), htDataSubcarriers)
+	}
 
 	// --- 8. MIMO detection over the data symbols ------------------------
 	tr.Begin(obs.StageDetector)
@@ -401,6 +434,20 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 	dataTones := make([][]complex128, len(rx))
 	pilotTones := make([][]complex128, len(rx))
 	y := make([]complex128, len(rx))
+	// Per-subcarrier EVM accumulators, decision-directed: allocated only when
+	// flight evidence is being captured for this packet.
+	var evAcc []metrics.EVM
+	var evMapper *modem.Mapper
+	var evH []*cmatrix.Matrix
+	var evBits []byte
+	var evX []complex128
+	if r.obs.evidence() != nil {
+		evAcc = make([]metrics.EVM, nd)
+		evMapper = modem.NewMapper(mcs.Scheme)
+		evH = htEst.DataMatrices()
+		evBits = make([]byte, mcs.NBPSCS())
+		evX = make([]complex128, mcs.NSS)
+	}
 	for n := 0; n < nSym; n++ {
 		// Demod (FFT + pilot CPE) and detection interleave per symbol; the
 		// trace accumulates each stage's share across the whole data field.
@@ -446,6 +493,9 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 			if derr != nil {
 				return result, derr
 			}
+		}
+		if evAcc != nil {
+			accumulateEVM(evAcc, perSymbol, dataTones, evH, evMapper, evBits, evX, mcs.NSS, mcs.NBPSCS())
 		}
 		// Decision-directed LMS channel tracking: slice each stream's
 		// detected bits back to constellation points and nudge Ĥ(k)
@@ -500,6 +550,10 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 	if err != nil {
 		return result, err
 	}
+	if ev := r.obs.evidence(); ev != nil {
+		ev.EVM = flight.EVMBins(evAcc, htDataSubcarriers)
+		ev.SoftBits = flight.SoftStats(merged)
+	}
 	dataBits := nSym * mcs.NDBPS()
 	dep, err := fec.DepunctureInto(r.depBuf, merged, dataBits, mcs.Rate)
 	if err != nil {
@@ -532,6 +586,33 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 	}
 	result.PSDU = psdu
 	return result, nil
+}
+
+// accumulateEVM folds one symbol's decision-directed error vectors into the
+// per-subcarrier accumulators: each stream's LLR signs slice back to bits,
+// map to the constellation point x̂, and every antenna's received tone is
+// compared against the channel's prediction H·x̂ — the per-subcarrier EVM
+// that localises MIMO impairments to individual tones.
+func accumulateEVM(acc []metrics.EVM, perSymbol [][]float64, dataTones [][]complex128, h []*cmatrix.Matrix, mapper *modem.Mapper, bits []byte, xhat []complex128, nss, nbpsc int) {
+	for k := range acc {
+		for iss := 0; iss < nss; iss++ {
+			for b := 0; b < nbpsc; b++ {
+				bits[b] = 0
+				if perSymbol[iss][k*nbpsc+b] < 0 {
+					bits[b] = 1
+				}
+			}
+			xhat[iss] = mapper.MapOne(bits)
+		}
+		hk := h[k]
+		for a := range dataTones {
+			var est complex128
+			for s := 0; s < nss; s++ {
+				est += hk.At(a, s) * xhat[s]
+			}
+			acc[k].Add(dataTones[a][k], est)
+		}
+	}
 }
 
 // descramble inverts the self-synchronizing scrambler given that the first

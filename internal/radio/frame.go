@@ -16,16 +16,23 @@ import (
 // Frame format (big-endian):
 //
 //	magic   uint32  "MNIQ" (0x4D4E4951)
-//	version uint8   1
+//	version uint8   2 (1 = legacy, without the packet field)
 //	streams uint8   number of antenna streams (1-4)
 //	flags   uint16  bit 0: end-of-burst
 //	seq     uint64  frame sequence number
 //	count   uint32  samples per stream in this frame
+//	packet  uint64  TX-assigned packet ID (version ≥ 2; 0 = unknown)
 //	payload streams × count × (float32 I, float32 Q), stream-major
+//
+// The packet ID is the cross-process correlation key: the transmitter stamps
+// every frame of a burst with the MAC packet it carries, so receive-side
+// traces and flight-recorder dumps can be joined to the TX record without
+// decoding the payload. Version 1 frames (pre-ID) still decode, with ID 0.
 const (
 	frameMagic   = 0x4D4E4951
-	frameVersion = 1
-	headerSize   = 4 + 1 + 1 + 2 + 8 + 4
+	frameVersion = 2
+	headerSizeV1 = 4 + 1 + 1 + 2 + 8 + 4
+	headerSize   = headerSizeV1 + 8
 
 	// MaxSamplesPerFrame bounds a frame to fit a UDP datagram under the
 	// common 1500-byte MTU minus headers when streaming one antenna; the
@@ -42,6 +49,21 @@ type Header struct {
 	Flags   uint16
 	Seq     uint64
 	Count   int
+	// PacketID is the TX-assigned MAC packet this frame's samples belong to
+	// (0 = unknown / legacy frame).
+	PacketID uint64
+	// legacy marks a decoded version-1 header, whose wire form has no
+	// packet field.
+	legacy bool
+}
+
+// HeaderLen returns the wire size of this header — the payload offset within
+// its frame. Decoded legacy (version 1) headers report the short form.
+func (h Header) HeaderLen() int {
+	if h.legacy {
+		return headerSizeV1
+	}
+	return headerSize
 }
 
 // EncodeFrame appends one frame carrying samples[stream][i] to dst and
@@ -67,6 +89,7 @@ func EncodeFrame(dst []byte, h Header, samples [][]complex128) ([]byte, error) {
 	binary.BigEndian.PutUint16(hdr[6:], h.Flags)
 	binary.BigEndian.PutUint64(hdr[8:], h.Seq)
 	binary.BigEndian.PutUint32(hdr[16:], uint32(n))
+	binary.BigEndian.PutUint64(hdr[20:], h.PacketID)
 	dst = append(dst, hdr[:]...)
 	var scratch [8]byte
 	for _, s := range samples {
@@ -82,15 +105,17 @@ func EncodeFrame(dst []byte, h Header, samples [][]complex128) ([]byte, error) {
 // FrameSize returns the encoded size of a frame with the given shape.
 func FrameSize(streams, count int) int { return headerSize + streams*count*8 }
 
-// DecodeHeader parses a frame header.
+// DecodeHeader parses a frame header. Both the current version-2 form and
+// the legacy version-1 form (no packet ID) are accepted; use HeaderLen on
+// the result for the payload offset.
 func DecodeHeader(b []byte) (Header, error) {
-	if len(b) < headerSize {
-		return Header{}, fmt.Errorf("radio: header needs %d bytes, got %d", headerSize, len(b))
+	if len(b) < headerSizeV1 {
+		return Header{}, fmt.Errorf("radio: header needs %d bytes, got %d", headerSizeV1, len(b))
 	}
 	if binary.BigEndian.Uint32(b[0:]) != frameMagic {
 		return Header{}, fmt.Errorf("radio: bad magic %#08x", binary.BigEndian.Uint32(b[0:]))
 	}
-	if b[4] != frameVersion {
+	if b[4] != 1 && b[4] != frameVersion {
 		return Header{}, fmt.Errorf("radio: unsupported version %d", b[4])
 	}
 	h := Header{
@@ -98,6 +123,13 @@ func DecodeHeader(b []byte) (Header, error) {
 		Flags:   binary.BigEndian.Uint16(b[6:]),
 		Seq:     binary.BigEndian.Uint64(b[8:]),
 		Count:   int(binary.BigEndian.Uint32(b[16:])),
+		legacy:  b[4] == 1,
+	}
+	if !h.legacy {
+		if len(b) < headerSize {
+			return Header{}, fmt.Errorf("radio: v2 header needs %d bytes, got %d", headerSize, len(b))
+		}
+		h.PacketID = binary.BigEndian.Uint64(b[20:])
 	}
 	if h.Streams < 1 || h.Streams > 4 {
 		return Header{}, fmt.Errorf("radio: stream count %d out of range", h.Streams)
@@ -149,8 +181,15 @@ func NewStreamWriter(w io.Writer, streams int) (*StreamWriter, error) {
 }
 
 // WriteBurst sends one complete burst (e.g. one PPDU), split into frames;
-// the last frame carries the end-of-burst flag.
+// the last frame carries the end-of-burst flag. The frames carry packet ID 0
+// (unknown); transmitters that track MAC packets use WriteBurstID.
 func (w *StreamWriter) WriteBurst(samples [][]complex128) error {
+	return w.WriteBurstID(0, samples)
+}
+
+// WriteBurstID sends one burst with every frame stamped with the
+// TX-assigned packet ID, the cross-process correlation key.
+func (w *StreamWriter) WriteBurstID(packetID uint64, samples [][]complex128) error {
 	if len(samples) != w.streams {
 		return fmt.Errorf("radio: %d streams, writer configured for %d", len(samples), w.streams)
 	}
@@ -176,7 +215,7 @@ func (w *StreamWriter) WriteBurst(samples [][]complex128) error {
 		}
 		w.buf = w.buf[:0]
 		var err error
-		w.buf, err = EncodeFrame(w.buf, Header{Streams: w.streams, Flags: flags, Seq: w.seq, Count: end - off}, chunk)
+		w.buf, err = EncodeFrame(w.buf, Header{Streams: w.streams, Flags: flags, Seq: w.seq, Count: end - off, PacketID: packetID}, chunk)
 		if err != nil {
 			return err
 		}
@@ -193,6 +232,9 @@ type StreamReader struct {
 	r   io.Reader
 	hdr [headerSize]byte
 	buf []byte
+	// lastPacketID is the packet ID carried by the most recently assembled
+	// burst's frames.
+	lastPacketID uint64
 }
 
 // NewStreamReader returns a reader.
@@ -200,19 +242,32 @@ func NewStreamReader(r io.Reader) *StreamReader {
 	return &StreamReader{r: r}
 }
 
+// LastPacketID returns the TX-assigned packet ID of the last burst ReadBurst
+// returned (0 before the first burst or on legacy frames).
+func (r *StreamReader) LastPacketID() uint64 { return r.lastPacketID }
+
 // ReadBurst reassembles frames until an end-of-burst flag and returns the
 // per-stream samples. io.EOF is returned (possibly wrapping partial data
 // loss) when the transport closes cleanly between bursts.
 func (r *StreamReader) ReadBurst() ([][]complex128, error) {
 	var out [][]complex128
 	for {
-		if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		// Read the short (v1) prefix first; the version byte decides whether
+		// the packet-ID extension follows.
+		if _, err := io.ReadFull(r.r, r.hdr[:headerSizeV1]); err != nil {
 			if err == io.EOF && out == nil {
 				return nil, io.EOF
 			}
 			return nil, fmt.Errorf("radio: read header: %w", err)
 		}
-		h, err := DecodeHeader(r.hdr[:])
+		hl := headerSizeV1
+		if r.hdr[4] != 1 {
+			if _, err := io.ReadFull(r.r, r.hdr[headerSizeV1:headerSize]); err != nil {
+				return nil, fmt.Errorf("radio: read header: %w", err)
+			}
+			hl = headerSize
+		}
+		h, err := DecodeHeader(r.hdr[:hl])
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +281,7 @@ func (r *StreamReader) ReadBurst() ([][]complex128, error) {
 		}
 		if out == nil {
 			out = make([][]complex128, h.Streams)
+			r.lastPacketID = h.PacketID
 		}
 		if len(out) != h.Streams {
 			return nil, fmt.Errorf("radio: stream count changed mid-burst")

@@ -62,7 +62,7 @@ func FuzzDecodePayload(f *testing.F) {
 			return
 		}
 		dst := make([][]complex128, h.Streams)
-		out, err := DecodePayload(dst, h, data[headerSize:])
+		out, err := DecodePayload(dst, h, data[h.HeaderLen():])
 		if err != nil {
 			return
 		}

@@ -53,8 +53,16 @@ func (s *UDPSender) Close() error { return s.conn.Close() }
 func (s *UDPSender) LocalAddr() net.Addr { return s.conn.LocalAddr() }
 
 // WriteBurst sends one burst as a train of datagrams, the last flagged
-// end-of-burst.
+// end-of-burst. The frames carry packet ID 0 (unknown); transmitters that
+// track MAC packets use WriteBurstID.
 func (s *UDPSender) WriteBurst(samples [][]complex128) error {
+	return s.WriteBurstID(0, samples)
+}
+
+// WriteBurstID sends one burst with every datagram's frame stamped with the
+// TX-assigned packet ID, so the receiver can correlate the burst with the
+// sender's record even across datagram loss.
+func (s *UDPSender) WriteBurstID(packetID uint64, samples [][]complex128) error {
 	if len(samples) != s.streams {
 		return fmt.Errorf("radio: %d streams, sender configured for %d", len(samples), s.streams)
 	}
@@ -84,7 +92,7 @@ func (s *UDPSender) WriteBurst(samples [][]complex128) error {
 		}
 		s.buf = s.buf[:0]
 		var err error
-		s.buf, err = EncodeFrame(s.buf, Header{Streams: s.streams, Flags: flags, Seq: s.seq, Count: end - off}, chunk)
+		s.buf, err = EncodeFrame(s.buf, Header{Streams: s.streams, Flags: flags, Seq: s.seq, Count: end - off, PacketID: packetID}, chunk)
 		if err != nil {
 			return err
 		}
@@ -119,6 +127,9 @@ type UDPReceiver struct {
 	// nextSeq is the expected next sequence number (0 before first frame).
 	nextSeq uint64
 	started bool
+	// lastPacketID is the packet ID carried by the most recently assembled
+	// burst's frames.
+	lastPacketID uint64
 	// clk computes read deadlines; injectable (SetClock) so deadline logic
 	// is testable without wall-clock dependence.
 	clk clock.Clock
@@ -169,6 +180,10 @@ func (r *UDPReceiver) Close() error { return r.conn.Close() }
 
 // Addr returns the bound address (useful with port 0).
 func (r *UDPReceiver) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// LastPacketID returns the TX-assigned packet ID of the last burst ReadBurst
+// returned (0 before the first burst or on legacy frames).
+func (r *UDPReceiver) LastPacketID() uint64 { return r.lastPacketID }
 
 // ReadBurst assembles one burst. Missing datagrams are zero-filled with the
 // frame size inferred from neighbours, and counted in Lost. timeout bounds
@@ -222,11 +237,12 @@ func (r *UDPReceiver) ReadBurst(timeout time.Duration) ([][]complex128, error) {
 		r.nextSeq = h.Seq + 1
 		if out == nil {
 			out = make([][]complex128, h.Streams)
+			r.lastPacketID = h.PacketID
 		}
 		if len(out) != h.Streams {
 			return nil, fmt.Errorf("radio: stream count changed mid-burst")
 		}
-		if dec, derr := DecodePayload(out, h, r.buf[headerSize:n]); derr != nil {
+		if dec, derr := DecodePayload(out, h, r.buf[h.HeaderLen():n]); derr != nil {
 			// Truncated payload: keep the stream aligned by zero-filling the
 			// samples this frame claimed to carry. The end-of-burst flag is
 			// still honoured so the burst terminates.

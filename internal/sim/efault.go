@@ -134,6 +134,11 @@ func runChaosFlowgraph(opt Options, sc faults.Scenario, bursts int, out *scenari
 	inj := faults.NewInjector(sc, opt.Seed)
 	r := rand.New(rand.NewSource(opt.Seed ^ 0x22))
 	sent := 0
+	// The packet-ID relay mirrors the cross-process wiring of the binaries:
+	// the TX block publishes each burst's ID, the RX block consumes one per
+	// decode. Under chaos a burst may vanish mid-graph, so the pop is
+	// best-effort (0 = unknown) rather than assumed aligned.
+	ids := make(chan uint64, 64)
 	txb := &blocks.TXBlock{TX: tx, NextPayload: func() ([]byte, error) {
 		if sent >= bursts {
 			return nil, io.EOF
@@ -142,6 +147,11 @@ func runChaosFlowgraph(opt Options, sc faults.Scenario, bursts int, out *scenari
 		p := make([]byte, opt.PayloadLen)
 		r.Read(p)
 		return p, nil
+	}, OnBurst: func(packetID uint64, _ uint16) {
+		select {
+		case ids <- packetID:
+		default:
+		}
 	}}
 	ib := &faults.InjectBlock{BlockName: "inject", Ports: 2, Inj: inj}
 	pb := &faults.PanicBlock{BlockName: "chaos-panic", Ports: 2, After: sc.PanicAfter}
@@ -152,6 +162,13 @@ func runChaosFlowgraph(opt Options, sc faults.Scenario, bursts int, out *scenari
 			out.decoded++
 		} else {
 			out.typedErrs++
+		}
+	}, NextPacketID: func() uint64 {
+		select {
+		case id := <-ids:
+			return id
+		default:
+			return 0
 		}
 	}}
 	g := flowgraph.New()

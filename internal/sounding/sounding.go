@@ -68,6 +68,18 @@ func Analyze(h []*cmatrix.Matrix, snr float64) (*Report, error) {
 	return rep, nil
 }
 
+// ConditionDB returns the condition number of one subcarrier's channel
+// matrix in dB — the singular-value spread that localises rank starvation to
+// individual tones. A numerically singular matrix reports the 150 dB cap.
+func ConditionDB(h *cmatrix.Matrix) (float64, error) {
+	// Condition is SNR-independent; any positive SNR works here.
+	_, cond, err := subcarrierMetrics(h, 1)
+	if err != nil {
+		return 0, err
+	}
+	return 10 * math.Log10(cond), nil
+}
+
 // subcarrierMetrics returns capacity (bit/s/Hz) and the linear condition
 // number (ratio of extreme eigenvalues of HᴴH) for one subcarrier.
 func subcarrierMetrics(h *cmatrix.Matrix, snr float64) (capacity, condition float64, err error) {
