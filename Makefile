@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check bench bench-all bench-compare clean
+.PHONY: all build test race lint fmt fmt-check bench bench-all bench-compare soak clean
 
 all: build lint test
 
@@ -39,6 +39,14 @@ bench:
 bench-compare:
 	$(GO) test -bench . -benchmem -count 1 -run '^$$' . | $(GO) run ./cmd/benchjson > /tmp/bench-new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_pr3.json /tmp/bench-new.json
+
+# Session-gateway chaos soak (experiment E23): 240 concurrent sessions
+# through the fault-scenario rotation. Regenerate after session/gateway work
+# and commit the SOAK_pr6.json diff; exits non-zero if any session ends
+# outside the defined terminal states or resources fail to return to
+# baseline. CI runs the same engine at reduced scale under -race.
+soak:
+	$(GO) run ./cmd/mimonet-gw -soak -sessions 240 -bytes 32768 -seed 20260808 -o SOAK_pr6.json
 
 # Every benchmark in the tree (kernel micro-benches included), untracked.
 bench-all:

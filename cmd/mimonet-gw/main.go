@@ -1,0 +1,178 @@
+// Command mimonet-gw is the session gateway: a long-running service that
+// multiplexes many concurrent client transfer sessions over the UDP radio
+// link, with credit-based flow control, idle/handshake timeouts,
+// reconnect-with-resume, and fail-closed eviction. It runs in three modes:
+//
+//	mimonet-gw -listen 127.0.0.1:9800 -out received/
+//	    Serve sessions; each completed transfer is written to a file named
+//	    by its session ID. With -metrics-listen the process serves live
+//	    /metrics and /debug/pprof; with -flight-dir, session failures
+//	    trigger flight-recorder dumps. SIGINT drains: every open session
+//	    fails closed with reason "shutdown" before the process exits.
+//
+//	mimonet-gw -send file.bin -addr 127.0.0.1:9800
+//	    Act as a client: transfer the file through the gateway, surviving
+//	    packet loss and gateway restarts via reconnect-with-resume.
+//
+//	mimonet-gw -soak -sessions 240 -o SOAK_pr6.json
+//	    Run the chaos soak in-process: hundreds of concurrent sessions
+//	    through seeded fault scenarios (drop, corrupt, delay, peer-kill,
+//	    stall), writing a JSON robustness artifact. Exits non-zero if any
+//	    session ended outside the defined terminal states, a payload
+//	    failed verification, or goroutines leaked.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/session"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:9800", "UDP listen address (serve mode)")
+		outDir        = flag.String("out", "", "write each session's reassembled payload to this directory (empty = discard)")
+		idleTimeout   = flag.Duration("idle-timeout", 3*time.Second, "evict sessions silent for this long")
+		maxSessions   = flag.Int("max-sessions", 1024, "concurrent session cap; excess handshakes are refused with reason \"busy\"")
+		metricsListen = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address (empty = telemetry off)")
+		flightDir     = flag.String("flight-dir", "", "write flight-recorder dumps here on session failure (empty = recorder off)")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
+		sendFile = flag.String("send", "", "client mode: transfer this file to -addr and exit")
+		addr     = flag.String("addr", "127.0.0.1:9800", "gateway address (client mode)")
+		sessID   = flag.Uint64("session", 0, "session ID (client mode; 0 = random)")
+
+		soak     = flag.Bool("soak", false, "run the chaos soak and write a JSON artifact")
+		sessions = flag.Int("sessions", 240, "soak: concurrent client sessions")
+		bytesPer = flag.Int("bytes", 32*1024, "soak: payload bytes per session")
+		parallel = flag.Int("parallel", 64, "soak: concurrently active clients")
+		seed     = flag.Int64("seed", 1, "soak: campaign seed")
+		soakOut  = flag.String("o", "SOAK_pr6.json", "soak: artifact path")
+	)
+	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON, "gw")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch {
+	case *soak:
+		res, err := session.RunSoak(ctx, session.SoakConfig{
+			Sessions:  *sessions,
+			Bytes:     *bytesPer,
+			Parallel:  *parallel,
+			Seed:      *seed,
+			FlightDir: *flightDir,
+			Logger:    logger,
+		})
+		if err != nil {
+			fatal("soak failed", err)
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal("soak marshal", err)
+		}
+		if err := os.WriteFile(*soakOut, append(blob, '\n'), 0o644); err != nil {
+			fatal("soak write", err)
+		}
+		logger.Info("soak artifact written", slog.String("file", *soakOut),
+			slog.Int("completed", res.Completed), slog.Int("failed_clean", res.FailedClean),
+			slog.Int("failed_dirty", res.FailedDirty), slog.Int("reconnects", res.Reconnects),
+			slog.Bool("clean", res.Clean()))
+		if !res.Clean() {
+			logger.Error("soak not clean")
+			os.Exit(1)
+		}
+
+	case *sendFile != "":
+		data, err := os.ReadFile(*sendFile)
+		if err != nil {
+			fatal("read payload", err)
+		}
+		c, err := session.NewClient(session.ClientConfig{
+			Addr:      *addr,
+			SessionID: *sessID,
+			Logger:    logger,
+		})
+		if err != nil {
+			fatal("client", err)
+		}
+		start := time.Now()
+		if err := c.Send(ctx, data); err != nil {
+			fatal("transfer failed", err)
+		}
+		logger.Info("transfer complete", slog.Uint64("session", c.SessionID()),
+			slog.Int("bytes", len(data)), slog.Duration("took", time.Since(start)),
+			slog.Int("reconnects", c.Reconnects))
+
+	default:
+		reg := obs.NewRegistry()
+		var rec *flight.Recorder
+		if *flightDir != "" {
+			rec = flight.New(flight.Config{Dir: *flightDir, Node: "gw", OnFailure: true})
+		}
+		var newSink func(uint64) io.Writer
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal("out dir", err)
+			}
+			dir := *outDir
+			newSink = func(id uint64) io.Writer {
+				f, err := os.Create(filepath.Join(dir, fmt.Sprintf("session-%d.bin", id)))
+				if err != nil {
+					logger.Error("sink create failed", slog.Uint64("session", id), slog.String("err", err.Error()))
+					return io.Discard
+				}
+				return f
+			}
+		}
+		gw, err := session.NewGateway(session.Config{
+			Listen:      *listen,
+			Logger:      logger,
+			Registry:    reg,
+			Recorder:    rec,
+			IdleTimeout: *idleTimeout,
+			MaxSessions: *maxSessions,
+			NewSink:     newSink,
+		})
+		if err != nil {
+			fatal("gateway", err)
+		}
+		if *metricsListen != "" {
+			srv := obs.NewServer(reg, nil, nil)
+			if rec != nil {
+				srv.SetDumper(rec.Dump)
+			}
+			maddr, err := srv.Listen(*metricsListen)
+			if err != nil {
+				fatal("telemetry listen failed", err)
+			}
+			defer srv.Close()
+			logger.Info("telemetry listening", slog.String("addr", "http://"+maddr.String()+"/metrics"))
+		}
+		logger.Info("gateway listening", slog.String("addr", gw.Addr().String()),
+			slog.Duration("idle_timeout", *idleTimeout), slog.Int("max_sessions", *maxSessions))
+		if err := gw.Run(ctx); err != nil {
+			fatal("gateway failed", err)
+		}
+		st := gw.Stats()
+		logger.Info("gateway drained", slog.Int64("opened", st.Opened),
+			slog.Int64("completed", st.Completed), slog.Int64("failed", st.Failed),
+			slog.Int64("reconnects", st.Reconnects))
+	}
+}

@@ -2,6 +2,7 @@ package mac
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -66,6 +67,15 @@ type ARQSender struct {
 	// the delay doubles per consecutive all-loss round, capped at
 	// BackoffMax. Defaults 1ms and 64ms.
 	BackoffBase, BackoffMax time.Duration
+	// JitterFrac spreads each non-zero RetryDelay uniformly over
+	// [d·(1-f), d·(1+f)] using the seeded source from SetJitterSource, so
+	// concurrent sessions sharing a congested link do not synchronize
+	// their retransmission rounds. Zero (or no source) keeps the
+	// deterministic schedule.
+	JitterFrac float64
+	// jitterRng is the explicitly seeded stream behind JitterFrac; the
+	// montecarlo seeded-rand discipline, never the global source.
+	jitterRng *rand.Rand
 	// Delivered and Dropped count terminal payload outcomes.
 	Delivered, Dropped int
 	// Backoffs counts rounds in which pending frames went entirely
@@ -194,10 +204,17 @@ func (s *ARQSender) Apply(ack BlockAck) {
 	}
 }
 
+// SetJitterSource installs the seeded random stream JitterFrac draws from.
+// Nil disables jitter. Sessions derive their stream from the campaign seed
+// (montecarlo.ShardSeed) so chaos runs replay bit-identically.
+func (s *ARQSender) SetJitterSource(rng *rand.Rand) { s.jitterRng = rng }
+
 // RetryDelay returns how long the driver should wait before the next Round:
 // zero while the link is delivering, then BackoffBase doubling per
-// consecutive all-loss round up to BackoffMax. The exponential keeps a
-// retransmit storm from hammering a link that is down.
+// consecutive all-loss round up to BackoffMax, spread by ±JitterFrac when a
+// jitter source is installed. The exponential keeps a retransmit storm from
+// hammering a link that is down; the jitter keeps concurrent sessions from
+// hammering it in lockstep.
 func (s *ARQSender) RetryDelay() time.Duration {
 	if s.failRounds == 0 {
 		return 0
@@ -212,12 +229,25 @@ func (s *ARQSender) RetryDelay() time.Duration {
 	d := base
 	for i := 1; i < s.failRounds; i++ {
 		if d >= max/2 {
-			return max
+			d = max
+			break
 		}
 		d *= 2
 	}
 	if d > max {
 		d = max
+	}
+	if s.jitterRng != nil && s.JitterFrac > 0 {
+		f := s.JitterFrac
+		if f > 1 {
+			f = 1
+		}
+		// Uniform in [d·(1-f), d·(1+f)], floored at 1ns so a backoff round
+		// never degenerates into a busy loop.
+		d += time.Duration((2*s.jitterRng.Float64() - 1) * f * float64(d))
+		if d < 1 {
+			d = 1
+		}
 	}
 	return d
 }

@@ -244,3 +244,67 @@ func TestARQPacketIDsStableAcrossRetries(t *testing.T) {
 		t.Fatalf("new packet id %d not monotone after %d", got, idB)
 	}
 }
+
+func TestARQRetryDelayJitterDeterministicFromSeed(t *testing.T) {
+	// Two senders seeded identically must draw identical jittered
+	// schedules (chaos campaigns replay from their seed); a third with a
+	// different seed must diverge, and every draw must stay inside the
+	// ±JitterFrac envelope around the deterministic schedule.
+	mk := func(seed int64) *ARQSender {
+		s, err := NewARQSender(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.BackoffBase = time.Millisecond
+		s.BackoffMax = 8 * time.Millisecond
+		s.JitterFrac = 0.25
+		s.SetJitterSource(rand.New(rand.NewSource(seed)))
+		s.Queue([]byte("payload"))
+		return s
+	}
+	det := []time.Duration{1, 2, 4, 8, 8, 8} // ms, the unjittered schedule
+	run := func(s *ARQSender) []time.Duration {
+		var out []time.Duration
+		for range det {
+			s.Round()
+			s.Apply(BlockAck{})
+			out = append(out, s.RetryDelay())
+		}
+		return out
+	}
+	a, b, c := run(mk(42)), run(mk(42)), run(mk(43))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("round %d: same seed diverged: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		d := det[i] * time.Millisecond
+		lo := d - d/4
+		hi := d + d/4
+		if a[i] < lo || a[i] > hi {
+			t.Errorf("round %d: delay %v outside [%v, %v]", i, a[i], lo, hi)
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestARQRetryDelayNoJitterWithoutSource(t *testing.T) {
+	s, err := NewARQSender(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BackoffBase = time.Millisecond
+	s.BackoffMax = 8 * time.Millisecond
+	s.JitterFrac = 0.5 // fraction set but no source installed
+	s.Queue([]byte("payload"))
+	s.Round()
+	s.Apply(BlockAck{})
+	if d := s.RetryDelay(); d != time.Millisecond {
+		t.Errorf("delay = %v, want deterministic 1ms with no jitter source", d)
+	}
+}

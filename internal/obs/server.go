@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // Server exposes the telemetry surfaces over HTTP:
@@ -28,6 +30,11 @@ type Server struct {
 	reg    *Registry
 	tracer *Tracer
 	health func() any
+
+	// ShutdownTimeout bounds how long Close waits for in-flight handlers
+	// to drain before abandoning them. Zero means the 2s default; set
+	// before Close (typically right after NewServer).
+	ShutdownTimeout time.Duration
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -156,14 +163,32 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Close stops the listener. Safe to call without a prior Listen.
+// Close stops the listener and drains in-flight handlers: new connections
+// are refused immediately, while active requests (a scrape mid-exposition, a
+// /dump writing its artifact) get up to ShutdownTimeout to complete before
+// being cut off. Safe to call without a prior Listen.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.hs == nil {
+	hs := s.hs
+	s.hs, s.ln = nil, nil
+	s.mu.Unlock()
+	if hs == nil {
 		return nil
 	}
-	err := s.hs.Close()
-	s.hs, s.ln = nil, nil
+	timeout := s.ShutdownTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := hs.Shutdown(ctx)
+	if err == nil {
+		return nil
+	}
+	// Handlers outlived the deadline (or Shutdown was interrupted): fall
+	// back to the abrupt close so Close always releases the port.
+	if cerr := hs.Close(); cerr != nil {
+		return cerr
+	}
 	return err
 }

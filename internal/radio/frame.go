@@ -16,32 +16,54 @@ import (
 // Frame format (big-endian):
 //
 //	magic   uint32  "MNIQ" (0x4D4E4951)
-//	version uint8   2 (1 = legacy, without the packet field)
+//	version uint8   3 (1 = legacy, no packet field; 2 = no session field)
 //	streams uint8   number of antenna streams (1-4)
-//	flags   uint16  bit 0: end-of-burst
+//	flags   uint16  bit 0: end-of-burst; bit 1: data payload (version ≥ 3)
 //	seq     uint64  frame sequence number
-//	count   uint32  samples per stream in this frame
+//	count   uint32  samples per stream — or payload bytes for a data frame
 //	packet  uint64  TX-assigned packet ID (version ≥ 2; 0 = unknown)
-//	payload streams × count × (float32 I, float32 Q), stream-major
+//	session uint64  session ID (version ≥ 3; 0 = sessionless)
+//	payload streams × count × (float32 I, float32 Q), stream-major —
+//	        or count opaque bytes for a data frame
 //
 // The packet ID is the cross-process correlation key: the transmitter stamps
 // every frame of a burst with the MAC packet it carries, so receive-side
 // traces and flight-recorder dumps can be joined to the TX record without
 // decoding the payload. Version 1 frames (pre-ID) still decode, with ID 0.
+//
+// The session ID is the demultiplexing key of the session gateway
+// (internal/session): a long-running process serves many independent links
+// over one socket, routing each frame to its session by this field. Data
+// frames (FlagData) carry opaque session-layer bytes instead of IQ samples
+// and always use the version-3 form; sample paths reject them with typed
+// errors. Version 1 and 2 frames still decode, with session ID 0.
 const (
 	frameMagic   = 0x4D4E4951
 	frameVersion = 2
-	headerSizeV1 = 4 + 1 + 1 + 2 + 8 + 4
-	headerSize   = headerSizeV1 + 8
+	// frameVersionSession is the extended form carrying the session field;
+	// EncodeFrame selects it automatically when a session ID is present.
+	frameVersionSession = 3
+	headerSizeV1        = 4 + 1 + 1 + 2 + 8 + 4
+	headerSizeV2        = headerSizeV1 + 8
+	headerSize          = headerSizeV2
+	headerSizeV3        = headerSizeV2 + 8
 
 	// MaxSamplesPerFrame bounds a frame to fit a UDP datagram under the
 	// common 1500-byte MTU minus headers when streaming one antenna; the
 	// writer splits larger bursts automatically.
 	MaxSamplesPerFrame = 4096
+
+	// MaxDataPayload bounds a data frame's byte payload so one session
+	// message always fits a single UDP datagram under the common MTU.
+	MaxDataPayload = 1400
 )
 
 // FlagEndOfBurst marks the final frame of a burst (packet).
 const FlagEndOfBurst = 1 << 0
+
+// FlagData marks a frame whose payload is Count opaque bytes (session-layer
+// messages) rather than IQ samples. Requires the version-3 header form.
+const FlagData = 1 << 1
 
 // Header describes one frame.
 type Header struct {
@@ -52,24 +74,44 @@ type Header struct {
 	// PacketID is the TX-assigned MAC packet this frame's samples belong to
 	// (0 = unknown / legacy frame).
 	PacketID uint64
-	// legacy marks a decoded version-1 header, whose wire form has no
-	// packet field.
-	legacy bool
+	// SessionID identifies the gateway session this frame belongs to
+	// (0 = sessionless; carried only by the version-3 wire form).
+	SessionID uint64
+	// wireVersion records a decoded non-default wire form (1 or 3); zero
+	// for the default version-2 form and on caller-built headers, whose
+	// form EncodeFrame derives from the fields present.
+	wireVersion byte
 }
 
+// IsData reports whether the frame carries opaque bytes rather than samples.
+func (h Header) IsData() bool { return h.Flags&FlagData != 0 }
+
 // HeaderLen returns the wire size of this header — the payload offset within
-// its frame. Decoded legacy (version 1) headers report the short form.
+// its frame. Decoded headers report their wire form; caller-built headers
+// report the form EncodeFrame would choose.
 func (h Header) HeaderLen() int {
-	if h.legacy {
+	switch h.wireVersion {
+	case 1:
 		return headerSizeV1
+	case frameVersion:
+		return headerSizeV2
+	case frameVersionSession:
+		return headerSizeV3
 	}
-	return headerSize
+	if h.SessionID != 0 || h.IsData() {
+		return headerSizeV3
+	}
+	return headerSizeV2
 }
 
 // EncodeFrame appends one frame carrying samples[stream][i] to dst and
 // returns the extended buffer. All streams must have equal length ≤
-// MaxSamplesPerFrame.
+// MaxSamplesPerFrame. A non-zero SessionID selects the version-3 wire form;
+// data frames are encoded by EncodeDataFrame, not here.
 func EncodeFrame(dst []byte, h Header, samples [][]complex128) ([]byte, error) {
+	if h.IsData() {
+		return nil, fmt.Errorf("radio: EncodeFrame carries samples; use EncodeDataFrame for data frames")
+	}
 	if h.Streams < 1 || h.Streams > 4 || len(samples) != h.Streams {
 		return nil, fmt.Errorf("radio: %d streams invalid or mismatched with %d slices", h.Streams, len(samples))
 	}
@@ -82,15 +124,7 @@ func EncodeFrame(dst []byte, h Header, samples [][]complex128) ([]byte, error) {
 	if n == 0 || n > MaxSamplesPerFrame {
 		return nil, fmt.Errorf("radio: frame sample count %d outside [1, %d]", n, MaxSamplesPerFrame)
 	}
-	var hdr [headerSize]byte
-	binary.BigEndian.PutUint32(hdr[0:], frameMagic)
-	hdr[4] = frameVersion
-	hdr[5] = byte(h.Streams)
-	binary.BigEndian.PutUint16(hdr[6:], h.Flags)
-	binary.BigEndian.PutUint64(hdr[8:], h.Seq)
-	binary.BigEndian.PutUint32(hdr[16:], uint32(n))
-	binary.BigEndian.PutUint64(hdr[20:], h.PacketID)
-	dst = append(dst, hdr[:]...)
+	dst = appendHeader(dst, h, n)
 	var scratch [8]byte
 	for _, s := range samples {
 		for _, v := range s {
@@ -102,12 +136,63 @@ func EncodeFrame(dst []byte, h Header, samples [][]complex128) ([]byte, error) {
 	return dst, nil
 }
 
-// FrameSize returns the encoded size of a frame with the given shape.
+// appendHeader serializes h with the given count field, choosing the
+// version-2 form for sessionless sample frames and version 3 otherwise.
+func appendHeader(dst []byte, h Header, count int) []byte {
+	var hdr [headerSizeV3]byte
+	binary.BigEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[5] = byte(h.Streams)
+	binary.BigEndian.PutUint16(hdr[6:], h.Flags)
+	binary.BigEndian.PutUint64(hdr[8:], h.Seq)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(count))
+	binary.BigEndian.PutUint64(hdr[20:], h.PacketID)
+	if h.SessionID == 0 && !h.IsData() {
+		hdr[4] = frameVersion
+		return append(dst, hdr[:headerSizeV2]...)
+	}
+	hdr[4] = frameVersionSession
+	binary.BigEndian.PutUint64(hdr[28:], h.SessionID)
+	return append(dst, hdr[:headerSizeV3]...)
+}
+
+// EncodeDataFrame appends one version-3 data frame carrying payload to dst
+// and returns the extended buffer. The header's Streams and Count are
+// implied (1, len(payload)); FlagData is set automatically and the
+// end-of-burst flag is preserved. Data frames are the transport of the
+// session gateway, so a non-zero SessionID is required.
+func EncodeDataFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
+	if h.SessionID == 0 {
+		return nil, fmt.Errorf("radio: data frames require a non-zero session ID")
+	}
+	if len(payload) == 0 || len(payload) > MaxDataPayload {
+		return nil, fmt.Errorf("radio: data payload %d outside [1, %d]", len(payload), MaxDataPayload)
+	}
+	h.Flags |= FlagData
+	h.Streams = 1
+	dst = appendHeader(dst, h, len(payload))
+	return append(dst, payload...), nil
+}
+
+// DecodeDataPayload returns the opaque byte payload following a decoded data
+// frame header. The result aliases b; callers that keep it across reads of a
+// shared buffer must copy.
+func DecodeDataPayload(h Header, b []byte) ([]byte, error) {
+	if !h.IsData() {
+		return nil, fmt.Errorf("radio: frame is not a data frame")
+	}
+	if len(b) < h.Count {
+		return nil, fmt.Errorf("radio: data payload needs %d bytes, got %d", h.Count, len(b))
+	}
+	return b[:h.Count], nil
+}
+
+// FrameSize returns the encoded size of a sessionless sample frame with the
+// given shape.
 func FrameSize(streams, count int) int { return headerSize + streams*count*8 }
 
-// DecodeHeader parses a frame header. Both the current version-2 form and
-// the legacy version-1 form (no packet ID) are accepted; use HeaderLen on
-// the result for the payload offset.
+// DecodeHeader parses a frame header. The current version-3 form, the
+// version-2 form (no session ID), and the legacy version-1 form (no packet
+// ID) are all accepted; use HeaderLen on the result for the payload offset.
 func DecodeHeader(b []byte) (Header, error) {
 	if len(b) < headerSizeV1 {
 		return Header{}, fmt.Errorf("radio: header needs %d bytes, got %d", headerSizeV1, len(b))
@@ -115,21 +200,48 @@ func DecodeHeader(b []byte) (Header, error) {
 	if binary.BigEndian.Uint32(b[0:]) != frameMagic {
 		return Header{}, fmt.Errorf("radio: bad magic %#08x", binary.BigEndian.Uint32(b[0:]))
 	}
-	if b[4] != 1 && b[4] != frameVersion {
+	if b[4] != 1 && b[4] != frameVersion && b[4] != frameVersionSession {
 		return Header{}, fmt.Errorf("radio: unsupported version %d", b[4])
 	}
+	version := b[4]
 	h := Header{
 		Streams: int(b[5]),
 		Flags:   binary.BigEndian.Uint16(b[6:]),
 		Seq:     binary.BigEndian.Uint64(b[8:]),
 		Count:   int(binary.BigEndian.Uint32(b[16:])),
-		legacy:  b[4] == 1,
 	}
-	if !h.legacy {
-		if len(b) < headerSize {
-			return Header{}, fmt.Errorf("radio: v2 header needs %d bytes, got %d", headerSize, len(b))
+	if version != frameVersion {
+		h.wireVersion = version
+	}
+	if version >= frameVersion {
+		if len(b) < headerSizeV2 {
+			return Header{}, fmt.Errorf("radio: v2 header needs %d bytes, got %d", headerSizeV2, len(b))
 		}
 		h.PacketID = binary.BigEndian.Uint64(b[20:])
+	}
+	if version >= frameVersionSession {
+		if len(b) < headerSizeV3 {
+			return Header{}, fmt.Errorf("radio: v3 header needs %d bytes, got %d", headerSizeV3, len(b))
+		}
+		h.SessionID = binary.BigEndian.Uint64(b[28:])
+	}
+	if h.IsData() {
+		// Data frames: opaque byte payload, single logical stream, only the
+		// session-extended form. Truncated or corrupt session fields land
+		// here as typed errors, never panics.
+		if version != frameVersionSession {
+			return Header{}, fmt.Errorf("radio: data frame requires the v%d header form, got v%d", frameVersionSession, version)
+		}
+		if h.SessionID == 0 {
+			return Header{}, fmt.Errorf("radio: data frame with zero session ID")
+		}
+		if h.Streams != 1 {
+			return Header{}, fmt.Errorf("radio: data frame stream count %d (want 1)", h.Streams)
+		}
+		if h.Count < 1 || h.Count > MaxDataPayload {
+			return Header{}, fmt.Errorf("radio: data payload %d out of range", h.Count)
+		}
+		return h, nil
 	}
 	if h.Streams < 1 || h.Streams > 4 {
 		return Header{}, fmt.Errorf("radio: stream count %d out of range", h.Streams)
@@ -144,6 +256,9 @@ func DecodeHeader(b []byte) (Header, error) {
 // appending to per-stream slices in dst (growing as needed). dst must have
 // h.Streams entries.
 func DecodePayload(dst [][]complex128, h Header, b []byte) ([][]complex128, error) {
+	if h.IsData() {
+		return nil, fmt.Errorf("radio: data frame carries bytes, not samples; use DecodeDataPayload")
+	}
 	want := h.Streams * h.Count * 8
 	if len(b) < want {
 		return nil, fmt.Errorf("radio: payload needs %d bytes, got %d", want, len(b))
@@ -230,7 +345,7 @@ func (w *StreamWriter) WriteBurstID(packetID uint64, samples [][]complex128) err
 // StreamReader reads bursts from a stream transport.
 type StreamReader struct {
 	r   io.Reader
-	hdr [headerSize]byte
+	hdr [headerSizeV3]byte
 	buf []byte
 	// lastPacketID is the packet ID carried by the most recently assembled
 	// burst's frames.
@@ -261,15 +376,24 @@ func (r *StreamReader) ReadBurst() ([][]complex128, error) {
 			return nil, fmt.Errorf("radio: read header: %w", err)
 		}
 		hl := headerSizeV1
-		if r.hdr[4] != 1 {
-			if _, err := io.ReadFull(r.r, r.hdr[headerSizeV1:headerSize]); err != nil {
+		switch r.hdr[4] {
+		case 1:
+		case frameVersionSession:
+			hl = headerSizeV3
+		default:
+			hl = headerSizeV2
+		}
+		if hl > headerSizeV1 {
+			if _, err := io.ReadFull(r.r, r.hdr[headerSizeV1:hl]); err != nil {
 				return nil, fmt.Errorf("radio: read header: %w", err)
 			}
-			hl = headerSize
 		}
 		h, err := DecodeHeader(r.hdr[:hl])
 		if err != nil {
 			return nil, err
+		}
+		if h.IsData() {
+			return nil, fmt.Errorf("radio: data frame on a sample stream")
 		}
 		need := h.Streams * h.Count * 8
 		if cap(r.buf) < need {

@@ -25,11 +25,36 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	seeds = append(seeds, mk(1, 1, 0, 0))
 	seeds = append(seeds, mk(2, 50, FlagEndOfBurst, 7))
 	seeds = append(seeds, mk(4, 180, 0, 1<<40))
+	// Session-extended (v3) forms: a sample frame carrying a session ID and
+	// data frames carrying opaque session-layer bytes.
+	mkSession := func(streams, count int, flags uint16, session uint64) []byte {
+		samples := make([][]complex128, streams)
+		for s := range samples {
+			samples[s] = make([]complex128, count)
+		}
+		b, err := EncodeFrame(nil, Header{Streams: streams, Flags: flags, Count: count, SessionID: session}, samples)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return b
+	}
+	mkData := func(n int, flags uint16, session uint64) []byte {
+		b, err := EncodeDataFrame(nil, Header{Flags: flags, SessionID: session}, bytes.Repeat([]byte{0xA5}, n))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return b
+	}
+	seeds = append(seeds, mkSession(2, 30, 0, 12345))
+	seeds = append(seeds, mkData(1, 0, 1))
+	seeds = append(seeds, mkData(MaxDataPayload, FlagEndOfBurst, 1<<63))
 	return seeds
 }
 
 // FuzzDecodeHeader: arbitrary bytes must never panic the header parser, and
-// every accepted header must satisfy its documented bounds.
+// every accepted header must satisfy its documented bounds — including the
+// session-extended v3 form, whose truncated or corrupt session fields must
+// fail as typed errors.
 func FuzzDecodeHeader(f *testing.F) {
 	for _, s := range fuzzSeedFrames(f) {
 		f.Add(s)
@@ -44,8 +69,44 @@ func FuzzDecodeHeader(f *testing.F) {
 		if h.Streams < 1 || h.Streams > 4 {
 			t.Errorf("accepted stream count %d", h.Streams)
 		}
+		if h.IsData() {
+			if h.SessionID == 0 {
+				t.Error("accepted data frame with zero session ID")
+			}
+			if h.Streams != 1 {
+				t.Errorf("accepted data frame with %d streams", h.Streams)
+			}
+			if h.Count < 1 || h.Count > MaxDataPayload {
+				t.Errorf("accepted data payload %d", h.Count)
+			}
+			if len(data) < h.HeaderLen() {
+				t.Errorf("accepted header longer than input: %d > %d", h.HeaderLen(), len(data))
+			}
+			return
+		}
 		if h.Count < 1 || h.Count > MaxSamplesPerFrame {
 			t.Errorf("accepted sample count %d", h.Count)
+		}
+	})
+}
+
+// FuzzDecodeDataPayload: any accepted data header must yield exactly Count
+// bytes or a clean error, never a panic or out-of-bounds slice.
+func FuzzDecodeDataPayload(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil || !h.IsData() {
+			return
+		}
+		body, err := DecodeDataPayload(h, data[h.HeaderLen():])
+		if err != nil {
+			return
+		}
+		if len(body) != h.Count {
+			t.Errorf("decoded %d bytes, header says %d", len(body), h.Count)
 		}
 	})
 }

@@ -1,0 +1,98 @@
+package session
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMachineHappyPath(t *testing.T) {
+	var m Machine
+	if m.State() != StateHandshake || m.Outcome() != OutcomeOpen {
+		t.Fatalf("zero value: %v/%v", m.State(), m.Outcome())
+	}
+	m.Step(EvAttach, "")
+	if m.State() != StateTransfer {
+		t.Fatalf("after attach: %v", m.State())
+	}
+	m.Step(EvProgress, "")
+	m.Step(EvFinish, "")
+	if m.State() != StateDraining {
+		t.Fatalf("after finish: %v", m.State())
+	}
+	m.Step(EvDrained, "")
+	if m.State() != StateClosed || m.Outcome() != OutcomeCompleted {
+		t.Fatalf("after drain: %v/%v", m.State(), m.Outcome())
+	}
+}
+
+func TestMachineFailClosed(t *testing.T) {
+	cases := []struct {
+		ev     Event
+		reason string
+		want   string
+	}{
+		{EvTimeout, "idle-timeout", "idle-timeout"},
+		{EvReset, "peer-reset", "peer-reset"},
+		{EvShutdown, "", "shutdown"},
+	}
+	for _, c := range cases {
+		var m Machine
+		m.Step(EvAttach, "")
+		m.Step(c.ev, c.reason)
+		if m.State() != StateClosed || m.Outcome() != OutcomeFailed {
+			t.Errorf("%v: %v/%v", c.ev, m.State(), m.Outcome())
+		}
+		if m.Reason() != c.want {
+			t.Errorf("%v: reason %q, want %q", c.ev, m.Reason(), c.want)
+		}
+	}
+}
+
+func TestMachineDrainingCompletesRegardless(t *testing.T) {
+	// Once the transfer verified complete, nothing that happens during the
+	// linger can turn it into a failure.
+	for _, ev := range []Event{EvDrained, EvTimeout, EvReset, EvShutdown} {
+		var m Machine
+		m.Step(EvAttach, "")
+		m.Step(EvFinish, "")
+		m.Step(ev, "")
+		if m.State() != StateClosed || m.Outcome() != OutcomeCompleted {
+			t.Errorf("draining + %v: %v/%v", ev, m.State(), m.Outcome())
+		}
+	}
+}
+
+// TestMachineAlwaysTerminates is the state-machine property test: under any
+// random event interleaving the machine never panics, never leaves the
+// declared state set, closes exactly once with a definite outcome, and —
+// since every run ends with a terminal event — always terminates closed.
+func TestMachineAlwaysTerminates(t *testing.T) {
+	events := []Event{EvAttach, EvProgress, EvFinish, EvDrained, EvTimeout, EvReset, EvShutdown}
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 5000; trial++ {
+		var m Machine
+		steps := rng.Intn(24)
+		for i := 0; i < steps; i++ {
+			prev := m.State()
+			ev := events[rng.Intn(len(events))]
+			next := m.Step(ev, "")
+			if next > StateClosed {
+				t.Fatalf("trial %d: invalid state %d", trial, next)
+			}
+			if prev == StateClosed && next != StateClosed {
+				t.Fatalf("trial %d: closed state reopened by %v", trial, ev)
+			}
+			if (next == StateClosed) != (m.Outcome() != OutcomeOpen) {
+				t.Fatalf("trial %d: state %v with outcome %v", trial, next, m.Outcome())
+			}
+		}
+		// A shutdown (or any terminal event) must close from every state.
+		m.Step(EvShutdown, "")
+		if m.State() != StateClosed {
+			t.Fatalf("trial %d: shutdown left machine in %v", trial, m.State())
+		}
+		if m.Outcome() == OutcomeOpen {
+			t.Fatalf("trial %d: closed without an outcome", trial)
+		}
+	}
+}

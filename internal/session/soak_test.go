@@ -1,0 +1,52 @@
+package session
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSoakSmall runs the chaos soak at CI scale: every scenario in the
+// rotation, every session must end in a defined terminal state, payloads
+// must verify, and the process must return to its goroutine baseline.
+func TestSoakSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunSoak(ctx, SoakConfig{
+		Sessions: 36,
+		Bytes:    8 * 1024,
+		Parallel: 12,
+		Seed:     20260808,
+	})
+	if err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+	if res.FailedDirty != 0 {
+		t.Errorf("dirty failures: %d (want 0)", res.FailedDirty)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("payload mismatches: %d (want 0)", res.Mismatches)
+	}
+	if got := res.Completed + res.FailedClean; got != res.Sessions {
+		t.Errorf("unaccounted sessions: %d of %d ended in a defined state", got, res.Sessions)
+	}
+	if res.GoroutinesAfter > res.GoroutinesBefore {
+		t.Errorf("goroutine leak: %d before, %d after", res.GoroutinesBefore, res.GoroutinesAfter)
+	}
+	// The control group must be perfect: no faults, no excuses.
+	if clean := res.PerScenario["clean"]; clean.Completed != clean.Sessions {
+		t.Errorf("clean scenario: %d/%d completed", clean.Completed, clean.Sessions)
+	}
+	// The fault scenarios must have actually exercised the recovery paths.
+	if res.PerScenario["peer-kill"].Reconnects == 0 {
+		t.Errorf("peer-kill scenario produced no reconnects")
+	}
+	if !res.Clean() {
+		t.Errorf("soak not clean: %+v", res)
+	}
+	t.Logf("soak: %d completed, %d failed clean, %d reconnects, p99 recovery %.1fms",
+		res.Completed, res.FailedClean, res.Reconnects, res.RecoveryP99Ms)
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/session"
+)
+
+func init() {
+	register("e23", E23SessionSoak)
+}
+
+// E23SessionSoak is the session-gateway chaos soak: hundreds of concurrent
+// client sessions transfer seeded payloads through one supervised gateway
+// while per-session fault injectors mangle the radio seam (drop, corrupt,
+// delay/reorder), the harness kills clients mid-transfer (reconnect-with-
+// resume), and some links go permanently dark (fail-closed eviction). The
+// robustness contract under test: every session ends in a defined terminal
+// state, every completed payload verifies, recovery is bounded, and the
+// process returns to its goroutine/FD baseline.
+func E23SessionSoak(opt Options) (*Table, error) {
+	cfg := session.SoakConfig{
+		Sessions: 240,
+		Bytes:    32 * 1024,
+		Seed:     opt.Seed,
+	}
+	if opt.Quick {
+		cfg.Sessions = 36
+		cfg.Bytes = 8 * 1024
+		cfg.Parallel = 12
+	}
+	res, err := session.RunSoak(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "E23",
+		Title: fmt.Sprintf("Robustness: session-gateway chaos soak (%d sessions x %d KiB, seed %d)",
+			res.Sessions, res.Bytes/1024, res.Seed),
+		Columns: []string{"scenario", "sessions", "completed", "failed_clean", "failed_dirty", "reconnects"},
+	}
+	names := make([]string, 0, len(res.PerScenario))
+	for name := range res.PerScenario {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		o := res.PerScenario[name]
+		if err := t.AddRow(float64(i), float64(o.Sessions), float64(o.Completed),
+			float64(o.FailedClean), float64(o.FailedDirty), float64(o.Reconnects)); err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("scenario %d = %s", i, name))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("totals: %d completed, %d failed clean, %d failed dirty, %d payload mismatches, %d reconnects",
+			res.Completed, res.FailedClean, res.FailedDirty, res.Mismatches, res.Reconnects),
+		fmt.Sprintf("recovery after reconnect: p50 %.1f ms, p99 %.1f ms, max %.1f ms",
+			res.RecoveryP50Ms, res.RecoveryP99Ms, res.RecoveryMaxMs),
+		fmt.Sprintf("resources: goroutines %d -> %d, fds %d -> %d, duration %.0f ms",
+			res.GoroutinesBefore, res.GoroutinesAfter, res.FDsBefore, res.FDsAfter, res.DurationMs),
+	)
+	if !res.Clean() {
+		t.Notes = append(t.Notes, "SOAK NOT CLEAN: see counts above")
+	}
+	return t, nil
+}
