@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check bench bench-all bench-compare soak clean
+.PHONY: all build test race lint lint-json lint-sarif fmt fmt-check bench bench-all bench-compare soak clean
 
 all: build lint test
 
@@ -13,10 +13,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Custom static analyzers (internal/analysis/*); exits non-zero on findings.
+# Custom static analyzers (internal/analysis/*); exits non-zero on any
+# finding not absorbed by the checked-in baseline.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/mimonet-lint ./...
+	$(GO) run ./cmd/mimonet-lint -baseline lint/baseline.json ./...
+
+# Machine-readable lint reports (same gate, JSON / SARIF payloads).
+lint-json:
+	$(GO) run ./cmd/mimonet-lint -json -baseline lint/baseline.json ./... > lint-findings.json; \
+		status=$$?; cat lint-findings.json; exit $$status
+
+lint-sarif:
+	$(GO) run ./cmd/mimonet-lint -sarif -baseline lint/baseline.json ./... > mimonet-lint.sarif
 
 fmt:
 	gofmt -w .

@@ -47,7 +47,7 @@ func main() {
 			logger.Error("dump load failed", slog.String("file", path), slog.String("err", err.Error()))
 			os.Exit(1)
 		}
-		logger.Info("loaded dump", slog.String("file", path), slog.String("node", df.Node),
+		logger.Info("loaded dump", slog.String("file", path), slog.String(obs.KeyNode, df.Node),
 			slog.String("reason", df.Reason), slog.Int("packets", len(df.Packets)))
 		dumps = append(dumps, df)
 	}

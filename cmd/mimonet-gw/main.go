@@ -112,12 +112,13 @@ func main() {
 		if err != nil {
 			fatal("client", err)
 		}
-		start := time.Now()
+		start := time.Now() //mimonet:wallclock CLI entry point timing a real transfer
 		if err := c.Send(ctx, data); err != nil {
 			fatal("transfer failed", err)
 		}
 		logger.Info("transfer complete", slog.Uint64("session", c.SessionID()),
-			slog.Int("bytes", len(data)), slog.Duration("took", time.Since(start)),
+			slog.Int("bytes", len(data)), slog.Duration("took", time.Since(start)), //mimonet:wallclock
+
 			slog.Int("reconnects", c.Reconnects))
 
 	default:

@@ -1,90 +1,178 @@
 // Command mimonet-lint runs the repo's custom static analyzers
 // (internal/analysis/*) over module packages and exits non-zero on any
-// finding. It is stdlib-only — no golang.org/x/tools — so it works in the
-// offline build environment; see internal/analysis/framework.
+// unbaselined finding. It is stdlib-only — no golang.org/x/tools — so it
+// works in the offline build environment; see internal/analysis/framework.
 //
 // Usage:
 //
-//	mimonet-lint [-only a,b] [-list] [patterns...]
+//	mimonet-lint [-only a,b] [-list] [-json|-sarif] [-baseline file [-write-baseline]] [patterns...]
 //
 // Patterns follow go-tool syntax relative to the module root: "./..."
 // (default), "internal/ofdm/...", or a plain package directory.
+//
+// -json and -sarif emit machine-readable reports on stdout (human lines are
+// the default). -baseline names a checked-in suppression file: findings it
+// covers are suppressed, anything new still fails; -write-baseline rewrites
+// that file from the current findings and exits 0.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
+	"repro/internal/analysis/clockseam"
 	"repro/internal/analysis/cxnarrow"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/eobprop"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/obshygiene"
 	"repro/internal/analysis/portclose"
+	"repro/internal/analysis/wirecompat"
 )
 
 var all = []*framework.Analyzer{
+	clockseam.Analyzer,
 	cxnarrow.Analyzer,
 	detrand.Analyzer,
 	eobprop.Analyzer,
+	goroleak.Analyzer,
 	hotalloc.Analyzer,
+	obshygiene.Analyzer,
 	portclose.Analyzer,
+	wirecompat.Analyzer,
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list available analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mimonet-lint [-only a,b] [-list] [patterns...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: argv excludes the program name, dir
+// anchors module discovery and relative -baseline paths, and the exit code
+// is returned rather than passed to os.Exit.
+func run(argv []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mimonet-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+	baselinePath := fs.String("baseline", "", "baseline file suppressing known findings")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite -baseline from current findings and exit 0")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mimonet-lint [-only a,b] [-list] [-json|-sarif] [-baseline file [-write-baseline]] [patterns...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "mimonet-lint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "mimonet-lint: -write-baseline requires -baseline")
+		return 2
 	}
 
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mimonet-lint:", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	root, modPath, err := framework.FindModule(".")
+	root, modPath, err := framework.FindModule(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mimonet-lint:", err)
+		return 2
 	}
 	loader := &framework.Loader{ModRoot: root, ModPath: modPath}
 	pkgs, err := loader.LoadPatterns(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mimonet-lint:", err)
+		return 2
 	}
 
 	diags, err := framework.RunAnalyzers(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mimonet-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mimonet-lint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	var suppressed []framework.Diagnostic
+	if *baselinePath != "" {
+		path := *baselinePath
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		if *writeBaseline {
+			b := framework.NewBaseline(diags, root)
+			if err := b.Write(path); err != nil {
+				fmt.Fprintln(stderr, "mimonet-lint:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "mimonet-lint: wrote %s with %d entr%s absorbing %d finding(s)\n",
+				*baselinePath, len(b.Entries), plural(len(b.Entries), "y", "ies"), len(diags))
+			return 0
+		}
+		b, err := framework.LoadBaseline(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "mimonet-lint:", err)
+			return 2
+		}
+		diags, suppressed = b.Filter(diags, root)
+	}
+
+	switch {
+	case *jsonOut:
+		if err := framework.WriteJSON(stdout, diags, root); err != nil {
+			fmt.Fprintln(stderr, "mimonet-lint:", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := framework.WriteSARIF(stdout, diags, analyzers, root); err != nil {
+			fmt.Fprintln(stderr, "mimonet-lint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+
+	if len(suppressed) > 0 {
+		fmt.Fprintf(stderr, "mimonet-lint: %d baselined finding(s) suppressed\n", len(suppressed))
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mimonet-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mimonet-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // selectAnalyzers resolves the -only flag against the registry.

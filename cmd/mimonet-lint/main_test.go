@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+const fixtureModule = "testdata/module"
+
+// runLint invokes the testable entry point against the fixture module.
+func runLint(t *testing.T, argv ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(argv, fixtureModule, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./cmd/mimonet-lint -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s payload drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", name, path, got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has findings); stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "golden.json", stdout)
+}
+
+func TestSARIFGolden(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has findings); stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "golden.sarif", stdout)
+}
+
+// TestBaselineRoundTrip writes a baseline from the fixture's findings and
+// verifies a rerun against it reports zero findings and exits 0.
+func TestBaselineRoundTrip(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, _, stderr := runLint(t, "-baseline", baseline, "-write-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("-write-baseline exit code = %d, want 0; stderr:\n%s", code, stderr)
+	}
+
+	code, stdout, stderr := runLint(t, "-baseline", baseline, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run exit code = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined run printed findings:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "baselined finding(s) suppressed") {
+		t.Errorf("stderr does not mention suppression:\n%s", stderr)
+	}
+
+	// A fresh violation must still fail through the baseline.
+	code, _, _ = runLint(t, "-baseline", filepath.Join(t.TempDir(), "missing.json"), "./...")
+	if code != 1 {
+		t.Fatalf("run with empty baseline exit code = %d, want 1", code)
+	}
+}
+
+func TestListAndOnly(t *testing.T) {
+	code, stdout, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"clockseam", "cxnarrow", "detrand", "eobprop", "goroleak", "hotalloc", "obshygiene", "portclose", "wirecompat"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+
+	code, stdout, _ = runLint(t, "-only", "goroleak", "./...")
+	if code != 0 {
+		t.Fatalf("-only goroleak exit code = %d, want 0 (fixture has no goroleak findings); stdout:\n%s", code, stdout)
+	}
+
+	code, _, stderr := runLint(t, "-only", "nope", "./...")
+	if code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Fatalf("-only nope: code=%d stderr=%q, want 2 + unknown analyzer", code, stderr)
+	}
+}

@@ -1,0 +1,19 @@
+// Package svc is the mimonet-lint golden-test fixture: exactly one
+// clockseam violation and one obshygiene violation at stable positions, so
+// the -json and -sarif payloads can be compared byte-for-byte.
+package svc
+
+import "time"
+
+// Label mirrors obs.Label so obshygiene's structural matching applies.
+type Label struct{ Key, Value string }
+
+// Pause escapes the clock seam on purpose.
+func Pause() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Tag spells a canonical correlation key as a raw literal on purpose.
+func Tag() Label {
+	return Label{Key: "block", Value: "fft"}
+}

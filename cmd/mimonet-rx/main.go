@@ -231,7 +231,7 @@ func main() {
 	}
 	if *metricsListen != "" && *metricsHold > 0 {
 		logger.Info("holding telemetry server", slog.Duration("hold", *metricsHold))
-		time.Sleep(*metricsHold)
+		time.Sleep(*metricsHold) //mimonet:wallclock CLI flag-driven hold before exit
 	}
 }
 

@@ -38,7 +38,7 @@ func main() {
 		snr           = flag.Float64("snr", 30, "channel SNR in dB")
 		model         = flag.String("model", "tgn-b", "channel model (identity, rayleigh, tgn-a..tgn-f)")
 		cfo           = flag.Float64("cfo", 0, "carrier frequency offset in Hz")
-		seed          = flag.Int64("seed", time.Now().UnixNano(), "random seed")
+		seed          = flag.Int64("seed", time.Now().UnixNano(), "random seed") //mimonet:wallclock default seed for a CLI entry point
 		gapMs         = flag.Int("gap", 20, "inter-frame gap in milliseconds")
 		file          = flag.String("file", "", "record IQ bursts to this file instead of sending over UDP")
 		metricsListen = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address (empty = telemetry off)")
@@ -150,7 +150,7 @@ func main() {
 		logger.Info("sent frame", obs.LogPacket(packetID),
 			slog.Int("seq", int(frame.Seq)), slog.Int("octets", len(psdu)),
 			slog.String("mcs", fmt.Sprint(tx.MCS())), slog.Int("samples_per_chain", len(faded[0])))
-		time.Sleep(time.Duration(*gapMs) * time.Millisecond)
+		time.Sleep(time.Duration(*gapMs) * time.Millisecond) //mimonet:wallclock CLI pacing of real transmissions
 	}
 	if rec != nil {
 		dumpFile, err := rec.Dump("end_of_run")

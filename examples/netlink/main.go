@@ -75,7 +75,7 @@ func main() {
 		if err := sender.WriteBurst(faded); err != nil {
 			log.Fatal(err)
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //mimonet:wallclock example paces a live loopback link
 	}
 	<-done
 }

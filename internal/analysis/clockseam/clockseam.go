@@ -1,0 +1,71 @@
+// Package clockseam extends detrand's wall-clock rule from the six
+// deterministic packages to the whole module: no package except
+// repro/internal/clock may call the time functions that read or schedule on
+// the wall clock (time.Now, time.Sleep, time.After, time.NewTimer, …).
+// Everything else threads the injectable clock.Clock seam, which is what
+// lets the E23 soak, the gateway idle eviction, and the flowgraph watchdog
+// run under a fake clock — the determinism guarantee the repo's
+// PER-vs-analytic-BER comparisons depend on.
+//
+// Process entry points (cmd/ main functions, examples) that genuinely pace
+// real hardware or hold a server open annotate the call site
+// //mimonet:wallclock; the legacy detrand tag //mimonet:wallclock-ok is
+// honored too so existing annotations stay valid.
+package clockseam
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// wallClockFuncs are the time package functions that touch the wall clock.
+// Pure conversions (time.Unix, time.Date, time.ParseDuration) stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer is the clockseam analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "clockseam",
+	Doc: "forbid wall-clock time calls outside the repro/internal/clock seam; " +
+		"take a clock.Clock (annotate entry points //mimonet:wallclock)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	// The clock package is the seam itself: the one place the real time
+	// functions are wrapped.
+	if framework.PathApplies(pass.Pkg.Path(), "clock") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. on clock.Clock or time.Time) are fine
+			}
+			if framework.PkgPathOf(fn) != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			if pass.Exempt(call.Pos(), "wallclock") || pass.Exempt(call.Pos(), "wallclock-ok") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s escapes the clock seam; take a repro/internal/clock.Clock (or annotate an entry point //mimonet:wallclock)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package clockseam_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/clockseam"
+	"repro/internal/analysis/framework/atest"
+)
+
+func TestClockseam(t *testing.T) {
+	atest.Run(t, "testdata", clockseam.Analyzer, "svc", "clock")
+}

@@ -1,0 +1,43 @@
+// Package svc is the clockseam fixture for an ordinary (non-clock)
+// package: every wall-clock time call is a finding unless annotated, while
+// pure time conversions and calls through an injected clock stay silent.
+package svc
+
+import "time"
+
+// Clock mirrors the repro/internal/clock seam shape the analyzer expects
+// production code to thread.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type Service struct {
+	clk Clock
+}
+
+func (s *Service) Tick() {
+	start := time.Now() // want `time\.Now escapes the clock seam`
+	_ = start
+	time.Sleep(time.Millisecond)    // want `time\.Sleep escapes the clock seam`
+	<-time.After(time.Millisecond)  // want `time\.After escapes the clock seam`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer escapes the clock seam`
+	t.Stop()
+	_ = time.Since(start) // want `time\.Since escapes the clock seam`
+}
+
+func (s *Service) Seamed() {
+	// Calls through the injected seam are methods, not time.* selectors.
+	now := s.clk.Now()
+	<-s.clk.After(time.Millisecond)
+	// Pure conversions never touch the wall clock.
+	_ = time.Unix(0, 0)
+	_, _ = time.ParseDuration("1s")
+	_ = now.Add(time.Second) // time.Time methods are fine
+}
+
+func entryPoint() {
+	time.Sleep(time.Second) //mimonet:wallclock pacing a real transmitter
+	//mimonet:wallclock-ok legacy detrand spelling stays honored
+	_ = time.Now()
+}

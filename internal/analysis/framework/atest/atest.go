@@ -71,20 +71,42 @@ func checkExpectations(t *testing.T, pkg *framework.Package, diags []framework.D
 			}
 		}
 	}
-	for _, d := range diags {
-		found := false
-		for _, w := range wants {
-			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+	// A line can produce several diagnostics and carry several want
+	// patterns, and one pattern may match more than one of the line's
+	// messages. Pairing greedily in encounter order can strand a valid
+	// assignment (pattern "alpha" grabs the "alpha and beta" diagnostic,
+	// leaving pattern "alpha and beta" unmatched), so pair by maximum
+	// bipartite matching instead — order-insensitive on both sides.
+	matchedDiag := make([]bool, len(diags))
+	diagToWant := make([]int, len(diags))
+	for i := range diagToWant {
+		diagToWant[i] = -1
+	}
+	var augment func(w int, visited []bool) bool
+	augment = func(w int, visited []bool) bool {
+		for d := range diags {
+			if visited[d] || wants[w].file != diags[d].Pos.Filename || wants[w].line != diags[d].Pos.Line {
 				continue
 			}
-			if w.rx.MatchString(d.Message) {
-				w.matched = true
-				found = true
-				break
+			if !wants[w].rx.MatchString(diags[d].Message) {
+				continue
+			}
+			visited[d] = true
+			if diagToWant[d] == -1 || augment(diagToWant[d], visited) {
+				diagToWant[d] = w
+				wants[w].matched = true
+				matchedDiag[d] = true
+				return true
 			}
 		}
-		if !found {
-			t.Errorf("unexpected diagnostic: %s", d)
+		return false
+	}
+	for w := range wants {
+		augment(w, make([]bool, len(diags)))
+	}
+	for d, ok := range matchedDiag {
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", diags[d])
 		}
 	}
 	for _, w := range wants {

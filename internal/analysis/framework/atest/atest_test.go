@@ -1,0 +1,37 @@
+package atest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/framework/atest"
+)
+
+// multiDiag reports two diagnostics on every call to a function named
+// "boom", deliberately emitting the longer message first so a greedy
+// in-order pairing against the fixture's want comments would mismatch.
+var multiDiag = &framework.Analyzer{
+	Name: "multidiag",
+	Doc:  "test analyzer emitting two diagnostics per line",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "alpha and beta")
+					pass.Reportf(call.Pos(), "alpha")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestMultiDiagnosticLineMatchesOrderInsensitively(t *testing.T) {
+	atest.Run(t, "testdata", multiDiag, "multi")
+}

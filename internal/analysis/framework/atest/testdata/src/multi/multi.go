@@ -1,0 +1,12 @@
+// Package multi is the regression fixture for order-insensitive want
+// matching: one line produces two diagnostics, and the want pattern listed
+// first ("alpha") also matches the other line's diagnostic ("alpha and
+// beta"). A greedy first-match pairing strands the second pattern; the
+// runner must find the complete assignment.
+package multi
+
+func boom() {}
+
+func use() {
+	boom() // want "alpha" "alpha and beta"
+}

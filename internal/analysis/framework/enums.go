@@ -1,0 +1,117 @@
+package framework
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EnumMembers returns the package-level constants declared with exactly the
+// named type, sorted by constant value then name — the member set a switch
+// over that type is measured against. Types with fewer than two members are
+// not usefully enums; callers typically skip them.
+func EnumMembers(named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].Val(), out[j].Val()
+		if vi.Kind() == constant.Int && vj.Kind() == constant.Int {
+			if constant.Compare(vi, token.LSS, vj) {
+				return true
+			}
+			if constant.Compare(vj, token.LSS, vi) {
+				return false
+			}
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// SwitchCoverage is the result of measuring one switch statement against an
+// enum member set.
+type SwitchCoverage struct {
+	// HasDefault reports whether the switch carries a default clause —
+	// which counts as handling every member.
+	HasDefault bool
+	// Missing lists members matched by no case clause (empty when
+	// HasDefault).
+	Missing []*types.Const
+}
+
+// Exhaustive reports whether every enum member is handled, explicitly or
+// through a default clause.
+func (c SwitchCoverage) Exhaustive() bool {
+	return c.HasDefault || len(c.Missing) == 0
+}
+
+// CoverEnumSwitch measures which of the given enum members the switch's
+// case clauses cover. Case expressions are matched by constant value, so
+// both named constants and literals count.
+func CoverEnumSwitch(info *types.Info, sw *ast.SwitchStmt, members []*types.Const) SwitchCoverage {
+	var cov SwitchCoverage
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			cov.HasDefault = true
+			continue
+		}
+		for _, e := range clause.List {
+			tv, ok := info.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	if cov.HasDefault {
+		return cov
+	}
+	for _, m := range members {
+		if !covered[m.Val().ExactString()] {
+			cov.Missing = append(cov.Missing, m)
+		}
+	}
+	return cov
+}
+
+// EnumTagType returns the named type of a switch tag expression when the
+// tag is a value switch over a named non-boolean basic type declared in
+// some package — the shape enum switches take. Returns nil otherwise.
+func EnumTagType(info *types.Info, sw *ast.SwitchStmt) *types.Named {
+	if sw.Tag == nil {
+		return nil
+	}
+	tv, ok := info.Types[sw.Tag]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+	return named
+}

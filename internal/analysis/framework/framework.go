@@ -48,6 +48,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the cross-package fact store shared by every pass of one
+	// RunAnalyzers call. Packages are visited in import order, so facts
+	// exported while analyzing a dependency are visible here. May be used
+	// standalone (nil-safe methods) when a pass is constructed by hand.
+	Facts *Facts
 
 	diags *[]Diagnostic
 	annot map[string]map[int][]string // filename -> line -> tags
@@ -105,10 +110,13 @@ func collectAnnotations(fset *token.FileSet, files []*ast.File) map[string]map[i
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// findings sorted by position.
+// findings sorted by position. Packages are visited in import order
+// (dependencies before dependents) so facts exported into the shared store
+// while analyzing an imported package are visible when its importers run.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	facts := NewFacts()
+	for _, pkg := range importOrder(pkgs) {
 		annot := collectAnnotations(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -117,6 +125,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Facts:    facts,
 				diags:    &diags,
 				annot:    annot,
 			}
@@ -139,6 +148,40 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
 	return diags, nil
+}
+
+// importOrder topologically sorts packages so every package follows the
+// packages it imports (restricted to the given set). Ties keep the caller's
+// order; import cycles cannot occur in type-checked Go, but the sort is
+// defensive about them anyway.
+func importOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return
+		}
+		state[p.Path] = 1
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if dep, ok := byPath[imp.Path()]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // PathApplies reports whether the final segment of an import path is one of

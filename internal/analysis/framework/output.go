@@ -1,0 +1,257 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Machine-readable finding output and the baseline/suppression mechanism.
+//
+// Findings serialize with module-root-relative file paths so JSON and SARIF
+// payloads are byte-stable across checkouts and CI runners. The baseline
+// file records known findings keyed by (analyzer, file, message) — line
+// numbers are deliberately excluded so unrelated edits that shift a finding
+// do not invalidate the baseline — with an occurrence count per key so a
+// baseline cannot silently absorb new duplicates of an old violation.
+
+// Finding is the serialized form of one Diagnostic.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// toFinding relativizes d's position against root (falling back to the
+// absolute path when d lies outside it).
+func toFinding(d Diagnostic, root string) Finding {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return Finding{
+		Analyzer: d.Analyzer,
+		File:     file,
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Message:  d.Message,
+	}
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return rel == ".." || (len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator))
+}
+
+// Findings converts diagnostics to their serialized form, relative to root.
+func Findings(diags []Diagnostic, root string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, toFinding(d, root))
+	}
+	return out
+}
+
+// jsonReport is the -json payload shape.
+type jsonReport struct {
+	Findings []Finding `json:"findings"`
+	Count    int       `json:"count"`
+}
+
+// WriteJSON writes the findings as an indented JSON report.
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	report := jsonReport{Findings: Findings(diags, root), Count: len(diags)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// Minimal SARIF 2.1.0 document model — only the fields consumers (GitHub
+// code scanning, sarif-tools) require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes the findings as a SARIF 2.1.0 log. The analyzers slice
+// populates the tool's rule metadata; analyzers with no findings still
+// appear as rules so consumers can distinguish "clean" from "not run".
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	sorted := append([]*Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, f := range Findings(diags, root) {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mimonet-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// BaselineEntry suppresses up to Count findings with the given analyzer,
+// file, and message.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the checked-in suppression file: known findings that do not
+// fail the build. New findings — or extra occurrences of baselined ones —
+// still fail.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// so fresh checkouts need no placeholder.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("framework: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline absorbing every given diagnostic.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, f := range Findings(diags, root) {
+		key := baselineKey(f.Analyzer, f.File, f.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message, Count: 1}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(order))}
+	for _, key := range order {
+		b.Entries = append(b.Entries, *counts[key])
+	}
+	return b
+}
+
+// Write serializes the baseline to path.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diagnostics into those not covered by the baseline (kept)
+// and those it suppresses. Each entry suppresses at most Count matching
+// findings; entries with Count ≤ 0 default to 1.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (kept, suppressed []Diagnostic) {
+	budget := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	for i, f := range Findings(diags, root) {
+		key := baselineKey(f.Analyzer, f.File, f.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed = append(suppressed, diags[i])
+		} else {
+			kept = append(kept, diags[i])
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,213 @@
+// Package goroleak statically catches the goroutine-leak class the E23
+// chaos soak only finds dynamically: inside the session gateway and the
+// supervised flowgraph (packages session and flowgraph, plus Block.Run
+// methods anywhere), every `go` statement must start a goroutine whose body
+// is visibly tied to a lifecycle — it references a context.Context,
+// operates on a channel (send, receive, close, select, range), or joins a
+// sync.WaitGroup.
+//
+// The analysis is interprocedural: for every function in every analyzed
+// package it computes whether the body (or anything it transitively calls
+// within the package) carries such a join point, and exports the verdict as
+// a fact keyed by the function object. `go s.run()` and cross-package
+// targets like `go flowgraph.Pump(...)` then resolve through the call graph
+// and the shared fact store rather than being rejected as opaque.
+//
+// Fire-and-forget goroutines that are genuinely fine (bounded, process-
+// lifetime) annotate //mimonet:goroutine-ok.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// GuardedPackages are the package leaf names whose every function is in
+// scope; Block.Run methods are in scope in any package.
+var GuardedPackages = []string{"session", "flowgraph"}
+
+// tiedFact is the fact key under which per-function join verdicts export.
+const tiedFact = "goroleak.tied"
+
+// Analyzer is the goroleak analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "goroleak",
+	Doc: "require goroutines in the session gateway and supervised flowgraph to be tied to a context, " +
+		"done channel, or WaitGroup join",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	cg := framework.NewCallGraph(pass.Info, pass.Files)
+
+	// Pass 1: per-function join verdicts, propagated to a fixpoint through
+	// same-package calls and seeded across packages from the fact store.
+	tied := make(map[*types.Func]bool)
+	fns := cg.Functions()
+	for _, fn := range fns {
+		tied[fn] = hasJoinPoint(pass.Info, cg.DeclOf(fn).Body)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if tied[fn] {
+				continue
+			}
+			for _, callee := range cg.Callees(fn) {
+				if calleeTied(pass, tied, callee) {
+					tied[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for fn, v := range tied {
+		pass.Facts.Export(fn, tiedFact, v)
+	}
+
+	// Pass 2: report unjoined `go` statements at the in-scope spawn sites.
+	guardedPkg := framework.PathApplies(pass.Pkg.Path(), GuardedPackages...)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !guardedPkg && !framework.IsBlockRun(pass.Info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if goTargetTied(pass, tied, g.Call) || pass.Exempt(g.Pos(), "goroutine-ok") {
+					return true
+				}
+				pass.Reportf(g.Pos(),
+					"goroutine is not tied to a context, done channel, or sync.WaitGroup join; supervise it (or annotate //mimonet:goroutine-ok)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// goTargetTied decides whether the goroutine started by call has a visible
+// join: function literals are inspected directly (including one call hop
+// into resolved callees), named targets resolve through the verdict map or
+// the cross-package fact store.
+func goTargetTied(pass *framework.Pass, tied map[*types.Func]bool, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if hasJoinPoint(pass.Info, lit.Body) {
+			return true
+		}
+		joined := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok || joined {
+				return !joined
+			}
+			if callee := framework.CalleeOf(pass.Info, inner); callee != nil && calleeTied(pass, tied, callee) {
+				joined = true
+			}
+			return true
+		})
+		return joined
+	}
+	callee := framework.CalleeOf(pass.Info, call)
+	return callee != nil && calleeTied(pass, tied, callee)
+}
+
+// calleeTied resolves a callee's verdict: same-package map first, then the
+// cross-package fact store.
+func calleeTied(pass *framework.Pass, tied map[*types.Func]bool, fn *types.Func) bool {
+	if v, ok := tied[fn]; ok {
+		return v
+	}
+	v, _ := pass.Facts.GetBool(fn, tiedFact)
+	return v
+}
+
+// hasJoinPoint reports whether a function body contains a lifecycle tie:
+// a select statement, channel send/receive/close/range, a WaitGroup
+// Done/Wait, or any reference to a context.Context.
+func hasJoinPoint(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(info, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+					found = true
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") && isWaitGroupExpr(info, sel.X) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func isWaitGroupExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/atest"
+	"repro/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	atest.Run(t, "testdata", goroleak.Analyzer, "session", "blocks")
+}

@@ -1,0 +1,30 @@
+// Package blocks is the goroleak fixture for Block.Run scoping: the
+// package leaf name is not guarded, so only methods with the structural
+// flowgraph Run signature are checked.
+package blocks
+
+import "context"
+
+type mixer struct{}
+
+func spin() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}
+
+// Run matches the Block.Run shape, so its goroutines are in scope.
+func (m *mixer) Run(ctx context.Context, in []<-chan int, out []chan<- int) error {
+	go spin() // want "goroutine is not tied to a context, done channel, or sync.WaitGroup join"
+	go func() {
+		<-ctx.Done()
+	}()
+	<-ctx.Done()
+	return nil
+}
+
+// helper is an ordinary function in an unguarded package — out of scope
+// even though its goroutine is untied.
+func helper() {
+	go spin()
+}

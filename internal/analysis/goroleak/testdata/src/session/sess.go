@@ -1,0 +1,72 @@
+// Package session is the goroleak fixture for the guarded-package rule:
+// every goroutine spawned here must be visibly tied to a context, done
+// channel, or WaitGroup join, directly or through the functions it calls.
+package session
+
+import (
+	"context"
+	"sync"
+)
+
+type gateway struct {
+	done chan struct{}
+	out  chan int
+	wg   sync.WaitGroup
+}
+
+// loop joins on its context — goroutines running it are supervised.
+func (g *gateway) loop(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// drain blocks on the done channel.
+func (g *gateway) drain() {
+	<-g.done
+}
+
+// relay is tied two hops away: relay -> forward -> send on a channel.
+func (g *gateway) relay() {
+	g.forward(1)
+}
+
+func (g *gateway) forward(v int) {
+	g.out <- v
+}
+
+// leak never observes any lifecycle signal.
+func leak() {
+	for i := 0; i < 1000; i++ {
+		_ = i * i
+	}
+}
+
+func (g *gateway) start(ctx context.Context) {
+	go g.loop(ctx)
+	go g.drain()
+	go g.relay()
+	go func() {
+		defer g.wg.Done()
+		leak()
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-g.out:
+			_ = v
+		}
+	}()
+
+	go leak()   // want "goroutine is not tied to a context, done channel, or sync.WaitGroup join"
+	go func() { // want "goroutine is not tied to a context, done channel, or sync.WaitGroup join"
+		leak()
+	}()
+
+	//mimonet:goroutine-ok bounded warm-up, exits after one pass
+	go leak()
+}
+
+// spawnDynamic launches through a function value: the target is opaque, so
+// the site must carry its own join or an audited annotation.
+func spawnDynamic(fn func()) {
+	go fn() // want "goroutine is not tied to a context, done channel, or sync.WaitGroup join"
+}

@@ -1,0 +1,234 @@
+// Package obshygiene keeps the observability surface greppable and
+// Prometheus-exportable by construction. It enforces three invariants over
+// the internal/obs registry and structured logging:
+//
+//  1. Metric names passed to Registry.Counter/Gauge/Histogram and label
+//     keys in Label literals must be compile-time constant strings that
+//     match the Prometheus charsets ([a-zA-Z_:][a-zA-Z0-9_:]* for names,
+//     [a-zA-Z_][a-zA-Z0-9_]* for label keys) — a name computed at runtime
+//     can silently fork a metric family per request.
+//  2. Histograms must be registered with explicit buckets; nil buckets
+//     export a histogram no dashboard can read.
+//  3. The canonical correlation keys packet_id, trace_id, block, node and
+//     burst must be spelled through the obs.Key* constants wherever they
+//     appear as slog attribute keys or label keys. Raw literals that
+//     normalize to a canonical key (packetID, packet-id, ...) are exactly
+//     the drift that breaks cross-process trace joins.
+//
+// Matching is structural (types named Registry/Label, the log/slog attr
+// constructors), so fixtures and the real repro/internal/obs package are
+// analyzed identically. Audited exceptions annotate //mimonet:obshygiene-ok.
+package obshygiene
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+const exemptTag = "obshygiene-ok"
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelKeyRE   = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+	// registryMethods maps the Registry constructor methods to the index of
+	// their buckets argument (-1 when the method has none).
+	registryMethods = map[string]int{"Counter": -1, "Gauge": -1, "Histogram": 2}
+
+	// slogAttrCtors are the log/slog attribute constructors whose first
+	// argument is a key.
+	slogAttrCtors = map[string]bool{
+		"String": true, "Int": true, "Int64": true, "Uint64": true,
+		"Float64": true, "Bool": true, "Duration": true, "Time": true,
+		"Any": true, "Group": true,
+	}
+
+	// canonicalKeys maps normalized spellings to the canonical key and the
+	// obs constant that carries it.
+	canonicalKeys = map[string]struct{ key, constName string }{
+		"packetid": {"packet_id", "KeyPacketID"},
+		"traceid":  {"trace_id", "KeyTraceID"},
+		"block":    {"block", "KeyBlock"},
+		"node":     {"node", "KeyNode"},
+		"burst":    {"burst", "KeyBurst"},
+	}
+)
+
+// Analyzer is the obshygiene analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "obshygiene",
+	Doc: "require constant Prometheus-charset metric names and label keys, explicit histogram buckets, " +
+		"and canonical obs.Key* spellings for correlation keys",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRegistryCall(pass, n)
+				checkSlogAttr(pass, n)
+			case *ast.CompositeLit:
+				checkLabelLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistryCall validates metric names and histogram buckets at
+// Registry.Counter/Gauge/Histogram call sites.
+func checkRegistryCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	bucketsArg, ok := registryMethods[sel.Sel.Name]
+	if !ok || !isRegistryExpr(pass.Info, sel.X) || len(call.Args) == 0 {
+		return
+	}
+	name := call.Args[0]
+	val, isConst := constString(pass.Info, name)
+	switch {
+	case !isConst:
+		report(pass, name.Pos(), "metric name is not a compile-time constant string; declare it as a const so families cannot fork at runtime")
+	case !metricNameRE.MatchString(val):
+		report(pass, name.Pos(), fmt.Sprintf("metric name %q does not match the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*", val))
+	}
+	if bucketsArg >= 0 && bucketsArg < len(call.Args) && isNilExpr(pass.Info, call.Args[bucketsArg]) {
+		report(pass, call.Args[bucketsArg].Pos(),
+			fmt.Sprintf("histogram %s registered with nil buckets; pass explicit bounds (e.g. obs.ExpBuckets)", describeName(val, isConst)))
+	}
+}
+
+// checkLabelLit validates the Key field of obs.Label composite literals.
+func checkLabelLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !isNamed(tv.Type, "Label") {
+		return
+	}
+	var key ast.Expr
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Key" {
+				key = kv.Value
+			}
+			continue
+		}
+		// Positional literal: Key is the first field.
+		if key == nil {
+			key = elt
+		}
+	}
+	if key == nil {
+		return
+	}
+	val, isConst := constString(pass.Info, key)
+	switch {
+	case !isConst:
+		report(pass, key.Pos(), "label key is not a compile-time constant string; declare it as a const")
+		return
+	case !labelKeyRE.MatchString(val):
+		report(pass, key.Pos(), fmt.Sprintf("label key %q does not match the Prometheus charset [a-zA-Z_][a-zA-Z0-9_]*", val))
+		return
+	}
+	checkCanonicalSpelling(pass, key, val, "label key")
+}
+
+// checkSlogAttr validates the key argument of log/slog attribute
+// constructors (slog.String, slog.Uint64, ...). The variadic
+// logger.Info("msg", "key", v) form is out of scope — it has no statically
+// distinguished key positions.
+func checkSlogAttr(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !slogAttrCtors[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "log/slog" {
+		return
+	}
+	key := call.Args[0]
+	if val, isConst := constString(pass.Info, key); isConst {
+		checkCanonicalSpelling(pass, key, val, "slog key")
+	}
+}
+
+// checkCanonicalSpelling reports raw literals (and misspelled constants)
+// that collide with a canonical correlation key after normalization.
+func checkCanonicalSpelling(pass *framework.Pass, expr ast.Expr, val, what string) {
+	norm := strings.ToLower(strings.NewReplacer("_", "", "-", "").Replace(val))
+	canon, ok := canonicalKeys[norm]
+	if !ok {
+		return
+	}
+	if val == canon.key && !isRawStringLit(expr) {
+		return // spelled through a constant with the canonical value
+	}
+	report(pass, expr.Pos(),
+		fmt.Sprintf("%s %q shadows the canonical correlation key %q; spell it via obs.%s", what, val, canon.key, canon.constName))
+}
+
+// report applies the annotation escape before emitting a diagnostic.
+func report(pass *framework.Pass, pos token.Pos, msg string) {
+	if pass.Exempt(pos, exemptTag) {
+		return
+	}
+	pass.Reportf(pos, "%s (or annotate //mimonet:obshygiene-ok)", msg)
+}
+
+// isRegistryExpr reports whether e has type *Registry or Registry for any
+// named type called Registry.
+func isRegistryExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return isNamed(tv.Type, "Registry")
+}
+
+func isNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func isRawStringLit(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func describeName(val string, isConst bool) string {
+	if !isConst {
+		return "(dynamic name)"
+	}
+	return val
+}

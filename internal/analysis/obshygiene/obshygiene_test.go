@@ -1,0 +1,12 @@
+package obshygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/atest"
+	"repro/internal/analysis/obshygiene"
+)
+
+func TestObshygiene(t *testing.T) {
+	atest.Run(t, "testdata", obshygiene.Analyzer, "metrics")
+}

@@ -1,0 +1,54 @@
+// Package metrics is the obshygiene fixture: a structural mirror of the
+// internal/obs registry surface (types named Registry and Label) plus real
+// log/slog attribute constructors, covering constant-name enforcement, the
+// Prometheus charsets, nil histogram buckets, and canonical-key spelling.
+package metrics
+
+import "log/slog"
+
+// Label mirrors obs.Label.
+type Label struct{ Key, Value string }
+
+// Registry mirrors the obs.Registry constructor surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) int { return 0 }
+func (r *Registry) Gauge(name, help string, labels ...Label) int   { return 0 }
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) int {
+	return 0
+}
+
+const (
+	// KeyBlock carries the canonical spelling, like obs.KeyBlock.
+	KeyBlock   = "block"
+	goodName   = "mimonet_frames_total"
+	namePrefix = "mimonet_"
+)
+
+func wire(r *Registry, suffix string, n int) {
+	r.Counter(goodName, "frames seen")
+	r.Counter(namePrefix+"tx_bytes_total", "constant-folded name is fine")
+	r.Gauge("mimonet_queue_depth", "literal constant name is fine")
+
+	r.Counter("mimonet_frames_"+suffix, "help") // want "metric name is not a compile-time constant string"
+	r.Gauge("2mimonet.depth", "help")           // want `metric name "2mimonet.depth" does not match the Prometheus charset`
+
+	r.Histogram("mimonet_decode_seconds", "help", nil) // want "histogram mimonet_decode_seconds registered with nil buckets"
+	r.Histogram("mimonet_equalize_seconds", "help", []float64{0.001, 0.01, 0.1})
+
+	_ = Label{Key: KeyBlock, Value: "fft"}
+	_ = Label{"dir", "tx"}
+	_ = Label{Key: "block", Value: "fft"}         // want `label key "block" shadows the canonical correlation key "block"; spell it via obs\.KeyBlock`
+	_ = Label{Key: "packetID", Value: "p"}        // want `label key "packetID" shadows the canonical correlation key "packet_id"; spell it via obs\.KeyPacketID`
+	_ = Label{Key: "bad-key", Value: "x"}         // want `label key "bad-key" does not match the Prometheus charset`
+	_ = Label{Key: "radio_" + suffix, Value: "x"} // want "label key is not a compile-time constant string"
+
+	_ = slog.String("addr", "127.0.0.1:4000")
+	_ = slog.Uint64("trace_id", 7)  // want `slog key "trace_id" shadows the canonical correlation key "trace_id"; spell it via obs\.KeyTraceID`
+	_ = slog.String("node", "rx-0") // want `slog key "node" shadows the canonical correlation key "node"; spell it via obs\.KeyNode`
+	_ = slog.Int("burst", n)        // want `slog key "burst" shadows the canonical correlation key "burst"; spell it via obs\.KeyBurst`
+	_ = slog.Uint64(KeyBlock+"", 9)
+
+	//mimonet:obshygiene-ok exporter self-description metric, name audited
+	r.Counter("mimonet_export_"+suffix, "help")
+}

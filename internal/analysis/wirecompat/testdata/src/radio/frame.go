@@ -1,0 +1,71 @@
+// Package radio is the wirecompat fixture for the header-buffer extent
+// check: encoders serialize into a fixed-size array and slice it by named
+// header-length constants; the constants must equal the bytes written.
+package radio
+
+import "encoding/binary"
+
+const (
+	headerSizeV1 = 20
+	headerSizeV2 = headerSizeV1 + 8
+	headerSizeV3 = headerSizeV2 + 8
+	// headerSizeV4 reserves an 8-byte route field no encoder serializes
+	// yet — the drift badHeader demonstrates.
+	headerSizeV4 = headerSizeV3 + 8
+)
+
+// goodHeader writes exactly headerSizeV3 bytes: constants and encoder agree.
+func goodHeader(dst []byte, seq, packet, session uint64) []byte {
+	var hdr [headerSizeV3]byte
+	binary.BigEndian.PutUint32(hdr[0:], 0x4D4E4951)
+	hdr[4] = 3
+	hdr[5] = 1
+	binary.BigEndian.PutUint16(hdr[6:], 0)
+	binary.BigEndian.PutUint64(hdr[8:], seq)
+	binary.BigEndian.PutUint32(hdr[16:], 0)
+	binary.BigEndian.PutUint64(hdr[20:], packet)
+	if session == 0 {
+		return append(dst, hdr[:headerSizeV2]...)
+	}
+	binary.BigEndian.PutUint64(hdr[28:], session)
+	return append(dst, hdr[:headerSizeV3]...)
+}
+
+// badHeader bumped the length constant without serializing the new field.
+func badHeader(dst []byte, seq, packet, session uint64) []byte {
+	var hdr [headerSizeV4]byte
+	binary.BigEndian.PutUint32(hdr[0:], 0x4D4E4951) // want `header encoder writes 36 bytes but header-length constant headerSizeV4 = 44`
+	hdr[4] = 4
+	hdr[5] = 1
+	binary.BigEndian.PutUint16(hdr[6:], 0)
+	binary.BigEndian.PutUint64(hdr[8:], seq)
+	binary.BigEndian.PutUint32(hdr[16:], 0)
+	binary.BigEndian.PutUint64(hdr[20:], packet)
+	binary.BigEndian.PutUint64(hdr[28:], session)
+	return append(dst, hdr[:headerSizeV4]...)
+}
+
+// overflowHeader writes a field past the declared buffer size.
+func overflowHeader(dst []byte, seq, extra uint64) []byte {
+	var hdr [headerSizeV2]byte
+	binary.BigEndian.PutUint64(hdr[8:], seq) // want `header encoder writes 36 bytes into a \[28\]byte buffer`
+	binary.BigEndian.PutUint64(hdr[20:], extra)
+	binary.BigEndian.PutUint64(hdr[28:], extra)
+	return append(dst, hdr[:headerSizeV2]...)
+}
+
+// exemptHeader carries an audited annotation: the trailing pad bytes are
+// deliberately unwritten.
+func exemptHeader(dst []byte, seq uint64) []byte {
+	var hdr [headerSizeV3]byte
+	binary.BigEndian.PutUint64(hdr[8:], seq) //mimonet:wirecompat-ok audited: tail is zero padding
+	return append(dst, hdr[:headerSizeV3]...)
+}
+
+// scratchReuse is the negative shape: literal slice bounds only, so the
+// extent check does not apply to reused scratch buffers.
+func scratchReuse(dst []byte, v uint64) []byte {
+	var scratch [8]byte
+	binary.BigEndian.PutUint32(scratch[:4], uint32(v))
+	return append(dst, scratch[:4]...)
+}

@@ -1,0 +1,12 @@
+package wirecompat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/atest"
+	"repro/internal/analysis/wirecompat"
+)
+
+func TestWirecompat(t *testing.T) {
+	atest.Run(t, "testdata", wirecompat.Analyzer, "radio", "session")
+}

@@ -47,7 +47,8 @@ func NewHealthIn(reg *obs.Registry, block string) *Health {
 		if reg == nil {
 			return obs.NewCounter()
 		}
-		return reg.Counter(name, help, obs.Label{Key: "block", Value: block})
+		//mimonet:obshygiene-ok name is constant at every call site (Fam* consts below)
+		return reg.Counter(name, help, obs.Label{Key: obs.KeyBlock, Value: block})
 	}
 	return &Health{
 		chunksIn:  counter(FamChunksIn, "chunks delivered into the block"),

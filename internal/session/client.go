@@ -436,6 +436,9 @@ transfer:
 					continue
 				}
 				return c.fail(reasonOrDefault(m.Reason, "peer-reset"))
+			default:
+				// Only ACK and RESET are meaningful mid-transfer; anything
+				// else (stray handshake traffic, future kinds) is ignored.
 			}
 			if x.arq.Outstanding() == 0 {
 				// Window drained: either done or ready to queue more.
@@ -663,6 +666,9 @@ func (c *Client) reconnect(ctx context.Context, total, chunk uint64, cause strin
 			return cum, x, nil
 		case KindReset:
 			return 0, nil, c.fail(reasonOrDefault(m.Reason, "peer-reset"))
+		default:
+			// Stale ACKs and data-phase traffic race the resume handshake;
+			// keep waiting for the RESUME-ACK (or the deadline).
 		}
 	}
 	return 0, nil, c.fail("reconnect-budget")

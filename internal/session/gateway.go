@@ -653,6 +653,9 @@ func (s *gwSession) handle(env inEnv) {
 		s.fin(m)
 	case KindReset:
 		s.mach.Step(EvReset, "peer-reset")
+	default:
+		// Ack-class kinds (HELLO-ACK, ACK, RESUME-ACK, FIN-ACK) are
+		// client-bound; a gateway receiving one drops it silently.
 	}
 }
 
