@@ -36,18 +36,29 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Tracked benchmark baseline: the root experiment benches (Quick-mode
-# Monte-Carlo settings) run once each, with the text stream shown and also
-# converted to JSON (name -> ns/op, B/op, allocs/op) by cmd/benchjson.
-# Regenerate after performance work and commit the BENCH_pr3.json diff.
+# Monte-Carlo settings) run three times each — benchjson keeps the fastest
+# repetition per benchmark, the standard low-variance estimator, so a single
+# load spike on a shared runner cannot masquerade as a regression — with the
+# text stream shown and also converted to JSON (name -> ns/op, B/op,
+# allocs/op, custom metrics) by cmd/benchjson. Regenerate after performance
+# work and commit the BENCH_pr8.json diff; BENCH_pr3.json stays frozen as
+# the pre-batching reference the compare gate measures against.
 bench:
-	$(GO) test -bench . -benchmem -count 1 -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr3.json
-	@echo "wrote BENCH_pr3.json"
+	$(GO) test -bench . -benchmem -count 3 -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr8.json
+	@echo "wrote BENCH_pr8.json"
 
-# Rerun the tracked benches and diff against the committed baseline;
-# exits non-zero past a 15% ns/op regression on any benchmark.
+# The real-time sample-rate floor the batched receive chain must sustain
+# (aggregate complex samples/sec across antennas in BenchmarkRealtime).
+REALTIME_FLOOR = 20000000
+
+# Rerun the tracked benches and diff against the committed pre-batching
+# baseline; exits non-zero past a 15% ns/op regression on any benchmark or
+# when BenchmarkRealtime falls below the samples/sec floor.
 bench-compare:
-	$(GO) test -bench . -benchmem -count 1 -run '^$$' . | $(GO) run ./cmd/benchjson > /tmp/bench-new.json
-	$(GO) run ./cmd/benchjson -compare BENCH_pr3.json /tmp/bench-new.json
+	$(GO) test -bench . -benchmem -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson > /tmp/bench-new.json
+	$(GO) run ./cmd/benchjson -compare \
+		-floor BenchmarkRealtime=samples/sec:$(REALTIME_FLOOR) \
+		BENCH_pr3.json /tmp/bench-new.json
 
 # Session-gateway chaos soak (experiment E23): 240 concurrent sessions
 # through the fault-scenario rotation. Regenerate after session/gateway work

@@ -34,7 +34,7 @@ func TestComparePassesWithinGate(t *testing.T) {
 		"BenchmarkE2": {NsPerOp: 400, AllocsPerOp: 3},   // improvement
 	})
 	var out bytes.Buffer
-	if err := runCompare(&out, oldPath, newPath); err != nil {
+	if err := runCompare(&out, oldPath, newPath, nil); err != nil {
 		t.Fatalf("compare failed: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "BenchmarkE1") || !strings.Contains(out.String(), "+10.0%") {
@@ -54,7 +54,7 @@ func TestCompareFailsBeyondGate(t *testing.T) {
 		"BenchmarkE1": {NsPerOp: 1200, AllocsPerOp: 12}, // +20% ns/op
 	})
 	var out bytes.Buffer
-	err := runCompare(&out, oldPath, newPath)
+	err := runCompare(&out, oldPath, newPath, nil)
 	if err == nil {
 		t.Fatalf("compare passed a 20%% regression:\n%s", out.String())
 	}
@@ -75,11 +75,66 @@ func TestCompareReportsOneSidedBenchmarks(t *testing.T) {
 		"BenchmarkNew": {NsPerOp: 100},
 	})
 	var out bytes.Buffer
-	if err := runCompare(&out, oldPath, newPath); err != nil {
+	if err := runCompare(&out, oldPath, newPath, nil); err != nil {
 		t.Fatalf("renames must not gate: %v", err)
 	}
 	if !strings.Contains(out.String(), "BenchmarkGone") || !strings.Contains(out.String(), "BenchmarkNew") {
 		t.Errorf("one-sided benchmarks not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareCustomMetricsAndFloors(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", map[string]result{
+		"BenchmarkRealtime": {NsPerOp: 9e6, Metrics: map[string]float64{"samples/sec": 17e6}},
+	})
+	newPath := writeDoc(t, dir, "new.json", map[string]result{
+		"BenchmarkRealtime": {NsPerOp: 7e6, Metrics: map[string]float64{"samples/sec": 22e6}},
+	})
+	var out bytes.Buffer
+	pass := []floor{{bench: "BenchmarkRealtime", unit: "samples/sec", value: 20e6}}
+	if err := runCompare(&out, oldPath, newPath, pass); err != nil {
+		t.Fatalf("floor within bound failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "samples/sec") || !strings.Contains(out.String(), "floor ok") {
+		t.Errorf("metric delta or floor line missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	fail := []floor{{bench: "BenchmarkRealtime", unit: "samples/sec", value: 25e6}}
+	err := runCompare(&out, oldPath, newPath, fail)
+	if err == nil {
+		t.Fatalf("floor above measurement must gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FLOOR") {
+		t.Errorf("floor miss not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	missing := []floor{{bench: "BenchmarkGone", unit: "samples/sec", value: 1}}
+	if err := runCompare(&out, oldPath, newPath, missing); err == nil {
+		t.Error("floor on an absent benchmark must gate")
+	}
+	out.Reset()
+	nounit := []floor{{bench: "BenchmarkRealtime", unit: "widgets/sec", value: 1}}
+	if err := runCompare(&out, oldPath, newPath, nounit); err == nil {
+		t.Error("floor on an absent metric must gate")
+	}
+}
+
+func TestFloorFlagParsing(t *testing.T) {
+	var f floorFlags
+	if err := f.Set("BenchmarkRealtime=samples/sec:20000000"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1 || f[0].bench != "BenchmarkRealtime" || f[0].unit != "samples/sec" || f[0].value != 20e6 {
+		t.Errorf("parsed %+v", f)
+	}
+	for _, bad := range []string{"", "NoEquals", "B=", "B=unit", "B=unit:", "B=unit:notanumber"} {
+		var g floorFlags
+		if err := g.Set(bad); err == nil {
+			t.Errorf("%q should be rejected", bad)
+		}
 	}
 }
 
@@ -88,7 +143,7 @@ func TestCompareZeroBaseline(t *testing.T) {
 	oldPath := writeDoc(t, dir, "old.json", map[string]result{"B": {NsPerOp: 0}})
 	newPath := writeDoc(t, dir, "new.json", map[string]result{"B": {NsPerOp: 50}})
 	var out bytes.Buffer
-	if err := runCompare(&out, oldPath, newPath); err != nil {
+	if err := runCompare(&out, oldPath, newPath, nil); err != nil {
 		t.Fatalf("zero baseline must not gate: %v", err)
 	}
 }

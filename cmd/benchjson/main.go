@@ -36,12 +36,16 @@ import (
 
 // result holds one benchmark line's measurements. B/op and allocs/op are
 // only meaningful when the run passed -benchmem (the Makefile target does).
+// Metrics collects every custom b.ReportMetric unit (e.g. "samples/sec",
+// "realtime") so domain throughput goals are recorded machine-readably
+// alongside the standard columns.
 type result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Iterations  int64   `json:"iterations"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 type document struct {
@@ -53,17 +57,59 @@ type document struct {
 // fails the run.
 const maxNsRegression = 0.15
 
+// floor is one -floor requirement: the new document must report the named
+// benchmark's custom metric at or above the bound, making absolute domain
+// goals (a samples/sec target, a realtime ratio) CI-checkable alongside the
+// relative ns/op gate.
+type floor struct {
+	bench string
+	unit  string
+	value float64
+}
+
+// floorFlags parses repeatable -floor Benchmark=unit:value arguments.
+type floorFlags []floor
+
+func (f *floorFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, fl := range *f {
+		parts[i] = fmt.Sprintf("%s=%s:%g", fl.bench, fl.unit, fl.value)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *floorFlags) Set(s string) error {
+	bench, rest, ok := strings.Cut(s, "=")
+	if !ok || bench == "" {
+		return fmt.Errorf("floor %q: want Benchmark=unit:value", s)
+	}
+	// The unit may itself contain colons-free slashes ("samples/sec"); the
+	// value always follows the last colon.
+	i := strings.LastIndexByte(rest, ':')
+	if i <= 0 || i == len(rest)-1 {
+		return fmt.Errorf("floor %q: want Benchmark=unit:value", s)
+	}
+	v, err := strconv.ParseFloat(rest[i+1:], 64)
+	if err != nil {
+		return fmt.Errorf("floor %q: bad value: %w", s, err)
+	}
+	*f = append(*f, floor{bench: bench, unit: rest[:i], value: v})
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON documents (old new) instead of converting")
+	var floors floorFlags
+	flag.Var(&floors, "floor", "with -compare: require Benchmark=unit:value in the new document (repeatable)")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			log.Fatal("usage: benchjson -compare old.json new.json")
+			log.Fatal("usage: benchjson -compare [-floor Benchmark=unit:value] old.json new.json")
 		}
-		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), floors); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -123,9 +169,20 @@ func parse(r io.Reader, doc *document) error {
 		if err != nil {
 			return fmt.Errorf("%q: %w", line, err)
 		}
-		if name != "" {
-			doc.Benchmarks[name] = res
+		if name == "" {
+			continue
 		}
+		// With -count N the same benchmark appears N times; keep the
+		// fastest run. ns/op measures the code's cost plus whatever else
+		// the machine was doing, and only the noise term varies between
+		// repetitions — the minimum is the standard low-variance estimator
+		// and keeps single-spike load excursions from tripping the
+		// comparison gate. The whole line is kept together so the custom
+		// metrics stay coherent with the timing they were measured with.
+		if prev, ok := doc.Benchmarks[name]; ok && prev.NsPerOp <= res.NsPerOp {
+			continue
+		}
+		doc.Benchmarks[name] = res
 	}
 	return sc.Err()
 }
@@ -166,6 +223,12 @@ func parseLine(line string) (string, result, error) {
 			res.AllocsPerOp = v
 		case "MB/s":
 			res.MBPerSec = v
+		default:
+			// Any other unit is a custom b.ReportMetric column.
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[fields[i+1]] = v
 		}
 	}
 	return name, res, nil
@@ -186,10 +249,10 @@ func loadDoc(path string) (document, error) {
 
 // runCompare diffs two benchmark documents, writing one delta line per
 // benchmark present in both, and returns an error naming every benchmark
-// whose ns/op regressed beyond the gate. Benchmarks present on only one
-// side are reported but never gate (renames must not fail CI silently in
-// either direction).
-func runCompare(w io.Writer, oldPath, newPath string) error {
+// whose ns/op regressed beyond the gate or whose custom metric missed a
+// -floor bound. Benchmarks present on only one side are reported but never
+// gate (renames must not fail CI silently in either direction).
+func runCompare(w io.Writer, oldPath, newPath string, floors []floor) error {
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		return err
@@ -203,7 +266,7 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var regressed []string
+	var failures []string
 	for _, name := range names {
 		ob := oldDoc.Benchmarks[name]
 		nb, ok := newDoc.Benchmarks[name]
@@ -216,21 +279,57 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 		mark := ""
 		if dns > maxNsRegression {
 			mark = "  REGRESSION"
-			regressed = append(regressed, name)
+			failures = append(failures, name)
 		}
 		fmt.Fprintf(w, "%-40s ns/op %12.1f -> %12.1f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)%s\n",
 			name, ob.NsPerOp, nb.NsPerOp, 100*dns, ob.AllocsPerOp, nb.AllocsPerOp, 100*dallocs, mark)
+		for _, unit := range sortedUnits(ob.Metrics) {
+			nv, ok := nb.Metrics[unit]
+			if !ok {
+				continue
+			}
+			ov := ob.Metrics[unit]
+			fmt.Fprintf(w, "%-40s %s %12.4g -> %12.4g (%+6.1f%%)\n",
+				name, unit, ov, nv, 100*delta(ov, nv))
+		}
 	}
 	for name := range newDoc.Benchmarks {
 		if _, ok := oldDoc.Benchmarks[name]; !ok {
 			fmt.Fprintf(w, "%-40s only in %s\n", name, newPath)
 		}
 	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("ns/op regression beyond %d%%: %s",
-			int(maxNsRegression*100), strings.Join(regressed, ", "))
+	for _, f := range floors {
+		nb, ok := newDoc.Benchmarks[f.bench]
+		v, has := nb.Metrics[f.unit]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "%-40s FLOOR: missing from %s\n", f.bench, newPath)
+			failures = append(failures, f.bench)
+		case !has:
+			fmt.Fprintf(w, "%-40s FLOOR: reports no %q metric\n", f.bench, f.unit)
+			failures = append(failures, f.bench)
+		case v < f.value:
+			fmt.Fprintf(w, "%-40s FLOOR: %s %.4g below required %.4g\n", f.bench, f.unit, v, f.value)
+			failures = append(failures, f.bench)
+		default:
+			fmt.Fprintf(w, "%-40s floor ok: %s %.4g >= %.4g\n", f.bench, f.unit, v, f.value)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark gate failed (>%d%% ns/op regression or floor miss): %s",
+			int(maxNsRegression*100), strings.Join(failures, ", "))
 	}
 	return nil
+}
+
+// sortedUnits returns the metric units in stable order.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }
 
 // delta returns (new-old)/old, or 0 when the baseline is zero (nothing to

@@ -31,6 +31,22 @@ func TestParseLineThroughput(t *testing.T) {
 	}
 }
 
+func TestParseLineCustomMetrics(t *testing.T) {
+	name, res, err := parseLine("BenchmarkRealtime-4 334 6877668 ns/op 1.102 realtime 22049361 samples/sec 2575289 B/op 618 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BenchmarkRealtime" {
+		t.Errorf("name = %q", name)
+	}
+	if res.Metrics["samples/sec"] != 22049361 || res.Metrics["realtime"] != 1.102 {
+		t.Errorf("custom metrics not captured: %+v", res.Metrics)
+	}
+	if res.BytesPerOp != 2575289 || res.AllocsPerOp != 618 {
+		t.Errorf("standard columns lost around custom ones: %+v", res)
+	}
+}
+
 func TestParseLineSkipsNonResults(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkE5PERvsSNR", // name echoed without measurements
@@ -68,5 +84,25 @@ ok  	repro	1.234s
 	}
 	if got := doc.Benchmarks["BenchmarkE5PERvsSNR"]; got.NsPerOp != 2000 || got.AllocsPerOp != 3 {
 		t.Errorf("E5 result: %+v", got)
+	}
+}
+
+func TestParseStreamKeepsFastestRepetition(t *testing.T) {
+	// go test -count 3 emits the same benchmark name repeatedly; the fastest
+	// repetition wins and its whole line (including custom metrics) is kept.
+	stream := `BenchmarkRealtime-8   100   7000000 ns/op   1.05 realtime   21000000 samples/sec
+BenchmarkRealtime-8   100   6000000 ns/op   1.20 realtime   24000000 samples/sec
+BenchmarkRealtime-8   100   6500000 ns/op   1.10 realtime   22000000 samples/sec
+`
+	doc := document{Env: map[string]string{}, Benchmarks: map[string]result{}}
+	if err := parse(strings.NewReader(stream), &doc); err != nil {
+		t.Fatal(err)
+	}
+	got := doc.Benchmarks["BenchmarkRealtime"]
+	if got.NsPerOp != 6000000 {
+		t.Fatalf("kept ns/op %v, want fastest 6000000", got.NsPerOp)
+	}
+	if got.Metrics["samples/sec"] != 24000000 || got.Metrics["realtime"] != 1.20 {
+		t.Errorf("metrics not from the fastest line: %+v", got.Metrics)
 	}
 }

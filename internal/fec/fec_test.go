@@ -2,6 +2,7 @@ package fec
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -242,5 +243,116 @@ func BenchmarkEncode1000bits(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Encode(data, Rate3_4)
+	}
+}
+
+// referenceDecode is the straightforward 128-edge ACS sweep the butterfly
+// kernel in DecodeSoftInto replaced. It is kept as a test oracle: the two
+// schedules must produce bit-identical outputs for any soft input,
+// including erasures (llr 0) and exact metric ties.
+func referenceDecode(llr []float64, terminated bool) []byte {
+	const unreachable = math.MaxFloat64 / 4
+	steps := len(llr) / 2
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	survivors := make([][numStates]uint8, steps)
+	for s := range metric {
+		metric[s] = -unreachable
+	}
+	metric[0] = 0
+	for t := 0; t < steps; t++ {
+		la, lb := llr[2*t], llr[2*t+1]
+		for s := range next {
+			next[s] = -unreachable
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m <= -unreachable {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				o := outputs[s][in]
+				bm := m
+				if o&1 == 0 {
+					bm += la
+				} else {
+					bm -= la
+				}
+				if o&2 == 0 {
+					bm += lb
+				} else {
+					bm -= lb
+				}
+				ns := nextState[s][in]
+				if bm > next[ns] {
+					next[ns] = bm
+					survivors[t][ns] = uint8(s & 1)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+	state := 0
+	if !terminated {
+		best := -unreachable * 2
+		for s, m := range metric {
+			if m > best {
+				best, state = m, s
+			}
+		}
+	}
+	bits := make([]byte, steps)
+	for t := steps - 1; t >= 0; t-- {
+		bits[t] = uint8(state >> (ConstraintLength - 2))
+		state = ((state << 1) & (numStates - 1)) | int(survivors[t][state])
+	}
+	return bits
+}
+
+func TestViterbiButterflyMatchesReferenceSweep(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	v := NewViterbi()
+	for trial := 0; trial < 200; trial++ {
+		steps := 1 + r.Intn(400)
+		llr := make([]float64, 2*steps)
+		for i := range llr {
+			switch r.Intn(5) {
+			case 0:
+				llr[i] = 0 // erasure
+			case 1:
+				// Small integer LLRs force exact metric ties, exercising
+				// the prefer-earliest-predecessor rule.
+				llr[i] = float64(r.Intn(5) - 2)
+			default:
+				llr[i] = r.NormFloat64()
+			}
+		}
+		terminated := trial%2 == 0
+		got, err := v.DecodeSoft(llr, terminated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceDecode(llr, terminated)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (steps=%d terminated=%v): butterfly decode differs from reference sweep", trial, steps, terminated)
+		}
+	}
+}
+
+func TestViterbiReserveAvoidsDecodeAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	data := addTail(randBits(r, 4000))
+	coded := Encode(data, Rate1_2)
+	llr := HardToLLR(nil, coded)
+	v := NewViterbi()
+	v.Reserve(len(data))
+	dst := make([]byte, len(data))
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := v.DecodeSoftInto(dst, llr, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeSoftInto after Reserve allocated %.0f times per run, want 0", allocs)
 	}
 }

@@ -16,11 +16,15 @@ import (
 type Viterbi struct {
 	metric     []float64
 	nextMetric []float64
-	// survivors[t][ns] is the low bit of the best predecessor of state ns
-	// at trellis step t. Together with ns it reconstructs the predecessor:
-	// with nextState = in<<5 | s>>1, the predecessor is
+	// survivors[t] packs, one bit per state, the low bit of the best
+	// predecessor of each state at trellis step t: bit ns is the survivor
+	// decision for state ns. Together with ns it reconstructs the
+	// predecessor: with nextState = in<<5 | s>>1, the predecessor is
 	// s = (ns&31)<<1 | survivor, and the step-t input bit is ns>>5.
-	survivors [][numStates]uint8
+	// One uint64 per step keeps the traceback matrix at 8 bytes/step — a
+	// 1500-byte packet's 12k-step traceback stays under 100 KiB and cache
+	// resident, where a byte-per-state layout would stream ~770 KiB.
+	survivors []uint64
 	// hardLLR is the DecodeHard scratch mapping coded bits to ±1 LLRs.
 	hardLLR []float64
 }
@@ -91,6 +95,18 @@ func (v *Viterbi) DecodeSoft(llr []float64, terminated bool) ([]byte, error) {
 // DecodeSoftInto is DecodeSoft writing the decoded bits into dst, which is
 // grown only when its capacity is short and returned resliced to one byte
 // per trellis step.
+//
+// The add-compare-select step runs over 32 radix-2 butterflies rather than
+// 128 state×input edges. Both generators (133, 171 octal) include the top
+// and bottom taps of the shift register, so flipping either the input bit
+// or the oldest state bit complements both coded bits: the four edges of
+// butterfly j (states 2j, 2j+1 → j, j+32) carry only two distinct output
+// pairs, o and o^3, and share one ±la/±lb addend pattern. The per-edge
+// arithmetic — (m ± la) ± lb with strictly-greater updates in ascending
+// predecessor order — is identical to the straightforward 128-edge sweep,
+// so decoded outputs are bit-identical; only the schedule changed.
+//
+//mimonet:hot
 func (v *Viterbi) DecodeSoftInto(dst []byte, llr []float64, terminated bool) ([]byte, error) {
 	if len(llr)%2 != 0 {
 		return nil, fmt.Errorf("fec: soft input length %d is odd", len(llr))
@@ -107,41 +123,46 @@ func (v *Viterbi) DecodeSoftInto(dst []byte, llr []float64, terminated bool) ([]
 	}
 	v.metric[0] = 0 // encoder starts in state 0
 
+	// Fixed-size array views let the compiler drop bounds checks in the ACS
+	// loop; both slices are always exactly numStates long.
+	cur := (*[numStates]float64)(v.metric)
+	nxt := (*[numStates]float64)(v.nextMetric)
 	for t := 0; t < steps; t++ {
 		la, lb := llr[2*t], llr[2*t+1]
-		for s := range v.nextMetric {
-			v.nextMetric[s] = -unreachable
+		// Correlation addends indexed by expected coded bit: +llr for an
+		// expected 0, −llr for an expected 1. Erasures (llr 0) contribute
+		// nothing either way.
+		selA := [2]float64{la, -la}
+		selB := [2]float64{lb, -lb}
+		var surv uint64
+		for j := 0; j < numStates/2; j++ {
+			m0, m1 := cur[2*j], cur[2*j+1]
+			o := butterflyOut[j]
+			oa, ob := o&1, o>>1
+			aa, na := selA[oa], selA[oa^1]
+			ab, nb := selB[ob], selB[ob^1]
+			// Edge outputs: 2j→j carries o, 2j+1→j and 2j→j+32 carry o^3,
+			// 2j+1→j+32 carries o again.
+			a := (m0 + aa) + ab
+			c := (m1 + na) + nb
+			d := (m0 + na) + nb
+			e := (m1 + aa) + ab
+			// Branchless compare-select: the survivor branches are decided
+			// by channel noise, so a conditional here mispredicts roughly
+			// half the time. max picks the winning metric without new
+			// arithmetic, and the survivor bit is the sign of the exact
+			// difference — 1 iff the odd predecessor strictly wins, the same
+			// strictly-greater tie-break as the branching form (metrics are
+			// sums that can never be −0, so a−c = +0 on ties).
+			nxt[j] = max(a, c)
+			nxt[j+numStates/2] = max(d, e)
+			surv |= (math.Float64bits(a-c)>>63)<<j |
+				(math.Float64bits(d-e)>>63)<<(j+numStates/2)
 		}
-		surv := &v.survivors[t]
-		for s := 0; s < numStates; s++ {
-			m := v.metric[s]
-			if m <= -unreachable {
-				continue
-			}
-			for in := 0; in < 2; in++ {
-				o := outputs[s][in]
-				// Correlation metric: +llr if the expected coded bit is 0,
-				// −llr if it is 1. Erasures (llr 0) contribute nothing.
-				bm := m
-				if o&1 == 0 {
-					bm += la
-				} else {
-					bm -= la
-				}
-				if o&2 == 0 {
-					bm += lb
-				} else {
-					bm -= lb
-				}
-				ns := nextState[s][in]
-				if bm > v.nextMetric[ns] {
-					v.nextMetric[ns] = bm
-					surv[ns] = uint8(s & 1)
-				}
-			}
-		}
-		v.metric, v.nextMetric = v.nextMetric, v.metric
+		v.survivors[t] = surv
+		cur, nxt = nxt, cur
 	}
+	v.metric, v.nextMetric = cur[:], nxt[:]
 
 	state := 0
 	if !terminated {
@@ -159,7 +180,7 @@ func (v *Viterbi) DecodeSoftInto(dst []byte, llr []float64, terminated bool) ([]
 	bits = bits[:steps]
 	for t := steps - 1; t >= 0; t-- {
 		bits[t] = uint8(state >> (ConstraintLength - 2)) // input bit sits at the register top
-		state = ((state << 1) & (numStates - 1)) | int(v.survivors[t][state])
+		state = ((state << 1) & (numStates - 1)) | int((v.survivors[t]>>state)&1)
 	}
 	return bits, nil
 }
@@ -172,9 +193,19 @@ func (v *Viterbi) DecodeHard(coded []byte, terminated bool) ([]byte, error) {
 	return v.DecodeSoft(v.hardLLR, terminated)
 }
 
+// Reserve pre-sizes the decoder's metric and traceback storage for a decode
+// of the given number of trellis steps, so the subsequent DecodeSoftInto
+// performs no allocation. The PHY calls this with the SIG-declared packet
+// length as soon as the header is decoded, before the data symbols stream in.
+func (v *Viterbi) Reserve(steps int) {
+	if steps > 0 {
+		v.ensureTraceback(steps)
+	}
+}
+
 func (v *Viterbi) ensureTraceback(steps int) {
 	if cap(v.survivors) < steps {
-		v.survivors = make([][numStates]uint8, steps)
+		v.survivors = make([]uint64, steps)
 	}
 	v.survivors = v.survivors[:steps]
 }

@@ -45,6 +45,13 @@ type linearDetector struct {
 	sbuf []complex128
 	// Prepare scratch, reused across calls.
 	hh, gram, gi, work, bias *cmatrix.Matrix
+	// Opt-in single-precision DetectTo kernel (see narrow.go). w32 holds the
+	// unbiased weights flattened [k][i][j] row-major; csi32 is [k][i].
+	narrow     bool
+	w32        []complex64
+	csi32      []float32
+	noiseVar32 float32
+	nrx32      int
 }
 
 // NewZF returns a zero-forcing detector (W = (HᴴH)⁻¹Hᴴ) for nss streams of
@@ -150,6 +157,9 @@ func (d *linearDetector) Prepare(h []*cmatrix.Matrix, noiseVar float64) error {
 		}
 		d.w[k] = w
 		d.csi[k] = csi
+	}
+	if d.narrow {
+		d.buildNarrow()
 	}
 	return nil
 }

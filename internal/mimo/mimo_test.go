@@ -373,3 +373,120 @@ func BenchmarkMLDetect2x2QPSK(b *testing.B) {
 		}
 	}
 }
+
+// randChannels builds nk random nrx×nss channel matrices.
+func randChannels(r *rand.Rand, nk, nrx, nss int) []*cmatrix.Matrix {
+	h := make([]*cmatrix.Matrix, nk)
+	for k := range h {
+		h[k] = randChannel(r, nrx, nss)
+	}
+	return h
+}
+
+// TestDetectToMatchesDetect pins the batch-path contract: for every detector
+// family, DetectTo with per-worker scratch writes exactly the LLR values
+// Detect appends, in stream-major order.
+func TestDetectToMatchesDetect(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, name := range []string{"zf", "mmse", "sic", "ml"} {
+		for _, scheme := range []modem.Scheme{modem.BPSK, modem.QPSK, modem.QAM16} {
+			for nss := 1; nss <= 2; nss++ {
+				det, err := NewDetector(name, scheme, nss)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bd, ok := det.(BatchDetector)
+				if !ok {
+					t.Fatalf("%s detector does not implement BatchDetector", name)
+				}
+				nrx := nss + 1
+				h := randChannels(r, 8, nrx, nss)
+				if err := det.Prepare(h, 0.05); err != nil {
+					t.Fatal(err)
+				}
+				nb := bd.BitsPerStream()
+				sc := bd.NewScratch()
+				out := make([]float64, nss*nb)
+				llr := make([][]float64, nss)
+				y := make([]complex128, nrx)
+				for k := range h {
+					for i := range y {
+						y[i] = complex(r.NormFloat64(), r.NormFloat64())
+					}
+					for i := range llr {
+						llr[i] = llr[i][:0]
+					}
+					if _, err := det.Detect(llr, k, y); err != nil {
+						t.Fatal(err)
+					}
+					if err := bd.DetectTo(sc, out, k, y); err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < nss; i++ {
+						for b := 0; b < nb; b++ {
+							if got, want := out[i*nb+b], llr[i][b]; got != want {
+								t.Fatalf("%s/%v nss=%d k=%d stream=%d bit=%d: DetectTo %v != Detect %v",
+									name, scheme, nss, k, i, b, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNarrowKernelClose checks the float32 linear kernel stays within
+// single-precision rounding of the double-precision LLRs.
+func TestNarrowKernelClose(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for _, name := range []string{"zf", "mmse"} {
+		for _, scheme := range []modem.Scheme{modem.BPSK, modem.QAM64} {
+			det, err := NewDetector(name, scheme, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bd := det.(BatchDetector)
+			nw, ok := det.(Narrowable)
+			if !ok {
+				t.Fatalf("%s detector is not Narrowable", name)
+			}
+			h := randChannels(r, 8, 3, 2)
+			if err := det.Prepare(h, 0.05); err != nil {
+				t.Fatal(err)
+			}
+			nb := bd.BitsPerStream()
+			wide := make([]float64, 2*nb)
+			narrow := make([]float64, 2*nb)
+			sc := bd.NewScratch()
+			y := make([]complex128, 3)
+			for k := range h {
+				for i := range y {
+					y[i] = complex(r.NormFloat64(), r.NormFloat64())
+				}
+				if err := bd.DetectTo(sc, wide, k, y); err != nil {
+					t.Fatal(err)
+				}
+				if err := nw.SetNarrow(true); err != nil {
+					t.Fatal(err)
+				}
+				if err := bd.DetectTo(sc, narrow, k, y); err != nil {
+					t.Fatal(err)
+				}
+				if err := nw.SetNarrow(false); err != nil {
+					t.Fatal(err)
+				}
+				for i := range wide {
+					scale := math.Abs(wide[i])
+					if scale < 1 {
+						scale = 1
+					}
+					if diff := math.Abs(wide[i] - narrow[i]); diff/scale > 1e-3 {
+						t.Fatalf("%s/%v k=%d llr[%d]: narrow %v vs wide %v (rel %v)",
+							name, scheme, k, i, narrow[i], wide[i], diff/scale)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package mimo
+
+import "fmt"
+
+// Narrowable is implemented by detector families that offer an opt-in
+// single-precision DetectTo kernel. SetNarrow returns an error for
+// configurations without a narrow path; detectors default to the full
+// double-precision chain.
+type Narrowable interface {
+	SetNarrow(on bool) error
+}
+
+// SetNarrow toggles the linear detector's single-precision DetectTo kernel.
+// When enabled, Prepare additionally stores the unbiased weight rows and CSI
+// weights as complex64/float32 and DetectTo runs the filter inner product
+// and max-log demap in single precision (Detect and Equalize always stay in
+// double precision — the narrow kernel exists for the batched data pass,
+// where the weight tables' halved footprint and cheaper multiplies pay off).
+func (d *linearDetector) SetNarrow(on bool) error {
+	d.narrow = on
+	if on && d.w != nil {
+		d.buildNarrow()
+	}
+	return nil
+}
+
+// buildNarrow converts the Prepared weight tables to single precision. Each
+// subcarrier's weight matrix is flattened row-major into one contiguous
+// complex64 slab so the per-subcarrier DetectTo load is a single slice
+// window.
+func (d *linearDetector) buildNarrow() {
+	nk := len(d.w)
+	if nk == 0 {
+		return
+	}
+	rows, cols := d.nss, d.w[0].Cols // weight matrix is nss×nrx
+	if cap(d.w32) < nk*rows*cols {
+		d.w32 = make([]complex64, nk*rows*cols)
+	}
+	d.w32 = d.w32[:nk*rows*cols]
+	if cap(d.csi32) < nk*rows {
+		d.csi32 = make([]float32, nk*rows)
+	}
+	d.csi32 = d.csi32[:nk*rows]
+	d.nrx32 = cols
+	for k := 0; k < nk; k++ {
+		w := d.w[k]
+		base := k * rows * cols
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				d.w32[base+i*cols+j] = complex64(w.At(i, j)) //mimonet:narrow-ok opt-in float32 detection kernel
+			}
+			d.csi32[k*rows+i] = float32(d.csi[k][i]) //mimonet:narrow-ok opt-in float32 detection kernel
+		}
+	}
+	d.noiseVar32 = float32(d.noiseVar) //mimonet:narrow-ok opt-in float32 detection kernel
+}
+
+// detectToNarrow is the single-precision DetectTo kernel: convert y once,
+// run the nss×nrx filter in complex64, demap in float32. LLRs widen to
+// float64 only when written to the decoder stream.
+//
+//mimonet:hot
+func (d *linearDetector) detectToNarrow(sc *DetectScratch, out []float64, k int, y []complex128) error {
+	if len(d.w32) == 0 {
+		return fmt.Errorf("mimo: narrow kernel enabled but not built; call Prepare first")
+	}
+	nrx := d.nrx32
+	if len(y) != nrx {
+		return fmt.Errorf("mimo: received vector length %d, want %d", len(y), nrx)
+	}
+	if cap(sc.y32) < nrx {
+		sc.y32 = make([]complex64, nrx)
+	}
+	y32 := sc.y32[:nrx]
+	for j := range y32 {
+		y32[j] = complex64(y[j]) //mimonet:narrow-ok opt-in float32 detection kernel
+	}
+	nb := d.demapper.BitsPerSymbol()
+	base := k * d.nss * nrx
+	for i := 0; i < d.nss; i++ {
+		row := d.w32[base+i*nrx : base+(i+1)*nrx]
+		var acc complex64
+		for j, v := range y32 {
+			acc += row[j] * v
+		}
+		d.demapper.SoftTo32(out[i*nb:(i+1)*nb], acc, d.noiseVar32, d.csi32[k*d.nss+i])
+	}
+	return nil
+}

@@ -237,22 +237,42 @@ func sliceAxis(v float64, axisBits int) int {
 // weight (|h|² for a one-tap equalized carrier, or the post-detection SINR
 // weight from a MIMO detector) that scales confidence. LLR > 0 means bit 0.
 func (d *Demapper) SoftOne(dst []float64, sym complex128, noiseVar, csi float64) []float64 {
+	n := len(dst)
+	if cap(dst) < n+d.nbpsc {
+		// Grow through append so the usual doubling amortizes; the zeroed
+		// tail is immediately overwritten by SoftTo, and once capacity is
+		// reached (steady state) this branch never runs again.
+		dst = append(dst, make([]float64, d.nbpsc)...)
+	} else {
+		dst = dst[:n+d.nbpsc]
+	}
+	d.SoftTo(dst[n:], sym, noiseVar, csi)
+	return dst
+}
+
+// SoftTo computes max-log-MAP LLRs for one symbol into dst[:BitsPerSymbol].
+// It is the write-in-place core of SoftOne — both produce identical values —
+// exposed so the batched receive path can land soft bits directly at their
+// final positions without an append-and-copy round trip.
+//
+//mimonet:hot
+func (d *Demapper) SoftTo(dst []float64, sym complex128, noiseVar, csi float64) {
 	if noiseVar <= 0 {
 		noiseVar = 1e-12
 	}
 	w := csi / noiseVar
 	if d.scheme == BPSK {
-		return append(dst, -4*real(sym)*w)
+		dst[0] = -4 * real(sym) * w
+		return
 	}
-	dst = softAxis(dst, real(sym)/d.norm, d.axis, w*d.norm*d.norm)
-	dst = softAxis(dst, imag(sym)/d.norm, d.axis, w*d.norm*d.norm)
-	return dst
+	softAxis(dst[:d.axis], real(sym)/d.norm, d.axis, w*d.norm*d.norm)
+	softAxis(dst[d.axis:2*d.axis], imag(sym)/d.norm, d.axis, w*d.norm*d.norm)
 }
 
-// softAxis computes exact max-log LLRs for one PAM axis by searching the
-// (at most 8) levels. v is the received level in unnormalized PAM units; w
-// scales squared distances to LLR units.
-func softAxis(dst []float64, v float64, axisBits int, w float64) []float64 {
+// softAxis computes exact max-log LLRs for one PAM axis into dst[:axisBits]
+// by searching the (at most 8) levels. v is the received level in
+// unnormalized PAM units; w scales squared distances to LLR units.
+func softAxis(dst []float64, v float64, axisBits int, w float64) {
 	levels := grayPAM[axisBits]
 	for bit := 0; bit < axisBits; bit++ {
 		d0 := math.Inf(1) // best squared distance with this bit = 0
@@ -267,9 +287,8 @@ func softAxis(dst []float64, v float64, axisBits int, w float64) []float64 {
 				d1 = dist
 			}
 		}
-		dst = append(dst, (d1-d0)*w)
+		dst[bit] = (d1 - d0) * w
 	}
-	return dst
 }
 
 // Soft computes LLRs for a block of symbols with per-symbol CSI weights.

@@ -1,0 +1,68 @@
+package modem
+
+import "math"
+
+// grayPAM32 mirrors grayPAM in single precision for the narrow demap kernel.
+var grayPAM32 [4][]float32
+
+func init() {
+	for n, levels := range grayPAM {
+		if levels == nil {
+			continue
+		}
+		l32 := make([]float32, len(levels))
+		for i, v := range levels {
+			l32[i] = float32(v)
+		}
+		grayPAM32[n] = l32
+	}
+}
+
+// BitsPerSymbol returns N_BPSC for the demapper's constellation.
+func (d *Demapper) BitsPerSymbol() int { return d.nbpsc }
+
+// Scheme returns the demapper's constellation.
+func (d *Demapper) Scheme() Scheme { return d.scheme }
+
+// SoftTo32 is SoftTo computed entirely in single precision: the symbol,
+// noise variance and CSI weight arrive as float32 and every intermediate
+// distance stays float32; only the final LLR is widened into the float64
+// decoder stream. It backs the receiver's opt-in narrow detection kernel.
+// The max-log decision structure is identical to SoftTo, so LLR signs can
+// only differ where the double-precision LLR magnitude is within float32
+// rounding of zero — the precision-equivalence test quantifies this.
+//
+//mimonet:hot
+func (d *Demapper) SoftTo32(dst []float64, sym complex64, noiseVar, csi float32) {
+	if noiseVar <= 0 {
+		noiseVar = 1e-12
+	}
+	w := csi / noiseVar
+	if d.scheme == BPSK {
+		dst[0] = float64(-4 * real(sym) * w)
+		return
+	}
+	norm := float32(d.norm)
+	softAxis32(dst[:d.axis], real(sym)/norm, d.axis, w*norm*norm)
+	softAxis32(dst[d.axis:2*d.axis], imag(sym)/norm, d.axis, w*norm*norm)
+}
+
+// softAxis32 is softAxis in single precision.
+func softAxis32(dst []float64, v float32, axisBits int, w float32) {
+	levels := grayPAM32[axisBits]
+	for bit := 0; bit < axisBits; bit++ {
+		d0 := float32(math.Inf(1))
+		d1 := float32(math.Inf(1))
+		for pattern, lvl := range levels {
+			dist := (v - lvl) * (v - lvl)
+			if (pattern>>uint(bit))&1 == 0 {
+				if dist < d0 {
+					d0 = dist
+				}
+			} else if dist < d1 {
+				d1 = dist
+			}
+		}
+		dst[bit] = float64((d1 - d0) * w)
+	}
+}

@@ -7,6 +7,13 @@ import (
 	"repro/internal/dsp"
 )
 
+// fftPlan is the package-shared 64-point transform. A dsp.FFT plan is
+// immutable after construction and safe for concurrent use, so every
+// modulator and demodulator references this single twiddle/bit-reversal
+// cache instead of rebuilding it per instance — the batched receive path
+// creates one demodulator per worker and they all share these tables.
+var fftPlan = dsp.MustFFT(FFTSize)
+
 // Modulator assembles time-domain OFDM symbols from data and pilot
 // subcarrier values. It owns an FFT plan and scratch buffers and is not safe
 // for concurrent use; create one per transmit chain.
@@ -24,7 +31,7 @@ type Modulator struct {
 func NewModulator(tones *ToneMap) *Modulator {
 	return &Modulator{
 		tones: tones,
-		fft:   dsp.MustFFT(FFTSize),
+		fft:   fftPlan,
 		freq:  make([]complex128, FFTSize),
 		scale: complex(float64(FFTSize)/math.Sqrt(float64(tones.NumUsed()))/float64(FFTSize), 0),
 	}
@@ -107,7 +114,7 @@ type Demodulator struct {
 func NewDemodulator(tones *ToneMap) *Demodulator {
 	return &Demodulator{
 		tones: tones,
-		fft:   dsp.MustFFT(FFTSize),
+		fft:   fftPlan,
 		freq:  make([]complex128, FFTSize),
 		scale: complex(math.Sqrt(float64(tones.NumUsed()))/float64(FFTSize), 0),
 	}
@@ -135,6 +142,34 @@ func (d *Demodulator) Symbol(sym []complex128, data, pilots []complex128) (dataO
 		pilots = append(pilots, d.freq[b])
 	}
 	return data, pilots, nil
+}
+
+// SymbolTo demodulates one 64-sample symbol writing the data subcarrier
+// values into data[:NumData] and the pilot values into pilots[:NumPilots],
+// with arithmetic identical to Symbol. It is the fixed-layout form the
+// batched receive path uses to land tones directly in a packet-wide block
+// without append bookkeeping.
+//
+//mimonet:hot
+func (d *Demodulator) SymbolTo(data, pilots, sym []complex128) error {
+	if len(sym) != FFTSize {
+		return fmt.Errorf("ofdm: symbol length %d, want %d", len(sym), FFTSize)
+	}
+	if len(data) < len(d.tones.Data) || len(pilots) < len(d.tones.Pilot) {
+		return fmt.Errorf("ofdm: SymbolTo dst lengths %d/%d, want %d/%d",
+			len(data), len(pilots), len(d.tones.Data), len(d.tones.Pilot))
+	}
+	d.fft.Forward(d.freq, sym)
+	for i := range d.freq {
+		d.freq[i] *= d.scale
+	}
+	for i, b := range d.tones.Data {
+		data[i] = d.freq[b]
+	}
+	for i, b := range d.tones.Pilot {
+		pilots[i] = d.freq[b]
+	}
+	return nil
 }
 
 // Bins demodulates one 64-sample symbol into the full bin vector (scaled

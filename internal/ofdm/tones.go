@@ -125,18 +125,31 @@ var htPsi = [4][][]float64{
 // symbols (symbols 0..2 of the polarity sequence are consumed by L-SIG and
 // HT-SIG).
 func HTPilots(nss, iss, n, z int) ([]complex128, error) {
+	out := make([]complex128, NumPilots)
+	if err := HTPilotsInto(out, nss, iss, n, z); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HTPilotsInto is HTPilots writing into dst[:NumPilots], for the receiver's
+// per-symbol pilot tracking loop where a fresh allocation per symbol would
+// dominate the steady-state allocation profile.
+func HTPilotsInto(dst []complex128, nss, iss, n, z int) error {
 	if nss < 1 || nss > 4 {
-		return nil, fmt.Errorf("ofdm: N_SS %d out of range [1,4]", nss)
+		return fmt.Errorf("ofdm: N_SS %d out of range [1,4]", nss)
 	}
 	if iss < 0 || iss >= nss {
-		return nil, fmt.Errorf("ofdm: stream %d out of range [0,%d)", iss, nss)
+		return fmt.Errorf("ofdm: stream %d out of range [0,%d)", iss, nss)
+	}
+	if len(dst) < NumPilots {
+		return fmt.Errorf("ofdm: pilot dst length %d, want %d", len(dst), NumPilots)
 	}
 	psi := htPsi[nss-1][iss]
 	p := Polarity(z + n)
-	out := make([]complex128, NumPilots)
 	for k := 0; k < NumPilots; k++ {
 		// The pattern rotates by one pilot position per symbol (eq. 20-59).
-		out[k] = complex(psi[(k+n)%NumPilots]*p, 0)
+		dst[k] = complex(psi[(k+n)%NumPilots]*p, 0)
 	}
-	return out, nil
+	return nil
 }

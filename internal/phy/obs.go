@@ -274,6 +274,34 @@ func preFECCompare(decoded []byte, merged []float64, rate fec.Rate) (errs, bits 
 	return errs, bits
 }
 
+// preFECCompareMother is preFECCompare for the batch data path, which never
+// materialises the merged (pre-depuncture) stream: it compares against the
+// depunctured mother-code LLRs instead, re-encoding at rate 1/2. Punctured
+// positions are zeros in dep — exactly the erasures preFECCompare skips in
+// merged — so both variants count the same surviving coded bits.
+func preFECCompareMother(decoded []byte, dep []float64) (errs, bits int) {
+	coded := fec.Encode(decoded, fec.Rate1_2)
+	n := len(coded)
+	if len(dep) < n {
+		n = len(dep)
+	}
+	for i := 0; i < n; i++ {
+		llr := dep[i]
+		if llr == 0 {
+			continue
+		}
+		hard := byte(0)
+		if llr < 0 {
+			hard = 1
+		}
+		bits++
+		if hard != coded[i] {
+			errs++
+		}
+	}
+	return errs, bits
+}
+
 // sampleRateHz is the nominal front-end rate the CFO gauge reports against.
 const sampleRateHz = 20e6
 

@@ -65,6 +65,22 @@ type RxConfig struct {
 	CPMLSync bool
 	// TrackStep is the LMS step size µ; default 0.25 when tracking.
 	TrackStep float64
+	// Workers bounds the in-packet parallelism of the batched data phase:
+	// 0 selects GOMAXPROCS, 1 forces the inline serial schedule. Decoded
+	// output is bit-identical at every worker count (the batch passes use
+	// fixed-size symbol shards writing disjoint regions).
+	Workers int
+	// ScalarChain forces the legacy symbol-at-a-time data phase instead of
+	// the block-batched one, as an ablation/debug escape hatch and for the
+	// batch-equivalence tests. The receiver also falls back to the scalar
+	// chain automatically when a feature requires it (decision-directed
+	// channel tracking, flight-evidence capture).
+	ScalarChain bool
+	// NarrowDetect opts in to the single-precision linear detection kernel
+	// on the batched path (zf/mmse only): weights and demap run in
+	// complex64/float32, LLRs widen only at the decoder boundary. The
+	// scalar chain and every Prepare stay in double precision.
+	NarrowDetect bool
 }
 
 // RxResult reports one decoded packet.
@@ -115,6 +131,43 @@ type Receiver struct {
 	// packetID is the TX-assigned correlation key of the burst about to be
 	// decoded (0 = unknown), stamped onto traces and flight evidence.
 	packetID uint64
+	// Batched data-phase state (rxbatch.go): the size-classed scratch pool,
+	// the persistent worker set, and the per-MCS fused scatter tables.
+	pool         bufPool
+	workers      []*rxWorker
+	scatterCache map[int][][]int32
+	// Per-MCS interleaver/stream-parser caches, shared by both data phases
+	// (construction builds permutation tables, so it is per-packet cost
+	// worth hoisting).
+	ilvCache    map[int][]*fec.Interleaver
+	parserCache map[int]*mimo.StreamParser
+	// Packet-lifetime slice headers and pilot reference buffers, reused.
+	tones      [][]complex128
+	pilots     [][]complex128
+	pilotViews [][]complex128
+	toneViews  [][]complex128
+	txPilots   [][]complex128
+}
+
+// dataCtx carries the data-field geometry and per-packet processing state
+// from receive() into the scalar or batched data phase.
+type dataCtx struct {
+	rx         [][]complex128
+	mcs        MCS
+	htsig      preamble.HTSIG
+	nSym       int
+	dataStart  int
+	dataSymLen int
+	dataCP     int
+	dataBO     int
+	detector   mimo.Detector
+	batchDet   mimo.BatchDetector
+	tracker    *chanest.PhaseTracker
+	htEst      *chanest.HTEstimate
+	noiseVar   float64
+	ilv        []*fec.Interleaver
+	parser     *mimo.StreamParser
+	result     *RxResult
 }
 
 // SetObs attaches the receiver's telemetry surface. Nil detaches it.
@@ -165,6 +218,12 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 	}
 	if cfg.TrackStep < 0 || cfg.TrackStep > 1 {
 		return nil, fmt.Errorf("phy: LMS step %g outside (0, 1]", cfg.TrackStep)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("phy: worker count %d is negative", cfg.Workers)
+	}
+	if cfg.NarrowDetect && cfg.Detector != "zf" && cfg.Detector != "mmse" {
+		return nil, fmt.Errorf("phy: narrow detection kernel requires a linear detector, not %q", cfg.Detector)
 	}
 	return &Receiver{
 		cfg:    cfg,
@@ -395,6 +454,15 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 		if derr != nil {
 			return result, derr
 		}
+		if r.cfg.NarrowDetect {
+			nw, ok := d.(mimo.Narrowable)
+			if !ok {
+				return result, fmt.Errorf("phy: %s detector has no narrow kernel", r.cfg.Detector)
+			}
+			if nerr := nw.SetNarrow(true); nerr != nil {
+				return result, nerr
+			}
+		}
 		r.det, r.detScheme, r.detNSS = d, mcs.Scheme, mcs.NSS
 	}
 	detector := r.det
@@ -406,174 +474,71 @@ func (r *Receiver) receive(rx [][]complex128, tr *obs.Trace) (*RxResult, error) 
 		tracker = chanest.NewPhaseTracker(htEst)
 	}
 
-	dataStart := base + OffHTLTF + nltf*preamble.HTLTFLen
-	dataSymLen := ofdm.FFTSize + dataCP
-	ilv := make([]*fec.Interleaver, mcs.NSS)
-	for iss := range ilv {
-		il, err := fec.NewHTInterleaver(mcs.NBPSCS(), mcs.NSS, iss)
-		if err != nil {
-			return result, err
-		}
-		ilv[iss] = il
-	}
-	parser, err := mimo.NewStreamParser(mcs.NSS, mcs.NBPSCS())
+	ilv, parser, err := r.streamCodecs(mcs)
 	if err != nil {
 		return result, err
 	}
-
-	streamLLR := make([][]float64, mcs.NSS)
-	perSymbol := make([][]float64, mcs.NSS)
-	deinterleaved := make([]float64, mcs.NCBPSS())
-	nd := ofdm.HTToneMap.NumData()
-	var trackMapper *modem.Mapper
-	var dataH []*cmatrix.Matrix
-	if r.cfg.TrackChannel {
-		trackMapper = modem.NewMapper(mcs.Scheme)
-		dataH = htEst.DataMatrices()
+	ctx := &dataCtx{
+		rx:         rx,
+		mcs:        mcs,
+		htsig:      htsig,
+		nSym:       nSym,
+		dataStart:  base + OffHTLTF + nltf*preamble.HTLTFLen,
+		dataSymLen: ofdm.FFTSize + dataCP,
+		dataCP:     dataCP,
+		dataBO:     dataBO,
+		detector:   detector,
+		tracker:    tracker,
+		htEst:      htEst,
+		noiseVar:   leg.NoiseVar,
+		ilv:        ilv,
+		parser:     parser,
+		result:     result,
 	}
-	dataTones := make([][]complex128, len(rx))
-	pilotTones := make([][]complex128, len(rx))
-	y := make([]complex128, len(rx))
-	// Per-subcarrier EVM accumulators, decision-directed: allocated only when
-	// flight evidence is being captured for this packet.
-	var evAcc []metrics.EVM
-	var evMapper *modem.Mapper
-	var evH []*cmatrix.Matrix
-	var evBits []byte
-	var evX []complex128
-	if r.obs.evidence() != nil {
-		evAcc = make([]metrics.EVM, nd)
-		evMapper = modem.NewMapper(mcs.Scheme)
-		evH = htEst.DataMatrices()
-		evBits = make([]byte, mcs.NBPSCS())
-		evX = make([]complex128, mcs.NSS)
-	}
-	for n := 0; n < nSym; n++ {
-		// Demod (FFT + pilot CPE) and detection interleave per symbol; the
-		// trace accumulates each stage's share across the whole data field.
-		tr.Begin(obs.StageDemod)
-		off := dataStart + n*dataSymLen + dataCP - dataBO
-		for a := range rx {
-			if off+ofdm.FFTSize > len(rx[a]) {
-				return result, fmt.Errorf("phy: stream ends inside data symbol %d", n)
-			}
-			var derr error
-			dataTones[a], pilotTones[a], derr = r.htDem.Symbol(rx[a][off:off+ofdm.FFTSize], dataTones[a][:0], pilotTones[a][:0])
-			if derr != nil {
-				return result, derr
-			}
-		}
-		// Pilot-based common phase error correction.
-		txPilots := make([][]complex128, mcs.NSS)
-		for iss := 0; iss < mcs.NSS; iss++ {
-			p, perr := ofdm.HTPilots(mcs.NSS, iss, n, 3)
-			if perr != nil {
-				return result, perr
-			}
-			txPilots[iss] = p
-		}
-		if tracker != nil {
-			cpe, terr := tracker.Estimate(pilotTones, txPilots)
-			if terr == nil {
-				chanest.Correct(dataTones, cpe)
-				result.CPETrace = append(result.CPETrace, cpe)
-			}
-		}
-		// Per-subcarrier MIMO detection into per-stream LLRs.
-		tr.Begin(obs.StageDetector)
-		for iss := range perSymbol {
-			perSymbol[iss] = perSymbol[iss][:0]
-		}
-		for k := 0; k < nd; k++ {
-			for a := range rx {
-				y[a] = dataTones[a][k]
-			}
-			var derr error
-			perSymbol, derr = detector.Detect(perSymbol, k, y)
-			if derr != nil {
-				return result, derr
-			}
-		}
-		if evAcc != nil {
-			accumulateEVM(evAcc, perSymbol, dataTones, evH, evMapper, evBits, evX, mcs.NSS, mcs.NBPSCS())
-		}
-		// Decision-directed LMS channel tracking: slice each stream's
-		// detected bits back to constellation points and nudge Ĥ(k)
-		// toward the error direction, then refresh the detector weights.
-		if r.cfg.TrackChannel {
-			nbpsc := mcs.NBPSCS()
-			bits := make([]byte, nbpsc)
-			xhat := make([]complex128, mcs.NSS)
-			mu := complex(r.cfg.TrackStep, 0)
-			for k := 0; k < nd; k++ {
-				var norm float64
-				for iss := 0; iss < mcs.NSS; iss++ {
-					for b := 0; b < nbpsc; b++ {
-						bits[b] = 0
-						if perSymbol[iss][k*nbpsc+b] < 0 {
-							bits[b] = 1
-						}
-					}
-					xhat[iss] = trackMapper.MapOne(bits)
-					norm += real(xhat[iss])*real(xhat[iss]) + imag(xhat[iss])*imag(xhat[iss])
-				}
-				if norm == 0 {
-					continue
-				}
-				h := dataH[k]
-				for a := range rx {
-					// e_a = y_a − Σ_s H[a][s]·x̂_s
-					var est complex128
-					for s := 0; s < mcs.NSS; s++ {
-						est += h.At(a, s) * xhat[s]
-					}
-					e := dataTones[a][k] - est
-					for s := 0; s < mcs.NSS; s++ {
-						h.Set(a, s, h.At(a, s)+mu*e*conj(xhat[s])/complex(norm, 0))
-					}
-				}
-			}
-			if err := detector.Prepare(dataH, leg.NoiseVar); err != nil {
-				return result, err
-			}
-		}
-		// Deinterleave each stream's symbol worth of LLRs.
-		for iss := 0; iss < mcs.NSS; iss++ {
-			ilv[iss].DeinterleaveLLR(deinterleaved, perSymbol[iss])
-			streamLLR[iss] = append(streamLLR[iss], deinterleaved...)
-		}
-	}
-
-	// --- 9. Merge streams, depuncture, decode, descramble ---------------
-	tr.Begin(obs.StageViterbi)
-	merged, err := parser.MergeLLR(streamLLR)
-	if err != nil {
-		return result, err
-	}
-	if ev := r.obs.evidence(); ev != nil {
-		ev.EVM = flight.EVMBins(evAcc, htDataSubcarriers)
-		ev.SoftBits = flight.SoftStats(merged)
-	}
-	dataBits := nSym * mcs.NDBPS()
-	dep, err := fec.DepunctureInto(r.depBuf, merged, dataBits, mcs.Rate)
-	if err != nil {
-		return result, err
-	}
-	r.depBuf = dep
-	// The trellis is in the zero state right after the 6 tail bits; the pad
-	// bits that fill the last symbol keep driving it afterwards, so decode
-	// only SERVICE + PSDU + tail steps and anchor traceback at the tail.
+	// Pre-size the Viterbi decoder from the SIG-declared packet length so
+	// the decode below starts with its traceback storage in place.
 	usefulSteps := 16 + 8*htsig.Length + 6
+	dataBits := nSym * mcs.NDBPS()
 	if usefulSteps > dataBits {
 		return result, fmt.Errorf("phy: HT-SIG length %d exceeds the %d-symbol data field", htsig.Length, nSym)
 	}
+	r.vit.Reserve(usefulSteps)
+
+	// The block-batched data phase is the default; the symbol-at-a-time
+	// chain remains for features with inherently sequential symbol coupling
+	// (decision-directed channel tracking), for flight-evidence capture
+	// (per-symbol EVM accumulation), and as an explicit ablation switch.
+	// Both produce bit-identical depunctured LLR streams.
+	bd, canBatch := detector.(mimo.BatchDetector)
+	useScalar := r.cfg.ScalarChain || r.cfg.TrackChannel || r.obs.evidence() != nil || !canBatch
+	var dep, merged []float64
+	if useScalar {
+		dep, merged, err = r.dataScalar(ctx, tr)
+	} else {
+		ctx.batchDet = bd
+		dep, err = r.dataBatch(ctx, tr)
+	}
+	if err != nil {
+		return result, err
+	}
+
+	// --- 9. Viterbi decode and descramble -------------------------------
+	// The trellis is in the zero state right after the 6 tail bits; the pad
+	// bits that fill the last symbol keep driving it afterwards, so decode
+	// only SERVICE + PSDU + tail steps and anchor traceback at the tail.
+	tr.Begin(obs.StageViterbi)
 	decoded, err := r.vit.DecodeSoftInto(r.decBuf, dep[:2*usefulSteps], true)
 	if err != nil {
 		return result, err
 	}
 	r.decBuf = decoded
 	if r.obs != nil {
-		errs, bits := preFECCompare(decoded, merged, mcs.Rate)
+		var errs, bits int
+		if merged != nil {
+			errs, bits = preFECCompare(decoded, merged, mcs.Rate)
+		} else {
+			errs, bits = preFECCompareMother(decoded, dep)
+		}
 		r.obs.prefec(errs, bits)
 	}
 	// Descramble: recover the seed from the SERVICE field (the first 7

@@ -1,0 +1,201 @@
+package phy
+
+import (
+	"fmt"
+
+	"repro/internal/chanest"
+	"repro/internal/cmatrix"
+	"repro/internal/fec"
+	"repro/internal/metrics"
+	"repro/internal/mimo"
+	"repro/internal/modem"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/ofdm"
+)
+
+// streamCodecs returns the per-stream interleavers and the stream parser for
+// the MCS, cached across packets (both are immutable after construction).
+func (r *Receiver) streamCodecs(mcs MCS) ([]*fec.Interleaver, *mimo.StreamParser, error) {
+	if ilv, ok := r.ilvCache[mcs.Index]; ok {
+		return ilv, r.parserCache[mcs.Index], nil
+	}
+	ilv := make([]*fec.Interleaver, mcs.NSS)
+	for iss := range ilv {
+		il, err := fec.NewHTInterleaver(mcs.NBPSCS(), mcs.NSS, iss)
+		if err != nil {
+			return nil, nil, err
+		}
+		ilv[iss] = il
+	}
+	parser, err := mimo.NewStreamParser(mcs.NSS, mcs.NBPSCS())
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.ilvCache == nil {
+		r.ilvCache = make(map[int][]*fec.Interleaver)
+		r.parserCache = make(map[int]*mimo.StreamParser)
+	}
+	r.ilvCache[mcs.Index] = ilv
+	r.parserCache[mcs.Index] = parser
+	return ilv, parser, nil
+}
+
+// dataScalar is the symbol-at-a-time data phase: demodulate, phase-correct,
+// detect, deinterleave and merge one OFDM symbol at a time. It remains the
+// reference chain — the batch path must match its depunctured LLR stream
+// bit for bit — and the only chain supporting decision-directed channel
+// tracking and flight-evidence EVM capture, both of which need per-symbol
+// sequencing. Returns the depunctured LLRs (owned by r.depBuf) and the merged
+// pre-depuncture stream for pre-FEC accounting.
+func (r *Receiver) dataScalar(ctx *dataCtx, tr *obs.Trace) ([]float64, []float64, error) {
+	rx := ctx.rx
+	mcs := ctx.mcs
+	nSym := ctx.nSym
+	detector := ctx.detector
+	tracker := ctx.tracker
+	htEst := ctx.htEst
+	ilv, parser := ctx.ilv, ctx.parser
+	result := ctx.result
+
+	streamLLR := make([][]float64, mcs.NSS)
+	perSymbol := make([][]float64, mcs.NSS)
+	deinterleaved := make([]float64, mcs.NCBPSS())
+	nd := ofdm.HTToneMap.NumData()
+	var trackMapper *modem.Mapper
+	var dataH []*cmatrix.Matrix
+	if r.cfg.TrackChannel {
+		trackMapper = modem.NewMapper(mcs.Scheme)
+		dataH = htEst.DataMatrices()
+	}
+	dataTones := make([][]complex128, len(rx))
+	pilotTones := make([][]complex128, len(rx))
+	y := make([]complex128, len(rx))
+	// Per-subcarrier EVM accumulators, decision-directed: allocated only when
+	// flight evidence is being captured for this packet.
+	var evAcc []metrics.EVM
+	var evMapper *modem.Mapper
+	var evH []*cmatrix.Matrix
+	var evBits []byte
+	var evX []complex128
+	if r.obs.evidence() != nil {
+		evAcc = make([]metrics.EVM, nd)
+		evMapper = modem.NewMapper(mcs.Scheme)
+		evH = htEst.DataMatrices()
+		evBits = make([]byte, mcs.NBPSCS())
+		evX = make([]complex128, mcs.NSS)
+	}
+	for n := 0; n < nSym; n++ {
+		// Demod (FFT + pilot CPE) and detection interleave per symbol; the
+		// trace accumulates each stage's share across the whole data field.
+		tr.Begin(obs.StageDemod)
+		off := ctx.dataStart + n*ctx.dataSymLen + ctx.dataCP - ctx.dataBO
+		for a := range rx {
+			if off+ofdm.FFTSize > len(rx[a]) {
+				return nil, nil, fmt.Errorf("phy: stream ends inside data symbol %d", n)
+			}
+			var derr error
+			dataTones[a], pilotTones[a], derr = r.htDem.Symbol(rx[a][off:off+ofdm.FFTSize], dataTones[a][:0], pilotTones[a][:0])
+			if derr != nil {
+				return nil, nil, derr
+			}
+		}
+		// Pilot-based common phase error correction.
+		txPilots := make([][]complex128, mcs.NSS)
+		for iss := 0; iss < mcs.NSS; iss++ {
+			p, perr := ofdm.HTPilots(mcs.NSS, iss, n, 3)
+			if perr != nil {
+				return nil, nil, perr
+			}
+			txPilots[iss] = p
+		}
+		if tracker != nil {
+			cpe, terr := tracker.Estimate(pilotTones, txPilots)
+			if terr == nil {
+				chanest.Correct(dataTones, cpe)
+				result.CPETrace = append(result.CPETrace, cpe)
+			}
+		}
+		// Per-subcarrier MIMO detection into per-stream LLRs.
+		tr.Begin(obs.StageDetector)
+		for iss := range perSymbol {
+			perSymbol[iss] = perSymbol[iss][:0]
+		}
+		for k := 0; k < nd; k++ {
+			for a := range rx {
+				y[a] = dataTones[a][k]
+			}
+			var derr error
+			perSymbol, derr = detector.Detect(perSymbol, k, y)
+			if derr != nil {
+				return nil, nil, derr
+			}
+		}
+		if evAcc != nil {
+			accumulateEVM(evAcc, perSymbol, dataTones, evH, evMapper, evBits, evX, mcs.NSS, mcs.NBPSCS())
+		}
+		// Decision-directed LMS channel tracking: slice each stream's
+		// detected bits back to constellation points and nudge Ĥ(k)
+		// toward the error direction, then refresh the detector weights.
+		if r.cfg.TrackChannel {
+			nbpsc := mcs.NBPSCS()
+			bits := make([]byte, nbpsc)
+			xhat := make([]complex128, mcs.NSS)
+			mu := complex(r.cfg.TrackStep, 0)
+			for k := 0; k < nd; k++ {
+				var norm float64
+				for iss := 0; iss < mcs.NSS; iss++ {
+					for b := 0; b < nbpsc; b++ {
+						bits[b] = 0
+						if perSymbol[iss][k*nbpsc+b] < 0 {
+							bits[b] = 1
+						}
+					}
+					xhat[iss] = trackMapper.MapOne(bits)
+					norm += real(xhat[iss])*real(xhat[iss]) + imag(xhat[iss])*imag(xhat[iss])
+				}
+				if norm == 0 {
+					continue
+				}
+				h := dataH[k]
+				for a := range rx {
+					// e_a = y_a − Σ_s H[a][s]·x̂_s
+					var est complex128
+					for s := 0; s < mcs.NSS; s++ {
+						est += h.At(a, s) * xhat[s]
+					}
+					e := dataTones[a][k] - est
+					for s := 0; s < mcs.NSS; s++ {
+						h.Set(a, s, h.At(a, s)+mu*e*conj(xhat[s])/complex(norm, 0))
+					}
+				}
+			}
+			if err := detector.Prepare(dataH, ctx.noiseVar); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Deinterleave each stream's symbol worth of LLRs.
+		for iss := 0; iss < mcs.NSS; iss++ {
+			ilv[iss].DeinterleaveLLR(deinterleaved, perSymbol[iss])
+			streamLLR[iss] = append(streamLLR[iss], deinterleaved...)
+		}
+	}
+
+	// Merge streams and depuncture into the shared decode buffer.
+	tr.Begin(obs.StageViterbi)
+	merged, err := parser.MergeLLR(streamLLR)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ev := r.obs.evidence(); ev != nil {
+		ev.EVM = flight.EVMBins(evAcc, htDataSubcarriers)
+		ev.SoftBits = flight.SoftStats(merged)
+	}
+	dataBits := nSym * mcs.NDBPS()
+	dep, err := fec.DepunctureInto(r.depBuf, merged, dataBits, mcs.Rate)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.depBuf = dep
+	return dep, merged, nil
+}

@@ -212,6 +212,6 @@ func E12PipelineThroughput(opt Options) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"stage 1 = TX chain (MCS15), stage 2 = RX chain incl. sync+MMSE+Viterbi, stage 3 = channel simulator",
 		fmt.Sprintf("x_realtime > 1 means the stage outruns the %g MHz sample clock", ofdm.SampleRate/1e6),
-		"expected: TX an order of magnitude faster than RX (Viterbi+detection dominate); neither reaches 20 MHz real time single-core, matching the paper's non-real-time GNU Radio operation")
+		"expected: TX several times faster than RX (Viterbi+detection dominate); this heavy MCS15 2x2 per-stream configuration stays below 20 MHz real time single-core, matching the paper's non-real-time GNU Radio operation — see E24/BenchmarkRealtime for the configuration the batched chain sustains in real time")
 	return t, nil
 }
