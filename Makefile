@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint lint-json lint-sarif fmt fmt-check bench bench-all bench-compare soak clean
+.PHONY: all build test race lint lint-json lint-sarif fmt fmt-check bench bench-all bench-compare soak mu-soak clean
 
 all: build lint test
 
@@ -67,6 +67,15 @@ bench-compare:
 # baseline. CI runs the same engine at reduced scale under -race.
 soak:
 	$(GO) run ./cmd/mimonet-gw -soak -sessions 240 -bytes 32768 -seed 20260808 -o SOAK_pr6.json
+
+# Multi-user AP soak (experiment E25): 120 stations across four cells
+# through the static/fading/churn scenario rotation, precoding from cached
+# quantized CSI. Regenerate after apmac/mumimo/sounding work and commit the
+# SOAK_pr9.json diff; exits non-zero if multi-user throughput fails to beat
+# the single-user TDMA baseline. CI runs the same engine at reduced scale
+# under -race.
+mu-soak:
+	$(GO) run ./cmd/mimonet-ap -soak -seed 20260808 -o SOAK_pr9.json
 
 # Every benchmark in the tree (kernel micro-benches included), untracked.
 bench-all:

@@ -1,0 +1,255 @@
+// Command mimonet-ap is the multi-user MIMO access point: a long-running
+// service that multiplexes many associated stations over one UDP radio
+// link, sounding each of them on a fixed cadence, grouping compatible
+// stations by CSI orthogonality, and zero-forcing the downlink toward every
+// group member at once. It runs in four modes:
+//
+//	mimonet-ap -listen 127.0.0.1:9900
+//	    Serve stations. With -metrics-listen the process exposes live
+//	    /metrics (per-station PER, throughput, CSI age) and /debug/pprof.
+//	    SIGINT drains: every station is sent a Bye before the process
+//	    exits.
+//
+//	mimonet-ap -join 127.0.0.1:9900 -station-index 3
+//	    Act as one station: contend for association with seeded backoff,
+//	    answer sounding with quantized CSI, receive precoded MPDUs and
+//	    block-acknowledge them until interrupted.
+//
+//	mimonet-ap -stations 8 -duration 2s
+//	    In-process demo: spawn an AP plus N station clients over loopback,
+//	    run for -duration, and print each station's counters.
+//
+//	mimonet-ap -soak -o SOAK_pr9.json
+//	    Run the E25 multi-cell soak in-process (no sockets): ≥100 stations
+//	    across static/fading/churn scenarios, writing a JSON artifact.
+//	    Exits non-zero if multi-user throughput fails to beat the
+//	    single-user TDMA baseline or the well-conditioned 2×2 check fails.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/apmac"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:9900", "UDP listen address (serve mode)")
+		ntx           = flag.Int("ntx", 4, "AP transmit antennas (spatial stream budget)")
+		snr           = flag.Float64("snr", 25, "nominal link SNR in dB for the sounding analyzer")
+		mpdu          = flag.Int("mpdu", 500, "downlink payload bytes per MPDU")
+		tick          = flag.Duration("tick", 5*time.Millisecond, "scheduler tick interval")
+		soundEvery    = flag.Int("sound-every", 20, "sound every station each N ticks")
+		idleTimeout   = flag.Duration("idle-timeout", 3*time.Second, "evict stations silent for this long")
+		drop          = flag.Float64("drop", 0, "seeded downlink loss probability (air model)")
+		metricsListen = flag.String("metrics-listen", "", "serve /metrics and /debug/pprof on this address (empty = telemetry off)")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		seed          = flag.Int64("seed", 1, "campaign seed (loss model, station channels, soak)")
+
+		join     = flag.String("join", "", "station mode: associate with the AP at this address")
+		staIndex = flag.Int("station-index", 0, "station mode: identity index (seeds nonce, channel, backoff)")
+
+		stations = flag.Int("stations", 0, "demo mode: run an in-process AP plus this many loopback stations")
+		duration = flag.Duration("duration", 2*time.Second, "demo mode: run time before draining")
+
+		soak    = flag.Bool("soak", false, "run the E25 multi-cell soak and write a JSON artifact")
+		cells   = flag.Int("cells", 0, "soak: independent cells (0 = tracked default)")
+		perCell = flag.Int("stations-per-cell", 0, "soak: stations per cell (0 = tracked default)")
+		slots   = flag.Int("slots", 0, "soak: simulated slots per cell (0 = tracked default)")
+		workers = flag.Int("workers", 0, "soak: cell worker pool (0 = GOMAXPROCS; results identical at any value)")
+		soakOut = flag.String("o", "SOAK_pr9.json", "soak: artifact path")
+	)
+	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON, "ap")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch {
+	case *soak:
+		cfg := apmac.DefaultSoakConfig()
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		if *cells > 0 {
+			cfg.Cells = *cells
+		}
+		if *perCell > 0 {
+			cfg.StationsPerCell = *perCell
+		}
+		if *slots > 0 {
+			cfg.Slots = *slots
+		}
+		cfg.NTX = *ntx
+		cfg.SNRdB = *snr
+		res, err := apmac.RunSoak(cfg)
+		if err != nil {
+			fatal("soak failed", err)
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal("soak marshal", err)
+		}
+		if err := os.WriteFile(*soakOut, append(blob, '\n'), 0o644); err != nil {
+			fatal("soak write", err)
+		}
+		logger.Info("soak artifact written", slog.String("file", *soakOut),
+			slog.Int("stations", res.Stations),
+			slog.String("mu_mbps", fmt.Sprintf("%.2f", res.MUThroughputMbps)),
+			slog.String("su_mbps", fmt.Sprintf("%.2f", res.SUBaselineMbps)),
+			slog.Int("reassociations", res.Reassociations),
+			slog.String("sched_hash", res.SchedHash))
+		if res.MUThroughputMbps <= res.SUBaselineMbps {
+			logger.Error("multi-user aggregate did not beat the single-user baseline")
+			os.Exit(1)
+		}
+		if res.MU2x2SumRate <= res.SU2x2BestRate {
+			logger.Error("well-conditioned 2x2 sum rate did not beat the single-user rate")
+			os.Exit(1)
+		}
+
+	case *join != "":
+		c, err := apmac.NewClient(apmac.ClientConfig{
+			Addr:   *join,
+			Index:  *staIndex,
+			Seed:   *seed,
+			NTX:    *ntx,
+			Logger: logger,
+		})
+		if err != nil {
+			fatal("station", err)
+		}
+		if err := c.Run(ctx); err != nil {
+			fatal("station run", err)
+		}
+		st := c.Snapshot()
+		logger.Info("station done", slog.Int("id", int(st.ID)),
+			slog.Int("soundings", st.Soundings), slog.Int("data_frames", st.DataFrames),
+			slog.Int("acks", st.AcksSent))
+
+	case *stations > 0:
+		runDemo(ctx, logger, demoConfig{
+			n: *stations, ntx: *ntx, snr: *snr, mpdu: *mpdu,
+			tick: *tick, soundEvery: *soundEvery, drop: *drop,
+			seed: *seed, duration: *duration,
+		}, fatal)
+
+	default:
+		reg := obs.NewRegistry()
+		ap, err := apmac.NewAP(apmac.APConfig{
+			Listen:       *listen,
+			NTX:          *ntx,
+			SNRdB:        *snr,
+			MPDUBytes:    *mpdu,
+			TickInterval: *tick,
+			SoundEvery:   *soundEvery,
+			IdleTimeout:  *idleTimeout,
+			DropProb:     *drop,
+			Seed:         *seed,
+			Logger:       logger,
+			Registry:     reg,
+		})
+		if err != nil {
+			fatal("access point", err)
+		}
+		if *metricsListen != "" {
+			srv := obs.NewServer(reg, nil, nil)
+			maddr, err := srv.Listen(*metricsListen)
+			if err != nil {
+				fatal("telemetry listen failed", err)
+			}
+			defer srv.Close()
+			logger.Info("telemetry listening", slog.String("addr", "http://"+maddr.String()+"/metrics"))
+		}
+		logger.Info("access point listening", slog.String("addr", ap.Addr().String()),
+			slog.Int("ntx", *ntx), slog.Duration("tick", *tick))
+		if err := ap.Run(ctx); err != nil {
+			fatal("access point failed", err)
+		}
+		logger.Info("access point drained", slog.Int("stations", ap.Stations()))
+	}
+}
+
+type demoConfig struct {
+	n, ntx, mpdu, soundEvery int
+	snr, drop                float64
+	tick                     time.Duration
+	seed                     int64
+	duration                 time.Duration
+}
+
+// runDemo exercises the full live path in one process: an AP plus n station
+// clients over loopback UDP, drained after the configured duration.
+func runDemo(ctx context.Context, logger *slog.Logger, d demoConfig, fatal func(string, error)) {
+	reg := obs.NewRegistry()
+	ap, err := apmac.NewAP(apmac.APConfig{
+		Listen:       "127.0.0.1:0",
+		NTX:          d.ntx,
+		SNRdB:        d.snr,
+		MPDUBytes:    d.mpdu,
+		TickInterval: d.tick,
+		SoundEvery:   d.soundEvery,
+		DropProb:     d.drop,
+		Seed:         d.seed,
+		Logger:       logger,
+		Registry:     reg,
+	})
+	if err != nil {
+		fatal("access point", err)
+	}
+	runCtx, cancel := context.WithTimeout(ctx, d.duration)
+	defer cancel()
+	apDone := make(chan error, 1)
+	go func() { apDone <- ap.Run(runCtx) }()
+
+	clients := make([]*apmac.Client, d.n)
+	var wg sync.WaitGroup
+	for i := range clients {
+		c, err := apmac.NewClient(apmac.ClientConfig{
+			Addr:  ap.Addr().String(),
+			Index: i,
+			Seed:  d.seed,
+			NTX:   d.ntx,
+		})
+		if err != nil {
+			fatal("station", err)
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Run(runCtx); err != nil {
+				logger.Warn("station exited", slog.String("err", err.Error()))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-apDone; err != nil {
+		fatal("access point failed", err)
+	}
+	associated := 0
+	for i, c := range clients {
+		st := c.Snapshot()
+		if st.Associated {
+			associated++
+		}
+		fmt.Printf("station %2d: id=%-3d tries=%d soundings=%-3d data=%-4d acks=%-4d faults=%d\n",
+			i, st.ID, st.AssocTries, st.Soundings, st.DataFrames, st.AcksSent, st.PayloadFault)
+	}
+	logger.Info("demo drained", slog.Int("associated", associated), slog.Int("stations", d.n))
+	if associated < d.n {
+		fatal("demo", fmt.Errorf("only %d/%d stations associated", associated, d.n))
+	}
+}

@@ -1,0 +1,68 @@
+// Package apmac is the wirecompat fixture for Kind-switch exhaustiveness
+// over the AP MAC control codec: the same rule as the session wire enum,
+// applied to the multi-user access point's message kinds.
+package apmac
+
+// Kind discriminates AP MAC control messages.
+type Kind uint8
+
+const (
+	KindAssoc Kind = iota + 1
+	KindAssocAck
+	KindSound
+	KindFeedback
+	KindData
+)
+
+// route misses three kinds with no default: a new kind would be silently
+// dropped here.
+func route(k Kind) int {
+	switch k { // want `switch over apmac\.Kind handles 2 of 5 wire kinds and has no default; missing KindSound, KindFeedback, KindData`
+	case KindAssoc:
+		return 1
+	case KindAssocAck:
+		return 2
+	}
+	return 0
+}
+
+// routeExempt is an audited subset dispatch.
+func routeExempt(k Kind) int {
+	//mimonet:wirecompat-ok association fast path, data kinds handled upstream
+	switch k {
+	case KindAssoc:
+		return 1
+	}
+	return 0
+}
+
+// routeDefault handles the remainder explicitly — no finding.
+func routeDefault(k Kind) int {
+	switch k {
+	case KindData:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// stringer covers every kind — no finding.
+func (k Kind) String() string {
+	switch k {
+	case KindAssoc:
+		return "assoc"
+	case KindAssocAck:
+		return "assoc-ack"
+	case KindSound:
+		return "sound"
+	case KindFeedback:
+		return "feedback"
+	case KindData:
+		return "data"
+	}
+	return "unknown"
+}
+
+var _ = route
+var _ = routeExempt
+var _ = routeDefault

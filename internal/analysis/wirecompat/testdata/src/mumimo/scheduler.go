@@ -1,0 +1,54 @@
+// Package mumimo is the wirecompat fixture for exhaustiveness over the
+// multi-user scheduler's per-station state machine: adding a state must
+// force every subset switch to be revisited.
+package mumimo
+
+// StationState is the scheduler's view of one station.
+type StationState uint8
+
+const (
+	StateIdle StationState = iota + 1
+	StateBacklogged
+	StateStale
+	StateScheduled
+)
+
+// serviceable misses two states with no default: a station parked in a
+// new state would never be serviced.
+func serviceable(s StationState) bool {
+	switch s { // want `switch over mumimo\.StationState handles 2 of 4 scheduler states and has no default; missing StateStale, StateScheduled`
+	case StateIdle:
+		return false
+	case StateBacklogged:
+		return true
+	}
+	return false
+}
+
+// needsSounding handles the remainder explicitly — no finding.
+func needsSounding(s StationState) bool {
+	switch s {
+	case StateStale:
+		return true
+	default:
+		return false
+	}
+}
+
+// stringer covers every state — no finding.
+func (s StationState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateBacklogged:
+		return "backlogged"
+	case StateStale:
+		return "stale"
+	case StateScheduled:
+		return "scheduled"
+	}
+	return "unknown"
+}
+
+var _ = serviceable
+var _ = needsSounding

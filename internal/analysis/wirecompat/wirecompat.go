@@ -470,8 +470,9 @@ func boundsHelperWidth(info *types.Info, call *ast.CallExpr, id *ast.Ident) (int
 	return constIntValue(info, call.Args[0])
 }
 
-// checkKindSwitches enforces exhaustiveness over the session wire Kind
-// enum at every switch site, in whatever package the switch appears.
+// checkKindSwitches enforces exhaustiveness over the tracked wire and
+// state enums (see isWireEnum) at every switch site, in whatever package
+// the switch appears.
 func checkKindSwitches(pass *framework.Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -480,7 +481,7 @@ func checkKindSwitches(pass *framework.Pass) {
 				return true
 			}
 			enum := framework.EnumTagType(pass.Info, sw)
-			if enum == nil || !isSessionKind(enum) {
+			if enum == nil || !isWireEnum(enum) {
 				return true
 			}
 			enumMembers := framework.EnumMembers(enum)
@@ -496,17 +497,41 @@ func checkKindSwitches(pass *framework.Pass) {
 				names = append(names, m.Name())
 			}
 			pass.Reportf(sw.Pos(),
-				"switch over %s.%s handles %d of %d wire kinds and has no default; missing %s",
+				"switch over %s.%s handles %d of %d %s and has no default; missing %s",
 				enum.Obj().Pkg().Name(), enum.Obj().Name(),
-				len(enumMembers)-len(cov.Missing), len(enumMembers), strings.Join(names, ", "))
+				len(enumMembers)-len(cov.Missing), len(enumMembers), wireEnumNoun(enum),
+				strings.Join(names, ", "))
 			return true
 		})
 	}
 }
 
-// isSessionKind matches the wire-kind enum: a type named Kind declared in a
-// package whose leaf name is "session".
-func isSessionKind(enum *types.Named) bool {
+// isWireEnum matches the enums whose switch sites must stay exhaustive:
+// the wire-kind discriminators of the session and AP MAC codecs (a type
+// named Kind in a package whose leaf name is "session" or "apmac"), and
+// the multi-user scheduler's per-station state machine
+// (mumimo.StationState). Adding a member to any of them forces every
+// subset switch to be revisited or explicitly exempted.
+func isWireEnum(enum *types.Named) bool {
 	obj := enum.Obj()
-	return obj.Name() == "Kind" && obj.Pkg() != nil && framework.PathApplies(obj.Pkg().Path(), "session")
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	switch obj.Name() {
+	case "Kind":
+		return framework.PathApplies(path, "session") || framework.PathApplies(path, "apmac")
+	case "StationState":
+		return framework.PathApplies(path, "mumimo")
+	}
+	return false
+}
+
+// wireEnumNoun names the members in findings so the message reads
+// naturally for both codec kinds and scheduler states.
+func wireEnumNoun(enum *types.Named) string {
+	if enum.Obj().Name() == "StationState" {
+		return "scheduler states"
+	}
+	return "wire kinds"
 }

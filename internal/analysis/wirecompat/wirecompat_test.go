@@ -8,5 +8,5 @@ import (
 )
 
 func TestWirecompat(t *testing.T) {
-	atest.Run(t, "testdata", wirecompat.Analyzer, "radio", "session")
+	atest.Run(t, "testdata", wirecompat.Analyzer, "radio", "session", "apmac", "mumimo")
 }

@@ -1,0 +1,452 @@
+package apmac
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/flowgraph"
+	"repro/internal/mumimo"
+	"repro/internal/obs"
+	"repro/internal/radio"
+)
+
+// AP is the multi-user access point service: it multiplexes many station
+// processes over UDP radio framing v4, owning the association table, the
+// CSI cache fed by quantized sounding feedback, and the orthogonality-aware
+// group scheduler that drives the precoded downlink. The ingress and
+// scheduling pumps run as supervised flowgraph blocks — panics are
+// contained and restarted with backoff, exactly like the session gateway.
+type AP struct {
+	cfg   APConfig
+	log   *slog.Logger
+	clk   clock.Clock
+	conn  *net.UDPConn
+	table *Table
+	cache *mumimo.Cache
+	sched *mumimo.Scheduler
+
+	mu     sync.Mutex
+	closed bool
+	inbox  []datagram
+	addrs  map[uint16]*net.UDPAddr
+	links  map[uint16]*linkStats
+	seq    uint64
+	token  uint32
+	ticks  int
+
+	// dropRng is the seeded air-interface loss model: each downlink data
+	// frame is lost with cfg.DropProb, exercising the per-station ARQ.
+	dropRng *rand.Rand
+}
+
+type datagram struct {
+	data []byte
+	addr *net.UDPAddr
+}
+
+// linkStats tracks one station's downlink outcome for the PER gauge and
+// its scheduling deficit for fairness.
+type linkStats struct {
+	attempts  int
+	delivered int
+	// lastServed is the tick this station last made a group. The saturated
+	// downlink keeps every ARQ window full, so raw queue depth ties across
+	// the field; the deficit (ticks since served) breaks the tie and turns
+	// the greedy scheduler into a deficit round-robin.
+	lastServed int
+}
+
+// APConfig configures an access point.
+type APConfig struct {
+	// Listen is the UDP address stations join.
+	Listen string
+	// NTX is the transmit antenna count (spatial stream budget). Default 4.
+	NTX int
+	// SNRdB is the nominal link SNR handed to the sounding analyzer.
+	// Default 25.
+	SNRdB float64
+	// MPDUBytes sizes each downlink payload. Default 500.
+	MPDUBytes int
+	// TickInterval paces the scheduling loop. Default 5ms.
+	TickInterval time.Duration
+	// SoundEvery is the sounding cadence in ticks. Default 20.
+	SoundEvery int
+	// IdleTimeout evicts stations silent this long. Default 3s.
+	IdleTimeout time.Duration
+	// DropProb is the seeded downlink loss probability (air model).
+	DropProb float64
+	// Seed drives the loss model.
+	Seed int64
+	// Logger observes AP events; nil is silent.
+	Logger *slog.Logger
+	// Registry receives the AP gauges and flowgraph health metrics.
+	Registry *obs.Registry
+	// Clock injects time; nil is the system clock.
+	Clock clock.Clock
+}
+
+func (c APConfig) withDefaults() APConfig {
+	if c.NTX <= 0 {
+		c.NTX = 4
+	}
+	if c.SNRdB == 0 {
+		c.SNRdB = 25
+	}
+	if c.MPDUBytes <= 0 {
+		c.MPDUBytes = 500
+	}
+	if c.MPDUBytes > MaxFeedbackBytes {
+		c.MPDUBytes = MaxFeedbackBytes
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 5 * time.Millisecond
+	}
+	if c.SoundEvery <= 0 {
+		c.SoundEvery = 20
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 3 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	c.Clock = clock.Or(c.Clock)
+	return c
+}
+
+// NewAP binds the listen socket and assembles the service.
+func NewAP(cfg APConfig) (*AP, error) {
+	cfg = cfg.withDefaults()
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("apmac: listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("apmac: listen: %w", err)
+	}
+	a := &AP{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		clk:     cfg.Clock,
+		conn:    conn,
+		table:   NewTable(cfg.Clock),
+		cache:   mumimo.NewCache(cfg.Clock, mumimo.DefaultMaxCSIAge),
+		sched:   &mumimo.Scheduler{NTX: cfg.NTX},
+		addrs:   map[uint16]*net.UDPAddr{},
+		links:   map[uint16]*linkStats{},
+		dropRng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Registry != nil {
+		a.table.Instrument(cfg.Registry)
+	}
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *AP) Addr() net.Addr { return a.conn.LocalAddr() }
+
+// Stations returns the current association count.
+func (a *AP) Stations() int { return a.table.Len() }
+
+// Run serves until ctx is cancelled. The ingress and scheduler pumps run
+// under flowgraph supervision; a contained panic restarts the block with
+// backoff rather than killing the AP.
+func (a *AP) Run(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopped := make(chan struct{})
+	go func() {
+		<-runCtx.Done()
+		a.mu.Lock()
+		a.closed = true
+		a.mu.Unlock()
+		a.conn.Close()
+		close(stopped)
+	}()
+
+	graph := flowgraph.New()
+	ing := &apIngressBlock{a: a}
+	sch := &apSchedBlock{a: a}
+	if err := graph.Add(ing); err != nil {
+		return err
+	}
+	if err := graph.Add(sch); err != nil {
+		return err
+	}
+	if err := graph.Connect(ing, 0, sch, 0); err != nil {
+		return err
+	}
+	if err := graph.SetPolicy(flowgraph.Policy{
+		MaxRestarts: 4,
+		TrackHealth: true,
+		Metrics:     a.cfg.Registry,
+		Logger:      a.log,
+		Clock:       a.clk,
+	}); err != nil {
+		return err
+	}
+	err := graph.Run(runCtx)
+	cancel()
+	<-stopped
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// apIngressBlock parks on the socket and queues inbound datagrams, ringing
+// the doorbell chunk toward the scheduler block.
+type apIngressBlock struct{ a *AP }
+
+func (b *apIngressBlock) Name() string { return "ap-ingress" }
+func (b *apIngressBlock) Inputs() int  { return 0 }
+func (b *apIngressBlock) Outputs() int { return 1 }
+
+func (b *apIngressBlock) Run(ctx context.Context, _ []<-chan flowgraph.Chunk, out []chan<- flowgraph.Chunk) error {
+	a := b.a
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			a.mu.Lock()
+			closed := a.closed
+			a.mu.Unlock()
+			if closed || ctx.Err() != nil {
+				return nil
+			}
+			return flowgraph.Recoverable(err)
+		}
+		d := datagram{data: append([]byte(nil), buf[:n]...), addr: addr} //mimonet:alloc-ok datagram escapes to the sched block
+		a.mu.Lock()
+		a.inbox = append(a.inbox, d) //mimonet:alloc-ok inbox batches datagrams between doorbells
+		a.mu.Unlock()
+		if !flowgraph.Send(ctx, out[0], nil) {
+			return nil
+		}
+	}
+}
+
+// apSchedBlock is the single-threaded brain: it drains the ingress inbox on
+// each doorbell and runs the downlink scheduling round on every tick, so
+// the table, cache, and ARQ state need no further locking.
+type apSchedBlock struct{ a *AP }
+
+func (b *apSchedBlock) Name() string { return "ap-sched" }
+func (b *apSchedBlock) Inputs() int  { return 1 }
+func (b *apSchedBlock) Outputs() int { return 0 }
+
+func (b *apSchedBlock) Run(ctx context.Context, in []<-chan flowgraph.Chunk, _ []chan<- flowgraph.Chunk) error {
+	a := b.a
+	ticker := a.clk.NewTicker(a.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case _, ok := <-in[0]:
+			if !ok {
+				return nil
+			}
+			for _, d := range a.drainInbox() {
+				a.route(d)
+			}
+		case <-ticker.C:
+			a.tick()
+		}
+	}
+}
+
+func (a *AP) drainInbox() []datagram {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.inbox
+	a.inbox = nil
+	return out
+}
+
+// route handles one inbound station datagram: v4/v3 radio framing around an
+// apmac control message.
+func (a *AP) route(d datagram) {
+	h, err := radio.DecodeHeader(d.data)
+	if err != nil || !h.IsData() {
+		return
+	}
+	body, err := radio.DecodeDataPayload(h, d.data[h.HeaderLen():])
+	if err != nil {
+		return
+	}
+	m, err := DecodeMessage(body)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case KindAssoc:
+		s, err := a.table.Associate(m.Nonce, int(m.RXAntennas))
+		if err != nil {
+			a.log.Warn("association refused", slog.String("err", err.Error()))
+			return
+		}
+		a.addrs[s.ID] = d.addr
+		if _, ok := a.links[s.ID]; !ok {
+			a.links[s.ID] = &linkStats{}
+		}
+		//mimonet:eob-ok control reply, not a forwarded burst segment
+		a.send(d.addr, radio.Header{StationID: s.ID}, &Msg{
+			Kind: KindAssocAck, AssignedID: s.ID, Slot: s.Slot,
+			CWMinExp: DefaultCWMinExp, CWMaxExp: DefaultCWMaxExp,
+		})
+		a.log.Info("station associated", slog.Int("station", int(s.ID)),
+			slog.Int("slot", int(s.Slot)), slog.Int("rx_antennas", int(s.RXAntennas)))
+	case KindFeedback:
+		if h.StationID == 0 {
+			return
+		}
+		a.table.Touch(h.StationID)
+		a.addrs[h.StationID] = d.addr
+		snr := dbToLinear(a.cfg.SNRdB)
+		if _, err := a.cache.UpdateFeedback(h.StationID, m.Feedback, snr); err != nil {
+			a.log.Warn("feedback rejected", slog.Int("station", int(h.StationID)),
+				slog.String("err", err.Error()))
+		}
+	case KindBlockAck:
+		st, ok := a.table.Get(h.StationID)
+		if !ok {
+			return
+		}
+		a.table.Touch(st.ID)
+		before := st.ARQ.Delivered
+		st.ARQ.Apply(m.Ack)
+		if delta := st.ARQ.Delivered - before; delta > 0 {
+			a.links[st.ID].delivered += delta
+			a.table.AddDownlinkBytes(st, delta*a.cfg.MPDUBytes)
+		}
+	case KindData:
+		// Uplink data: acknowledge liveness only at this model level.
+		a.table.Touch(h.StationID)
+	case KindBye:
+		if a.table.Teardown(h.StationID) {
+			a.cache.Remove(h.StationID)
+			delete(a.addrs, h.StationID)
+			a.log.Info("station departed", slog.Int("station", int(h.StationID)),
+				slog.String("reason", m.Reason))
+		}
+	case KindAssocAck, KindSound:
+		// AP-originated kinds arriving at the AP are misrouted; drop them.
+	}
+}
+
+// tick runs one downlink round: expire the idle, sweep stale CSI, sound the
+// field, top up every station's ARQ window, and transmit the scheduled
+// group's frames through the seeded loss model.
+func (a *AP) tick() {
+	a.ticks++
+	for _, id := range a.table.ExpireIdle(a.cfg.IdleTimeout) {
+		a.cache.Remove(id)
+		delete(a.addrs, id)
+		a.log.Info("station expired", slog.Int("station", int(id)))
+	}
+	a.cache.Sweep()
+
+	ids := a.table.IDs()
+	if a.ticks%a.cfg.SoundEvery == 0 {
+		a.token++
+		for _, id := range ids {
+			if addr, ok := a.addrs[id]; ok {
+				a.send(addr, radio.Header{StationID: id}, &Msg{Kind: KindSound, Token: a.token})
+			}
+		}
+	}
+
+	cands := make([]mumimo.Candidate, 0, len(ids))
+	for _, id := range ids {
+		st, ok := a.table.Get(id)
+		if !ok {
+			continue
+		}
+		// Saturated downlink: keep the ARQ window full.
+		for st.ARQ.Outstanding() < ARQWindow {
+			st.ARQ.Queue(a.payloadFor(id))
+		}
+		ls, ok := a.links[id]
+		if !ok {
+			ls = &linkStats{lastServed: a.ticks}
+			a.links[id] = ls
+		}
+		entry, _ := a.cache.Get(id)
+		cands = append(cands, mumimo.Candidate{Station: id, Queue: a.ticks - ls.lastServed + 1, Entry: entry})
+		if age, ok := a.cache.Age(id); ok {
+			a.table.ReportCSIAge(st, age)
+		}
+	}
+	group, _ := a.sched.Pick(cands)
+	for _, member := range group.Members {
+		st, ok := a.table.Get(member.Station)
+		if !ok {
+			continue
+		}
+		addr, ok := a.addrs[member.Station]
+		if !ok {
+			continue
+		}
+		frames := st.ARQ.Round()
+		if len(frames) > len(member.Streams) {
+			frames = frames[:len(member.Streams)]
+		}
+		ls := a.links[member.Station]
+		ls.lastServed = a.ticks
+		for _, f := range frames {
+			ls.attempts++
+			if a.cfg.DropProb > 0 && a.dropRng.Float64() < a.cfg.DropProb {
+				continue // lost on air; the ARQ round retransmits
+			}
+			mpdu, err := f.Encode()
+			if err != nil {
+				continue
+			}
+			a.send(addr, radio.Header{StationID: member.Station, GroupBitmap: group.Bitmap},
+				&Msg{Kind: KindData, MPDU: mpdu})
+		}
+		if ls.attempts > 0 {
+			a.table.ReportPER(st, 1-float64(ls.delivered)/float64(ls.attempts))
+		}
+	}
+}
+
+// payloadFor builds one downlink MPDU payload: a deterministic filler
+// stamped with the station ID so the receive side can sanity-check routing.
+func (a *AP) payloadFor(id uint16) []byte {
+	p := make([]byte, a.cfg.MPDUBytes)
+	for i := range p {
+		p[i] = byte(int(id) + i)
+	}
+	return p
+}
+
+// send encodes one control message into a radio data frame. Frames carrying
+// a zero station ID (pre-association) ride the nonce in the session field.
+func (a *AP) send(addr *net.UDPAddr, h radio.Header, m *Msg) {
+	payload, err := AppendMessage(nil, m)
+	if err != nil {
+		return
+	}
+	a.seq++
+	h.Seq = a.seq
+	frame, err := radio.EncodeDataFrame(nil, h, payload)
+	if err != nil {
+		return
+	}
+	a.conn.WriteToUDP(frame, addr) //nolint:errcheck // lossy link: errors equal loss
+}
+
+func dbToLinear(db float64) float64 { return math.Pow(10, db/10) }

@@ -1,0 +1,137 @@
+package apmac
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestAPLoopback runs a live AP with several station clients over loopback
+// UDP: every station must associate, answer sounding, and receive precoded
+// downlink MPDUs addressed to it, with the seeded loss model exercising the
+// per-station ARQ.
+func TestAPLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live UDP soak")
+	}
+	reg := obs.NewRegistry()
+	ap, err := NewAP(APConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 2 * time.Millisecond,
+		SoundEvery:   5,
+		DropProb:     0.2,
+		Seed:         42,
+		Registry:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	apDone := make(chan error, 1)
+	go func() { apDone <- ap.Run(ctx) }()
+
+	const n = 6
+	clients := make([]*Client, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		c, err := NewClient(ClientConfig{Addr: ap.Addr().String(), Index: i, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Run(ctx)
+		}(i)
+	}
+
+	deadline := time.After(8 * time.Second)
+	for {
+		served := 0
+		for _, c := range clients {
+			if func() bool { st := c.Snapshot(); return st.Associated && st.DataFrames > 2 && st.Soundings > 0 }() {
+				served++
+			}
+		}
+		if served == n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stations served: %d/%d after timeout", served, n)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if got := ap.Stations(); got != n {
+		t.Errorf("AP tracks %d stations, want %d", got, n)
+	}
+	cancel()
+	wg.Wait()
+	if err := <-apDone; err != nil {
+		t.Fatalf("AP run: %v", err)
+	}
+	ids := map[uint16]bool{}
+	for i, c := range clients {
+		st := c.Snapshot()
+		if errs[i] != nil {
+			t.Errorf("station %d: %v", i, errs[i])
+		}
+		if st.PayloadFault > 0 {
+			t.Errorf("station %d saw %d misrouted payloads", i, st.PayloadFault)
+		}
+		if st.AcksSent == 0 {
+			t.Errorf("station %d never acknowledged", i)
+		}
+		if ids[st.ID] {
+			t.Errorf("station ID %d assigned twice", st.ID)
+		}
+		ids[st.ID] = true
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteProm(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{metricStations, metricAssocTotal, metricStationBytes} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("AP exposition missing %s", want)
+		}
+	}
+}
+
+// TestClientRecordSeq checks the sliding block-ack window against the
+// sender-side Acked view.
+func TestClientRecordSeq(t *testing.T) {
+	c := &Client{}
+	for _, seq := range []uint16{10, 11, 13, 12, 14} {
+		c.recordSeq(seq)
+	}
+	if c.haveMax != 14 {
+		t.Fatalf("haveMax = %d", c.haveMax)
+	}
+	start := (c.haveMax - 63) & 0x0FFF
+	ackBits := c.haveBits
+	acked := func(seq uint16) bool {
+		off := int(seq-start) & 0x0FFF
+		return off < 64 && ackBits&(1<<uint(off)) != 0
+	}
+	for _, seq := range []uint16{10, 11, 12, 13, 14} {
+		if !acked(seq) {
+			t.Errorf("seq %d not acked", seq)
+		}
+	}
+	if acked(9) || acked(15) {
+		t.Error("unreceived sequences acked")
+	}
+	// A jump far ahead clears the stale window.
+	c.recordSeq(200)
+	if c.haveMax != 200 || c.haveBits != 1<<63 {
+		t.Errorf("window after jump: max %d bits %x", c.haveMax, c.haveBits)
+	}
+}

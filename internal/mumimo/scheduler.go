@@ -1,0 +1,204 @@
+package mumimo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StationState is the scheduler's view of one station in a scheduling
+// round. The mimonet-lint switch-exhaustiveness check covers switches over
+// this enum, so adding a state forces every consumer to decide how to
+// handle it.
+type StationState uint8
+
+const (
+	// StateIdle: associated, nothing queued — not a grouping candidate.
+	StateIdle StationState = iota + 1
+	// StateBacklogged: queued traffic and fresh CSI — eligible for the
+	// next transmission group.
+	StateBacklogged
+	// StateStale: queued traffic but stale or absent CSI — needs sounding
+	// before it can be precoded toward.
+	StateStale
+	// StateScheduled: member of the group chosen this round.
+	StateScheduled
+)
+
+func (s StationState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateBacklogged:
+		return "backlogged"
+	case StateStale:
+		return "stale"
+	case StateScheduled:
+		return "scheduled"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Candidate is one station offered to a scheduling round.
+type Candidate struct {
+	// Station is the AP-assigned station ID (non-zero).
+	Station uint16
+	// Queue is the station's pending downlink frame count.
+	Queue int
+	// Entry is the station's fresh CSI; nil marks stale/absent feedback.
+	Entry *Entry
+}
+
+// Assignment is one group member's share of a transmission.
+type Assignment struct {
+	// Station is the member's ID.
+	Station uint16
+	// Streams are the spatial stream indices (within the transmission's
+	// stacked precoder columns) carrying this station's data. Disjoint
+	// across members by construction.
+	Streams []int
+	// SNRdB is the station's mean per-stream post-detection SNR from its
+	// sounding report, the rate hint link adaptation will consume.
+	SNRdB float64
+}
+
+// Group is one scheduling decision: the stations sharing a precoded
+// downlink transmission.
+type Group struct {
+	// Members lists the admitted stations in decision order.
+	Members []Assignment
+	// Bitmap is the radio-header announcement: bit (station slot) set for
+	// every member, as assigned by SlotOf.
+	Bitmap uint64
+	// Streams is the total spatial stream count of the transmission.
+	Streams int
+}
+
+// SlotOf maps a station ID to its group-bitmap bit. The bitmap has 64
+// slots; an AP with more simultaneous associations wraps, and receivers
+// disambiguate by the explicit station ID field in addressed frames.
+func SlotOf(station uint16) uint { return uint(station) % 64 }
+
+// Scheduler packs compatible stations into transmission groups. The
+// decision is a pure function of the candidate set, so a fixed input
+// yields bit-identical groups on any host or worker count.
+type Scheduler struct {
+	// NTX is the transmit antenna count — the spatial stream budget per
+	// transmission.
+	NTX int
+	// MaxCorrelation is the admission bound on pairwise channel
+	// correlation (Orthogonality metric): a candidate too parallel to an
+	// admitted member is skipped this round. Zero selects
+	// DefaultMaxCorrelation.
+	MaxCorrelation float64
+	// MaxGroup bounds the member count per transmission; zero means NTX.
+	MaxGroup int
+}
+
+// DefaultMaxCorrelation admits station pairs whose channels point at most
+// ~37° apart in Frobenius inner-product terms — loose enough to group
+// i.i.d. Rayleigh draws, tight enough to reject near-parallel channels
+// whose ZF inversion burns the array gain.
+const DefaultMaxCorrelation = 0.8
+
+// Pick chooses the next transmission group from the candidates and labels
+// every candidate's state for the round. Stations are considered in
+// deterministic priority order — deepest queue first, station ID breaking
+// ties — and admitted greedily while spatial streams remain and the
+// candidate stays under the correlation bound against every admitted
+// member. The scheduler is work-conserving: whenever any candidate is
+// backlogged with fresh CSI, the group is non-empty.
+func (s *Scheduler) Pick(cands []Candidate) (Group, map[uint16]StationState) {
+	ntx := s.NTX
+	if ntx < 1 {
+		ntx = 1
+	}
+	maxCorr := s.MaxCorrelation
+	if maxCorr <= 0 {
+		maxCorr = DefaultMaxCorrelation
+	}
+	maxGroup := s.MaxGroup
+	if maxGroup <= 0 || maxGroup > ntx {
+		maxGroup = ntx
+	}
+
+	states := make(map[uint16]StationState, len(cands))
+	eligible := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		switch {
+		case c.Queue <= 0:
+			states[c.Station] = StateIdle
+		case c.Entry == nil || c.Entry.Mean() == nil:
+			states[c.Station] = StateStale
+		default:
+			states[c.Station] = StateBacklogged
+			eligible = append(eligible, c)
+		}
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].Queue != eligible[j].Queue {
+			return eligible[i].Queue > eligible[j].Queue
+		}
+		return eligible[i].Station < eligible[j].Station
+	})
+
+	var g Group
+	admitted := make([]*Entry, 0, maxGroup)
+	for _, c := range eligible {
+		if len(g.Members) >= maxGroup || g.Streams >= ntx {
+			break
+		}
+		want := stationStreams(c.Entry, ntx-g.Streams)
+		if want < 1 {
+			continue
+		}
+		ok := true
+		for _, m := range admitted {
+			if Orthogonality(c.Entry.Mean(), m.Mean()) > maxCorr {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		streams := make([]int, want)
+		for i := range streams {
+			streams[i] = g.Streams + i
+		}
+		g.Members = append(g.Members, Assignment{
+			Station: c.Station,
+			Streams: streams,
+			SNRdB:   meanSNRdB(c.Entry.Report.PerStreamSNRdB),
+		})
+		g.Bitmap |= 1 << SlotOf(c.Station)
+		g.Streams += want
+		admitted = append(admitted, c.Entry)
+		states[c.Station] = StateScheduled
+	}
+	return g, states
+}
+
+// stationStreams bounds a member's stream share: its sounding
+// recommendation, its receive antenna count, and the transmission's
+// remaining budget.
+func stationStreams(e *Entry, remaining int) int {
+	n := e.Report.RecommendedStreams
+	if rx := e.Mean().Rows; rx < n {
+		n = rx
+	}
+	if remaining < n {
+		n = remaining
+	}
+	return n
+}
+
+func meanSNRdB(perStream []float64) float64 {
+	if len(perStream) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, v := range perStream {
+		acc += v
+	}
+	return acc / float64(len(perStream))
+}

@@ -1,0 +1,189 @@
+package mumimo
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cmatrix"
+)
+
+// randomCandidates fabricates a churned candidate population: a mix of
+// idle, stale and backlogged stations over random Rayleigh channels.
+func randomCandidates(t *testing.T, r *rand.Rand, n, ntx int) []Candidate {
+	t.Helper()
+	c := NewCache(clock.NewFake(time.Unix(0, 0)), time.Second)
+	cands := make([]Candidate, 0, n)
+	for i := 0; i < n; i++ {
+		id := uint16(i + 1)
+		cand := Candidate{Station: id, Queue: r.Intn(5)}
+		if r.Float64() < 0.8 { // 20% of stations have stale/absent CSI
+			rx := 1 + r.Intn(2)
+			e, err := c.Update(id, flatChannel(rayleigh(r, rx, ntx), 4), 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cand.Entry = e
+		}
+		cands = append(cands, cand)
+	}
+	return cands
+}
+
+// TestSchedulerNeverOverlapsStreams: the core safety property — across many
+// random candidate populations, no two group members ever share a spatial
+// stream index, and the group never exceeds the antenna budget.
+func TestSchedulerNeverOverlapsStreams(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		ntx := 2 + r.Intn(3) // 2–4 antennas
+		s := &Scheduler{NTX: ntx}
+		cands := randomCandidates(t, r, 1+r.Intn(12), ntx)
+		g, states := s.Pick(cands)
+		if g.Streams > ntx {
+			t.Fatalf("trial %d: %d streams over %d antennas", trial, g.Streams, ntx)
+		}
+		seen := map[int]uint16{}
+		for _, m := range g.Members {
+			if len(m.Streams) == 0 {
+				t.Fatalf("trial %d: member %d admitted with no streams", trial, m.Station)
+			}
+			for _, st := range m.Streams {
+				if st < 0 || st >= ntx {
+					t.Fatalf("trial %d: stream index %d outside [0,%d)", trial, st, ntx)
+				}
+				if prev, dup := seen[st]; dup {
+					t.Fatalf("trial %d: stream %d assigned to both %d and %d", trial, st, prev, m.Station)
+				}
+				seen[st] = m.Station
+			}
+			if states[m.Station] != StateScheduled {
+				t.Fatalf("trial %d: member %d labeled %v", trial, m.Station, states[m.Station])
+			}
+			if g.Bitmap&(1<<SlotOf(m.Station)) == 0 {
+				t.Fatalf("trial %d: member %d missing from bitmap %#x", trial, m.Station, g.Bitmap)
+			}
+		}
+	}
+}
+
+// TestSchedulerWorkConserving: whenever any station is backlogged with
+// fresh CSI, the round must schedule someone — under arbitrary churn of the
+// candidate population.
+func TestSchedulerWorkConserving(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	s := &Scheduler{NTX: 2}
+	cands := randomCandidates(t, r, 10, 2)
+	for round := 0; round < 300; round++ {
+		// Churn: stations join, leave, drain and refill queues.
+		switch r.Intn(4) {
+		case 0:
+			if len(cands) > 1 {
+				cands = append(cands[:r.Intn(len(cands))], cands[r.Intn(len(cands))+1:]...)
+			}
+		case 1:
+			fresh := randomCandidates(t, r, 1+r.Intn(3), 2)
+			for i := range fresh {
+				fresh[i].Station += uint16(round * 16)
+			}
+			cands = append(cands, fresh...)
+		default:
+			for i := range cands {
+				cands[i].Queue = r.Intn(4)
+			}
+		}
+		g, states := s.Pick(cands)
+		eligible := false
+		for _, c := range cands {
+			if c.Queue > 0 && c.Entry != nil {
+				eligible = true
+				break
+			}
+		}
+		if eligible && len(g.Members) == 0 {
+			t.Fatalf("round %d: backlogged candidates but empty group (states %v)", round, states)
+		}
+		if !eligible && len(g.Members) != 0 {
+			t.Fatalf("round %d: scheduled %v with no eligible candidate", round, g.Members)
+		}
+	}
+}
+
+// TestSchedulerDeterministic: the decision is a pure function of the
+// candidate set — identical inputs in any presentation order yield
+// identical groups.
+func TestSchedulerDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	s := &Scheduler{NTX: 4}
+	for trial := 0; trial < 50; trial++ {
+		cands := randomCandidates(t, r, 8, 4)
+		g1, _ := s.Pick(cands)
+		// Shuffled presentation of the same candidates.
+		shuf := append([]Candidate(nil), cands...)
+		r.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		g2, _ := s.Pick(shuf)
+		if !reflect.DeepEqual(g1, g2) {
+			t.Fatalf("trial %d: decision depends on presentation order:\n%+v\n%+v", trial, g1, g2)
+		}
+	}
+}
+
+// TestSchedulerPrefersOrthogonalPartners: two near-parallel stations must
+// not share a transmission; an orthogonal pair must.
+func TestSchedulerPrefersOrthogonalPartners(t *testing.T) {
+	c := NewCache(clock.NewFake(time.Unix(0, 0)), time.Second)
+	s := &Scheduler{NTX: 2}
+	mk := func(id uint16, row []complex128) Candidate {
+		t.Helper()
+		e, err := c.Update(id, flatChannel(cmatrix.FromRows([][]complex128{row}), 4), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Candidate{Station: id, Queue: 3, Entry: e}
+	}
+	ortho, _ := s.Pick([]Candidate{mk(1, []complex128{1, 0}), mk(2, []complex128{0, 1})})
+	if len(ortho.Members) != 2 {
+		t.Fatalf("orthogonal pair not grouped: %+v", ortho)
+	}
+	par, _ := s.Pick([]Candidate{mk(1, []complex128{1, 0.01}), mk(2, []complex128{1, 0})})
+	if len(par.Members) != 1 {
+		t.Fatalf("near-parallel pair grouped: %+v", par)
+	}
+}
+
+// TestSchedulerQueuePriority: with compatible channels, deeper queues are
+// admitted first.
+func TestSchedulerQueuePriority(t *testing.T) {
+	c := NewCache(clock.NewFake(time.Unix(0, 0)), time.Second)
+	s := &Scheduler{NTX: 2, MaxGroup: 1}
+	mk := func(id uint16, q int) Candidate {
+		e, err := c.Update(id, flatChannel(cmatrix.Identity(2), 4), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Candidate{Station: id, Queue: q, Entry: e}
+	}
+	g, _ := s.Pick([]Candidate{mk(1, 1), mk(2, 9), mk(3, 4)})
+	if len(g.Members) != 1 || g.Members[0].Station != 2 {
+		t.Fatalf("deepest queue not served first: %+v", g)
+	}
+}
+
+func TestStationStateString(t *testing.T) {
+	for _, tc := range []struct {
+		s    StationState
+		want string
+	}{
+		{StateIdle, "idle"}, {StateBacklogged, "backlogged"},
+		{StateStale, "stale"}, {StateScheduled, "scheduled"},
+		{StationState(77), "state(77)"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.s, got, tc.want)
+		}
+	}
+	_ = fmt.Sprintf("%v", StateIdle)
+}

@@ -1,0 +1,208 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cmatrix"
+	"repro/internal/mimo"
+	"repro/internal/mumimo"
+	"repro/internal/ofdm"
+)
+
+// applyFlat passes per-chain waveforms through a flat channel matrix h
+// (rows = RX antennas, cols = TX chains) with AWGN of the given standard
+// deviation, a timing offset and trailing silence.
+func applyFlat(r *rand.Rand, h *cmatrix.Matrix, tx [][]complex128, noiseStd float64, offset, trailing int) [][]complex128 {
+	n := len(tx[0])
+	out := make([][]complex128, h.Rows)
+	for rxi := range out {
+		out[rxi] = make([]complex128, offset+n+trailing)
+		for i := 0; i < n; i++ {
+			var acc complex128
+			for c := 0; c < h.Cols; c++ {
+				acc += h.At(rxi, c) * tx[c][i]
+			}
+			out[rxi][offset+i] = acc
+		}
+		for i := range out[rxi] {
+			out[rxi][i] += complex(r.NormFloat64(), r.NormFloat64()) * complex(noiseStd/math.Sqrt2, 0)
+		}
+	}
+	return out
+}
+
+// TestSteeredLoopbackZF: a 2-stream PPDU steered through the zero-forcing
+// precoder of a known flat 2×2 channel must decode at the receiver — the
+// HT-LTFs pass through the same mapping, so the receiver estimates the
+// (near-diagonal) effective channel H·W and the standard chain applies.
+func TestSteeredLoopbackZF(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	h := cmatrix.FromRows([][]complex128{
+		{1, 0.3 + 0.2i},
+		{0.25 - 0.4i, 0.9 - 0.1i},
+	})
+	w, err := mumimo.ZFPrecode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steer, err := mimo.FlatSteering(w, ofdm.FFTSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewTransmitter(TxConfig{MCS: 9, ScramblerSeed: 0x35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetSteering(steer); err != nil {
+		t.Fatal(err)
+	}
+	if tx.NumChains() != 2 {
+		t.Fatalf("steered chains = %d, want 2", tx.NumChains())
+	}
+	psdu := randPSDU(r, 180)
+	burst, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(burst) != 2 {
+		t.Fatalf("burst has %d chains", len(burst))
+	}
+	rxs := applyFlat(r, h, burst, 2e-3, 260, 90)
+	rx, err := NewReceiver(RxConfig{NumAntennas: 2, Detector: "zf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.Receive(rxs)
+	if err != nil {
+		t.Fatalf("steered receive: %v", err)
+	}
+	if !bytes.Equal(res.PSDU, psdu) {
+		t.Error("steered PSDU mismatch")
+	}
+}
+
+// TestSteeredBeamformingExtraChain: one stream steered across two chains
+// (maximum-ratio transmission toward a 1×2 channel) must decode on a
+// single-antenna receiver — the N_TX > N_SS shape a multi-user AP uses.
+func TestSteeredBeamformingExtraChain(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	h := cmatrix.FromRows([][]complex128{{0.8, 0.5 - 0.5i}})
+	// MRT weights: conjugate of the channel row, unit norm.
+	norm := math.Sqrt(0.8*0.8 + 0.5*0.5 + 0.5*0.5)
+	w := cmatrix.FromRows([][]complex128{
+		{complex(0.8/norm, 0)},
+		{(0.5 + 0.5i) / complex(norm, 0)},
+	})
+	steer, err := mimo.FlatSteering(w, ofdm.FFTSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewTransmitter(TxConfig{MCS: 0, ScramblerSeed: 0x11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetSteering(steer); err != nil {
+		t.Fatal(err)
+	}
+	psdu := randPSDU(r, 90)
+	burst, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(burst) != 2 {
+		t.Fatalf("burst has %d chains, want 2", len(burst))
+	}
+	rxs := applyFlat(r, h, burst, 1e-3, 300, 80)
+	rx, err := NewReceiver(RxConfig{NumAntennas: 1, Detector: "zf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.Receive(rxs)
+	if err != nil {
+		t.Fatalf("beamformed receive: %v", err)
+	}
+	if !bytes.Equal(res.PSDU, psdu) {
+		t.Error("beamformed PSDU mismatch")
+	}
+}
+
+func TestSetSteeringValidation(t *testing.T) {
+	tx, err := NewTransmitter(TxConfig{MCS: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong stream count.
+	one, err := mimo.NewSteering(2, 1, ofdm.FFTSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetSteering(one); err == nil {
+		t.Error("1-stream steering on a 2-stream MCS must fail")
+	}
+	// Wrong bin count.
+	short, err := mimo.NewSteering(2, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetSteering(short); err == nil {
+		t.Error("32-bin steering must fail")
+	}
+	// Short GI unsupported in steered mode.
+	sgi, err := NewTransmitter(TxConfig{MCS: 9, ShortGI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := mimo.NewSteering(2, 2, ofdm.FFTSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sgi.SetSteering(full); err == nil {
+		t.Error("steering with short GI must fail")
+	}
+	// Install and clear.
+	if err := tx.SetSteering(full); err != nil {
+		t.Fatal(err)
+	}
+	if tx.NumChains() != 2 {
+		t.Errorf("chains = %d", tx.NumChains())
+	}
+	if err := tx.SetSteering(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tx.NumChains() != 2 {
+		t.Errorf("chains after clear = %d", tx.NumChains())
+	}
+}
+
+func TestSteeringMixDirectFallback(t *testing.T) {
+	s, err := mimo.NewSteering(3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := make([]complex128, 3)
+	if err := s.Mix(0, []complex128{1 + 1i, 2}, chains); err != nil {
+		t.Fatal(err)
+	}
+	if chains[0] != 1+1i || chains[1] != 2 || chains[2] != 0 {
+		t.Errorf("direct fallback = %v", chains)
+	}
+	q := cmatrix.FromRows([][]complex128{{0, 1}, {1, 0}, {1i, 0}})
+	if err := s.SetBin(1, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mix(1, []complex128{3, 5}, chains); err != nil {
+		t.Fatal(err)
+	}
+	if chains[0] != 5 || chains[1] != 3 || chains[2] != 3i {
+		t.Errorf("mixed = %v", chains)
+	}
+	if err := s.SetBin(2, cmatrix.Identity(2)); err == nil {
+		t.Error("wrong-shape bin matrix must be rejected")
+	}
+	if err := s.Mix(9, []complex128{1, 2}, chains); err == nil {
+		t.Error("out-of-range bin must fail")
+	}
+}

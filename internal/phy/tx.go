@@ -37,6 +37,9 @@ type Transmitter struct {
 	parser *mimo.StreamParser
 	ilv    []*fec.Interleaver
 	mapper *modem.Mapper
+	// steer, when non-nil, maps the N_SS streams onto N_TX ≥ N_SS chains
+	// per subcarrier (see steer.go); nil is direct mapping.
+	steer *mimo.Steering
 }
 
 // NewTransmitter validates the configuration and returns a transmitter.
@@ -71,8 +74,14 @@ func NewTransmitter(cfg TxConfig) (*Transmitter, error) {
 // MCS returns the transmitter's modulation and coding scheme.
 func (t *Transmitter) MCS() MCS { return t.mcs }
 
-// NumChains returns the number of transmit chains (equal to N_SS).
-func (t *Transmitter) NumChains() int { return t.mcs.NSS }
+// NumChains returns the number of transmit chains: N_SS under direct
+// mapping, the steering's N_TX when a spatial mapping is installed.
+func (t *Transmitter) NumChains() int {
+	if t.steer != nil {
+		return t.steer.NTX()
+	}
+	return t.mcs.NSS
+}
 
 // Transmit converts a PSDU into per-chain baseband waveforms. Every chain's
 // waveform has length BurstLen(mcs, len(psdu)).
@@ -81,7 +90,7 @@ func (t *Transmitter) Transmit(psdu []byte) ([][]complex128, error) {
 		return nil, fmt.Errorf("phy: PSDU length %d outside [1, 65535]", len(psdu))
 	}
 	nss := t.mcs.NSS
-	burst := make([][]complex128, nss)
+	burst := make([][]complex128, t.NumChains())
 	total := BurstLenGI(t.mcs, len(psdu), t.cfg.ShortGI)
 	for i := range burst {
 		burst[i] = make([]complex128, total)
@@ -89,6 +98,13 @@ func (t *Transmitter) Transmit(psdu []byte) ([][]complex128, error) {
 
 	if err := t.buildPreamble(burst, len(psdu)); err != nil {
 		return nil, err
+	}
+
+	if t.steer != nil {
+		if err := t.transmitSteered(burst, psdu); err != nil {
+			return nil, err
+		}
+		return burst, nil
 	}
 
 	// --- Data field -----------------------------------------------------
@@ -154,7 +170,8 @@ func (t *Transmitter) assembleDataBits(psdu []byte) []byte {
 // buildPreamble writes the legacy and HT preamble fields into each chain.
 func (t *Transmitter) buildPreamble(burst [][]complex128, psduLen int) error {
 	nss := t.mcs.NSS
-	legacyScale := complex(1/math.Sqrt(float64(nss)), 0)
+	chains := t.NumChains()
+	legacyScale := complex(1/math.Sqrt(float64(chains)), 0)
 
 	// Legacy portion: same content on every chain, per-chain legacy CSD.
 	lsig := preamble.LSIG{Rate: preamble.Rate6Mbps, Length: legacyLength(t.mcs, psduLen, t.cfg.ShortGI)}
@@ -179,8 +196,8 @@ func (t *Transmitter) buildPreamble(burst [][]complex128, psduLen int) error {
 	stf := preamble.LSTF()
 	ltf := preamble.LLTF()
 	sym := make([]complex128, ofdm.SymbolLen)
-	for chain := 0; chain < nss; chain++ {
-		csd := preamble.LegacyCSDSamples(chain, nss)
+	for chain := 0; chain < chains; chain++ {
+		csd := preamble.LegacyCSDSamples(chain, chains)
 		// L-STF and L-LTF are periodic / double-length fields: rotate their
 		// 64-sample period. Both fields are built from 64-periodic bases,
 		// so rotating the whole field by csd within each 64-block is
@@ -200,7 +217,12 @@ func (t *Transmitter) buildPreamble(burst [][]complex128, psduLen int) error {
 		}
 	}
 
-	// HT portion: per-stream HT CSD, 1/√N_SS power split.
+	// HT portion. Steered PPDUs route every HT field through the spatial
+	// mapping instead of the direct per-stream placement below.
+	if t.steer != nil {
+		return t.buildSteeredHTFields(burst)
+	}
+	// Direct mapping: per-stream HT CSD, 1/√N_SS power split.
 	htScale := complex(1/math.Sqrt(float64(nss)), 0)
 	nltf := preamble.NumHTLTF(nss)
 	for iss := 0; iss < nss; iss++ {

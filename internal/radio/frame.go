@@ -16,13 +16,17 @@ import (
 // Frame format (big-endian):
 //
 //	magic   uint32  "MNIQ" (0x4D4E4951)
-//	version uint8   3 (1 = legacy, no packet field; 2 = no session field)
+//	version uint8   4 (1 = legacy, no packet field; 2 = no session field;
+//	                3 = no station fields)
 //	streams uint8   number of antenna streams (1-4)
 //	flags   uint16  bit 0: end-of-burst; bit 1: data payload (version ≥ 3)
 //	seq     uint64  frame sequence number
 //	count   uint32  samples per stream — or payload bytes for a data frame
 //	packet  uint64  TX-assigned packet ID (version ≥ 2; 0 = unknown)
 //	session uint64  session ID (version ≥ 3; 0 = sessionless)
+//	station uint16  AP-assigned station ID (version ≥ 4; 0 = unassociated)
+//	group   uint64  MU group bitmap (version ≥ 4; bit i = station slot i
+//	                addressed by this transmission; 0 = single-user)
 //	payload streams × count × (float32 I, float32 Q), stream-major —
 //	        or count opaque bytes for a data frame
 //
@@ -35,18 +39,30 @@ import (
 // (internal/session): a long-running process serves many independent links
 // over one socket, routing each frame to its session by this field. Data
 // frames (FlagData) carry opaque session-layer bytes instead of IQ samples
-// and always use the version-3 form; sample paths reject them with typed
-// errors. Version 1 and 2 frames still decode, with session ID 0.
+// and use the version-3 or version-4 form; sample paths reject them with
+// typed errors. Version 1 and 2 frames still decode, with session ID 0.
+//
+// The station ID and group bitmap are the multi-user extension
+// (internal/apmac, internal/mumimo): an access point serves many stations
+// over one socket, routing uplink frames to per-station MAC state by the
+// station field and announcing which station slots a precoded downlink
+// burst addresses through the group bitmap. EncodeFrame/EncodeDataFrame
+// select the version-4 form automatically when either field is present;
+// versions 1-3 still decode, with station 0 and an empty bitmap.
 const (
 	frameMagic   = 0x4D4E4951
 	frameVersion = 2
 	// frameVersionSession is the extended form carrying the session field;
 	// EncodeFrame selects it automatically when a session ID is present.
 	frameVersionSession = 3
-	headerSizeV1        = 4 + 1 + 1 + 2 + 8 + 4
-	headerSizeV2        = headerSizeV1 + 8
-	headerSize          = headerSizeV2
-	headerSizeV3        = headerSizeV2 + 8
+	// frameVersionMU is the multi-user form carrying the station ID and
+	// group bitmap; selected automatically when either field is present.
+	frameVersionMU = 4
+	headerSizeV1   = 4 + 1 + 1 + 2 + 8 + 4
+	headerSizeV2   = headerSizeV1 + 8
+	headerSize     = headerSizeV2
+	headerSizeV3   = headerSizeV2 + 8
+	headerSizeV4   = headerSizeV3 + 2 + 8
 
 	// MaxSamplesPerFrame bounds a frame to fit a UDP datagram under the
 	// common 1500-byte MTU minus headers when streaming one antenna; the
@@ -75,13 +91,25 @@ type Header struct {
 	// (0 = unknown / legacy frame).
 	PacketID uint64
 	// SessionID identifies the gateway session this frame belongs to
-	// (0 = sessionless; carried only by the version-3 wire form).
+	// (0 = sessionless; carried by the version-3/4 wire forms).
 	SessionID uint64
-	// wireVersion records a decoded non-default wire form (1 or 3); zero
-	// for the default version-2 form and on caller-built headers, whose
-	// form EncodeFrame derives from the fields present.
+	// StationID identifies the associated station this frame belongs to at
+	// a multi-user access point (0 = unassociated; carried only by the
+	// version-4 wire form).
+	StationID uint16
+	// GroupBitmap announces the MU group of a precoded downlink burst:
+	// bit i set means station slot i is addressed by this transmission
+	// (0 = single-user; carried only by the version-4 wire form).
+	GroupBitmap uint64
+	// wireVersion records a decoded non-default wire form (1, 3, or 4);
+	// zero for the default version-2 form and on caller-built headers,
+	// whose form EncodeFrame derives from the fields present.
 	wireVersion byte
 }
+
+// isMU reports whether the header carries multi-user fields that force the
+// version-4 wire form.
+func (h Header) isMU() bool { return h.StationID != 0 || h.GroupBitmap != 0 }
 
 // IsData reports whether the frame carries opaque bytes rather than samples.
 func (h Header) IsData() bool { return h.Flags&FlagData != 0 }
@@ -97,6 +125,11 @@ func (h Header) HeaderLen() int {
 		return headerSizeV2
 	case frameVersionSession:
 		return headerSizeV3
+	case frameVersionMU:
+		return headerSizeV4
+	}
+	if h.isMU() {
+		return headerSizeV4
 	}
 	if h.SessionID != 0 || h.IsData() {
 		return headerSizeV3
@@ -137,15 +170,23 @@ func EncodeFrame(dst []byte, h Header, samples [][]complex128) ([]byte, error) {
 }
 
 // appendHeader serializes h with the given count field, choosing the
-// version-2 form for sessionless sample frames and version 3 otherwise.
+// version-2 form for sessionless sample frames, version 4 when multi-user
+// fields are present, and version 3 otherwise.
 func appendHeader(dst []byte, h Header, count int) []byte {
-	var hdr [headerSizeV3]byte
+	var hdr [headerSizeV4]byte
 	binary.BigEndian.PutUint32(hdr[0:], frameMagic)
 	hdr[5] = byte(h.Streams)
 	binary.BigEndian.PutUint16(hdr[6:], h.Flags)
 	binary.BigEndian.PutUint64(hdr[8:], h.Seq)
 	binary.BigEndian.PutUint32(hdr[16:], uint32(count))
 	binary.BigEndian.PutUint64(hdr[20:], h.PacketID)
+	if h.isMU() {
+		hdr[4] = frameVersionMU
+		binary.BigEndian.PutUint64(hdr[28:], h.SessionID)
+		binary.BigEndian.PutUint16(hdr[36:], h.StationID)
+		binary.BigEndian.PutUint64(hdr[38:], h.GroupBitmap)
+		return append(dst, hdr[:headerSizeV4]...)
+	}
 	if h.SessionID == 0 && !h.IsData() {
 		hdr[4] = frameVersion
 		return append(dst, hdr[:headerSizeV2]...)
@@ -155,14 +196,16 @@ func appendHeader(dst []byte, h Header, count int) []byte {
 	return append(dst, hdr[:headerSizeV3]...)
 }
 
-// EncodeDataFrame appends one version-3 data frame carrying payload to dst
-// and returns the extended buffer. The header's Streams and Count are
-// implied (1, len(payload)); FlagData is set automatically and the
-// end-of-burst flag is preserved. Data frames are the transport of the
-// session gateway, so a non-zero SessionID is required.
+// EncodeDataFrame appends one version-3 (or version-4, when multi-user
+// fields are present) data frame carrying payload to dst and returns the
+// extended buffer. The header's Streams and Count are implied
+// (1, len(payload)); FlagData is set automatically and the end-of-burst
+// flag is preserved. Data frames are the transport of the session gateway
+// and the AP MAC, so a demultiplexing key — a non-zero SessionID or
+// StationID — is required.
 func EncodeDataFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
-	if h.SessionID == 0 {
-		return nil, fmt.Errorf("radio: data frames require a non-zero session ID")
+	if h.SessionID == 0 && h.StationID == 0 {
+		return nil, fmt.Errorf("radio: data frames require a non-zero session or station ID")
 	}
 	if len(payload) == 0 || len(payload) > MaxDataPayload {
 		return nil, fmt.Errorf("radio: data payload %d outside [1, %d]", len(payload), MaxDataPayload)
@@ -190,9 +233,10 @@ func DecodeDataPayload(h Header, b []byte) ([]byte, error) {
 // given shape.
 func FrameSize(streams, count int) int { return headerSize + streams*count*8 }
 
-// DecodeHeader parses a frame header. The current version-3 form, the
-// version-2 form (no session ID), and the legacy version-1 form (no packet
-// ID) are all accepted; use HeaderLen on the result for the payload offset.
+// DecodeHeader parses a frame header. The current version-4 form, the
+// version-3 form (no station fields), the version-2 form (no session ID),
+// and the legacy version-1 form (no packet ID) are all accepted; use
+// HeaderLen on the result for the payload offset.
 func DecodeHeader(b []byte) (Header, error) {
 	if len(b) < headerSizeV1 {
 		return Header{}, fmt.Errorf("radio: header needs %d bytes, got %d", headerSizeV1, len(b))
@@ -200,7 +244,7 @@ func DecodeHeader(b []byte) (Header, error) {
 	if binary.BigEndian.Uint32(b[0:]) != frameMagic {
 		return Header{}, fmt.Errorf("radio: bad magic %#08x", binary.BigEndian.Uint32(b[0:]))
 	}
-	if b[4] != 1 && b[4] != frameVersion && b[4] != frameVersionSession {
+	if b[4] != 1 && b[4] != frameVersion && b[4] != frameVersionSession && b[4] != frameVersionMU {
 		return Header{}, fmt.Errorf("radio: unsupported version %d", b[4])
 	}
 	version := b[4]
@@ -225,15 +269,23 @@ func DecodeHeader(b []byte) (Header, error) {
 		}
 		h.SessionID = binary.BigEndian.Uint64(b[28:])
 	}
+	if version >= frameVersionMU {
+		if len(b) < headerSizeV4 {
+			return Header{}, fmt.Errorf("radio: v4 header needs %d bytes, got %d", headerSizeV4, len(b))
+		}
+		h.StationID = binary.BigEndian.Uint16(b[36:])
+		h.GroupBitmap = binary.BigEndian.Uint64(b[38:])
+	}
 	if h.IsData() {
 		// Data frames: opaque byte payload, single logical stream, only the
-		// session-extended form. Truncated or corrupt session fields land
-		// here as typed errors, never panics.
-		if version != frameVersionSession {
-			return Header{}, fmt.Errorf("radio: data frame requires the v%d header form, got v%d", frameVersionSession, version)
+		// session- or MU-extended forms. Truncated or corrupt demux fields
+		// land here as typed errors, never panics.
+		if version != frameVersionSession && version != frameVersionMU {
+			return Header{}, fmt.Errorf("radio: data frame requires the v%d or v%d header form, got v%d",
+				frameVersionSession, frameVersionMU, version)
 		}
-		if h.SessionID == 0 {
-			return Header{}, fmt.Errorf("radio: data frame with zero session ID")
+		if h.SessionID == 0 && h.StationID == 0 {
+			return Header{}, fmt.Errorf("radio: data frame with no session or station ID")
 		}
 		if h.Streams != 1 {
 			return Header{}, fmt.Errorf("radio: data frame stream count %d (want 1)", h.Streams)
@@ -345,7 +397,7 @@ func (w *StreamWriter) WriteBurstID(packetID uint64, samples [][]complex128) err
 // StreamReader reads bursts from a stream transport.
 type StreamReader struct {
 	r   io.Reader
-	hdr [headerSizeV3]byte
+	hdr [headerSizeV4]byte
 	buf []byte
 	// lastPacketID is the packet ID carried by the most recently assembled
 	// burst's frames.
@@ -380,6 +432,8 @@ func (r *StreamReader) ReadBurst() ([][]complex128, error) {
 		case 1:
 		case frameVersionSession:
 			hl = headerSizeV3
+		case frameVersionMU:
+			hl = headerSizeV4
 		default:
 			hl = headerSizeV2
 		}

@@ -48,6 +48,29 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	seeds = append(seeds, mkSession(2, 30, 0, 12345))
 	seeds = append(seeds, mkData(1, 0, 1))
 	seeds = append(seeds, mkData(MaxDataPayload, FlagEndOfBurst, 1<<63))
+	// Multi-user (v4) forms: precoded downlink samples with a group bitmap
+	// and station-keyed uplink data frames.
+	mkMU := func(streams, count int, station uint16, group uint64) []byte {
+		samples := make([][]complex128, streams)
+		for s := range samples {
+			samples[s] = make([]complex128, count)
+		}
+		b, err := EncodeFrame(nil, Header{Streams: streams, Flags: FlagEndOfBurst, Count: count, StationID: station, GroupBitmap: group}, samples)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return b
+	}
+	mkMUData := func(n int, station uint16) []byte {
+		b, err := EncodeDataFrame(nil, Header{StationID: station}, bytes.Repeat([]byte{0x3C}, n))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return b
+	}
+	seeds = append(seeds, mkMU(2, 40, 0, 0b1010))
+	seeds = append(seeds, mkMU(4, 16, 63, 1<<63))
+	seeds = append(seeds, mkMUData(17, 1))
 	return seeds
 }
 
@@ -70,8 +93,8 @@ func FuzzDecodeHeader(f *testing.F) {
 			t.Errorf("accepted stream count %d", h.Streams)
 		}
 		if h.IsData() {
-			if h.SessionID == 0 {
-				t.Error("accepted data frame with zero session ID")
+			if h.SessionID == 0 && h.StationID == 0 {
+				t.Error("accepted data frame with no demux key")
 			}
 			if h.Streams != 1 {
 				t.Errorf("accepted data frame with %d streams", h.Streams)

@@ -1,0 +1,204 @@
+package radio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMUSampleFrameRoundTrip: a sample frame carrying station/group fields
+// selects the v4 wire form and preserves every field through decode.
+func TestMUSampleFrameRoundTrip(t *testing.T) {
+	samples := [][]complex128{
+		{1 + 2i, 3 - 4i, -5 + 0.5i},
+		{0, -1i, 2},
+	}
+	h := Header{
+		Streams:     2,
+		Flags:       FlagEndOfBurst,
+		Seq:         42,
+		Count:       3,
+		PacketID:    7,
+		SessionID:   99,
+		StationID:   12,
+		GroupBitmap: 1<<12 | 1<<3,
+	}
+	if got := h.HeaderLen(); got != headerSizeV4 {
+		t.Fatalf("caller-built MU header len %d, want %d", got, headerSizeV4)
+	}
+	b, err := EncodeFrame(nil, h, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[4] != frameVersionMU {
+		t.Fatalf("wire version %d, want %d", b[4], frameVersionMU)
+	}
+	dec, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.HeaderLen() != headerSizeV4 {
+		t.Errorf("decoded header len %d, want %d", dec.HeaderLen(), headerSizeV4)
+	}
+	if dec.StationID != h.StationID || dec.GroupBitmap != h.GroupBitmap {
+		t.Errorf("station/group = %d/%#x, want %d/%#x", dec.StationID, dec.GroupBitmap, h.StationID, h.GroupBitmap)
+	}
+	if dec.SessionID != h.SessionID || dec.PacketID != h.PacketID || dec.Seq != h.Seq {
+		t.Errorf("session/packet/seq = %d/%d/%d, want %d/%d/%d",
+			dec.SessionID, dec.PacketID, dec.Seq, h.SessionID, h.PacketID, h.Seq)
+	}
+	out, err := DecodePayload(make([][]complex128, dec.Streams), dec, b[dec.HeaderLen():])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range samples {
+		for i := range samples[s] {
+			if d := out[s][i] - samples[s][i]; real(d)*real(d)+imag(d)*imag(d) > 1e-10 {
+				t.Fatalf("stream %d sample %d: %v != %v", s, i, out[s][i], samples[s][i])
+			}
+		}
+	}
+}
+
+// TestMUGroupBitmapAloneSelectsV4: a downlink group announcement with no
+// station ID (broadcast of the MU group) still needs the v4 form.
+func TestMUGroupBitmapAloneSelectsV4(t *testing.T) {
+	h := Header{Streams: 1, Count: 1, GroupBitmap: 0b1011}
+	b, err := EncodeFrame(nil, h, [][]complex128{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[4] != frameVersionMU {
+		t.Fatalf("wire version %d, want %d", b[4], frameVersionMU)
+	}
+	dec, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.GroupBitmap != 0b1011 || dec.StationID != 0 {
+		t.Errorf("group/station = %#x/%d, want 0xb/0", dec.GroupBitmap, dec.StationID)
+	}
+}
+
+// TestMUDataFrameRoundTrip: a station ID alone is a valid demux key for data
+// frames — stations talk to the AP MAC before any session exists.
+func TestMUDataFrameRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 33)
+	b, err := EncodeDataFrame(nil, Header{Seq: 5, StationID: 7}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[4] != frameVersionMU {
+		t.Fatalf("wire version %d, want %d", b[4], frameVersionMU)
+	}
+	h, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsData() || h.StationID != 7 || h.SessionID != 0 {
+		t.Fatalf("decoded header %+v, want data frame for station 7", h)
+	}
+	body, err := DecodeDataPayload(h, b[h.HeaderLen():])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Error("payload corrupted over the round trip")
+	}
+}
+
+// TestMUDataFrameRequiresDemuxKey: with neither session nor station ID there
+// is nothing to route by, so encode and decode both reject the frame.
+func TestMUDataFrameRequiresDemuxKey(t *testing.T) {
+	if _, err := EncodeDataFrame(nil, Header{}, []byte{1}); err == nil {
+		t.Error("data frame with no demux key must not encode")
+	}
+	// Hand-build a v4 data header with both keys zero: decode must reject it.
+	b, err := EncodeDataFrame(nil, Header{StationID: 1}, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[36], b[37] = 0, 0 // zero the station field in place
+	if _, err := DecodeHeader(b); err == nil {
+		t.Error("v4 data frame with zero session and station must not decode")
+	}
+}
+
+// TestMULegacyFormsStayZero: v1–v3 frames still decode, with zero MU fields.
+func TestMULegacyFormsStayZero(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		h    Header
+		want int
+	}{
+		{"v2", Header{Streams: 1, Count: 2}, headerSizeV2},
+		{"v3", Header{Streams: 1, Count: 2, SessionID: 9}, headerSizeV3},
+	} {
+		b, err := EncodeFrame(nil, tc.h, [][]complex128{{1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := DecodeHeader(b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if h.HeaderLen() != tc.want {
+			t.Errorf("%s: header len %d, want %d", tc.name, h.HeaderLen(), tc.want)
+		}
+		if h.StationID != 0 || h.GroupBitmap != 0 {
+			t.Errorf("%s: legacy frame decoded MU fields %d/%#x", tc.name, h.StationID, h.GroupBitmap)
+		}
+	}
+}
+
+// TestMUTruncatedHeader: a v4 version byte over a too-short buffer is a typed
+// error, not a panic or a misparse.
+func TestMUTruncatedHeader(t *testing.T) {
+	b, err := EncodeFrame(nil, Header{Streams: 1, Count: 1, StationID: 3}, [][]complex128{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := headerSizeV1; n < headerSizeV4; n++ {
+		if _, err := DecodeHeader(b[:n]); err == nil {
+			t.Errorf("truncated v4 header (%d bytes) must not decode", n)
+		}
+	}
+}
+
+// TestMUStreamReader: the framed stream reader handles v4 frames — including
+// mid-burst continuation frames — alongside the earlier forms.
+func TestMUStreamReader(t *testing.T) {
+	var buf bytes.Buffer
+	mk := func(h Header, samples [][]complex128) {
+		b, err := EncodeFrame(nil, h, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	// Burst 1: two v4 frames (continuation + end of burst).
+	mk(Header{Streams: 1, Count: 2, PacketID: 3, StationID: 9, GroupBitmap: 1 << 9},
+		[][]complex128{{1, 2}})
+	mk(Header{Streams: 1, Count: 1, Flags: FlagEndOfBurst, PacketID: 3, StationID: 9, GroupBitmap: 1 << 9},
+		[][]complex128{{3}})
+	// Burst 2: a plain v2 frame — versions interleave on one stream.
+	mk(Header{Streams: 1, Count: 1, Flags: FlagEndOfBurst, Seq: 1}, [][]complex128{{4}})
+
+	r := NewStreamReader(&buf)
+	first, err := r.ReadBurst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || len(first[0]) != 3 {
+		t.Fatalf("burst 1 shape %d×%d, want 1×3", len(first), len(first[0]))
+	}
+	if r.LastPacketID() != 3 {
+		t.Errorf("burst 1 packet ID %d, want 3", r.LastPacketID())
+	}
+	second, err := r.ReadBurst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second[0]) != 1 || second[0][0] != 4 {
+		t.Fatalf("burst 2 = %v, want [4]", second[0])
+	}
+}

@@ -17,7 +17,7 @@ func quickOpt() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e25"}
 	if len(ids) != len(want) {
 		t.Fatalf("registered %v, want %v", ids, want)
 	}

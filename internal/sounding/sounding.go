@@ -18,17 +18,37 @@ type Report struct {
 	// CapacityBps is the mean per-subcarrier Shannon capacity in
 	// bit/s/Hz: log2 det(I + SNR/N_TX · HHᴴ).
 	CapacityBps float64
-	// MeanConditionDB is the mean condition number of H across
+	// MeanConditionDB is the mean condition number of H across live
 	// subcarriers, in dB (singular-value spread; large = rank-starved).
+	// Dead (all-zero) tones are excluded from the average and counted in
+	// DeadSubcarriers instead, so one faded tone cannot poison the mean.
 	MeanConditionDB float64
 	// RecommendedStreams is the stream count that maximizes a rate
 	// proxy: min(N_TX, N_RX) when the channel is well conditioned,
 	// degrading toward 1 as the condition number grows.
 	RecommendedStreams int
+	// PerStreamSNRdB is the mean post-detection SNR each spatial stream
+	// would see under linear ZF detection — snr / (N_TX·[(HᴴH)⁻¹]_ss),
+	// averaged over the live subcarriers, in dB. len == RecommendedStreams'
+	// upper bound min(N_RX, N_TX); empty when no tone was invertible. This
+	// is the per-stream figure a precoding AP ranks stations by.
+	PerStreamSNRdB []float64
+	// DeadSubcarriers counts tones whose channel was effectively zero
+	// (rank-deficient estimate, e.g. a deep notch or a broken estimate).
+	DeadSubcarriers int
 }
+
+// deadToneFrobenius is the Frobenius-norm floor below which a subcarrier's
+// channel is treated as dead rather than fed to the eigen/inversion path.
+const deadToneFrobenius = 1e-9
 
 // Analyze computes the report from per-subcarrier channel matrices (as
 // produced by chanest.HTEstimate.DataMatrices) at the given linear SNR.
+//
+// Rank-deficient input degrades gracefully rather than erroring: all-zero
+// subcarriers are skipped (counted in DeadSubcarriers), and a channel whose
+// every tone is dead yields a report recommending a single stream with zero
+// capacity — the conservative fallback a transmitter can always act on.
 func Analyze(h []*cmatrix.Matrix, snr float64) (*Report, error) {
 	if len(h) == 0 {
 		return nil, fmt.Errorf("sounding: no channel matrices")
@@ -39,15 +59,25 @@ func Analyze(h []*cmatrix.Matrix, snr float64) (*Report, error) {
 	var capAcc, condAcc float64
 	var count int
 	maxStreams := 0
+	rep := &Report{}
+	var snrAcc []float64
+	var snrCount int
+	allNil := true
 	for k, hk := range h {
 		if hk == nil {
 			continue
 		}
+		allNil = false
 		if maxStreams == 0 {
 			maxStreams = hk.Rows
 			if hk.Cols < maxStreams {
 				maxStreams = hk.Cols
 			}
+			snrAcc = make([]float64, maxStreams)
+		}
+		if hk.FrobeniusNorm() < deadToneFrobenius {
+			rep.DeadSubcarriers++
+			continue
 		}
 		c, cond, err := subcarrierMetrics(hk, snr)
 		if err != nil {
@@ -56,16 +86,55 @@ func Analyze(h []*cmatrix.Matrix, snr float64) (*Report, error) {
 		capAcc += c
 		condAcc += cond
 		count++
+		if diag, ok := zfNoiseGains(hk); ok {
+			nt := float64(hk.Cols)
+			for s := 0; s < maxStreams && s < len(diag); s++ {
+				snrAcc[s] += snr / (nt * diag[s])
+			}
+			snrCount++
+		}
 	}
-	if count == 0 {
+	if allNil {
 		return nil, fmt.Errorf("sounding: all matrices nil")
 	}
-	rep := &Report{
-		CapacityBps:     capAcc / float64(count),
-		MeanConditionDB: 10 * math.Log10(condAcc/float64(count)),
+	if count == 0 {
+		// Every tone dead: degrade to the single-stream fallback instead of
+		// failing — the caller still gets an actionable recommendation.
+		rep.MeanConditionDB = 150
+		rep.RecommendedStreams = 1
+		return rep, nil
 	}
+	rep.CapacityBps = capAcc / float64(count)
+	rep.MeanConditionDB = 10 * math.Log10(condAcc/float64(count))
 	rep.RecommendedStreams = recommendStreams(maxStreams, rep.MeanConditionDB)
+	if snrCount > 0 {
+		rep.PerStreamSNRdB = make([]float64, maxStreams)
+		for s := range rep.PerStreamSNRdB {
+			rep.PerStreamSNRdB[s] = 10 * math.Log10(snrAcc[s]/float64(snrCount))
+		}
+	}
 	return rep, nil
+}
+
+// zfNoiseGains returns the diagonal of (HᴴH)⁻¹ — the per-stream noise
+// amplification of a ZF detector. A singular gram (rank-starved but not
+// all-zero tone) reports ok=false and the tone is skipped from the
+// per-stream average rather than failing the whole report.
+func zfNoiseGains(h *cmatrix.Matrix) ([]float64, bool) {
+	gram := cmatrix.Mul(h.Hermitian(), h)
+	inv, err := gram.Inverse()
+	if err != nil {
+		return nil, false
+	}
+	diag := make([]float64, gram.Rows)
+	for i := range diag {
+		d := real(inv.At(i, i))
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, false
+		}
+		diag[i] = d
+	}
+	return diag, true
 }
 
 // ConditionDB returns the condition number of one subcarrier's channel
