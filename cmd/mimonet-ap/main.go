@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/apmac"
 	"repro/internal/obs"
+	"repro/internal/obs/stream"
 )
 
 func main() {
@@ -144,10 +145,13 @@ func main() {
 			n: *stations, ntx: *ntx, snr: *snr, mpdu: *mpdu,
 			tick: *tick, soundEvery: *soundEvery, drop: *drop,
 			seed: *seed, duration: *duration,
+			metricsListen: *metricsListen,
 		}, fatal)
 
 	default:
 		reg := obs.NewRegistry()
+		obs.BuildInfo(reg, "ap")
+		hub := stream.NewHub(stream.Config{Node: "ap", Registry: reg})
 		ap, err := apmac.NewAP(apmac.APConfig{
 			Listen:       *listen,
 			NTX:          *ntx,
@@ -160,12 +164,19 @@ func main() {
 			Seed:         *seed,
 			Logger:       logger,
 			Registry:     reg,
+			Events:       hub,
 		})
 		if err != nil {
 			fatal("access point", err)
 		}
 		if *metricsListen != "" {
 			srv := obs.NewServer(reg, nil, nil)
+			srv.Handle("/stream", stream.Handler(hub))
+			ctl := &stream.Control{
+				ListStations: func() any { return ap.StationList() },
+			}
+			srv.Handle("/api/", ctl.Handler())
+			go hub.Run(ctx)
 			maddr, err := srv.Listen(*metricsListen)
 			if err != nil {
 				fatal("telemetry listen failed", err)
@@ -188,12 +199,17 @@ type demoConfig struct {
 	tick                     time.Duration
 	seed                     int64
 	duration                 time.Duration
+	metricsListen            string
 }
 
 // runDemo exercises the full live path in one process: an AP plus n station
-// clients over loopback UDP, drained after the configured duration.
+// clients over loopback UDP, drained after the configured duration. With
+// metricsListen set the demo serves the same telemetry surface as serve
+// mode — /metrics, /stream and /api/stations — so mimonet-ctl can watch it.
 func runDemo(ctx context.Context, logger *slog.Logger, d demoConfig, fatal func(string, error)) {
 	reg := obs.NewRegistry()
+	obs.BuildInfo(reg, "ap")
+	hub := stream.NewHub(stream.Config{Node: "ap", Registry: reg, SnapshotPeriod: 250 * time.Millisecond})
 	ap, err := apmac.NewAP(apmac.APConfig{
 		Listen:       "127.0.0.1:0",
 		NTX:          d.ntx,
@@ -205,12 +221,26 @@ func runDemo(ctx context.Context, logger *slog.Logger, d demoConfig, fatal func(
 		Seed:         d.seed,
 		Logger:       logger,
 		Registry:     reg,
+		Events:       hub,
 	})
 	if err != nil {
 		fatal("access point", err)
 	}
 	runCtx, cancel := context.WithTimeout(ctx, d.duration)
 	defer cancel()
+	if d.metricsListen != "" {
+		srv := obs.NewServer(reg, nil, nil)
+		srv.Handle("/stream", stream.Handler(hub))
+		ctl := &stream.Control{ListStations: func() any { return ap.StationList() }}
+		srv.Handle("/api/", ctl.Handler())
+		go hub.Run(runCtx)
+		maddr, err := srv.Listen(d.metricsListen)
+		if err != nil {
+			fatal("telemetry listen failed", err)
+		}
+		defer srv.Close()
+		logger.Info("telemetry listening", slog.String("addr", "http://"+maddr.String()+"/metrics"))
+	}
 	apDone := make(chan error, 1)
 	go func() { apDone <- ap.Run(runCtx) }()
 

@@ -1,0 +1,327 @@
+// Command mimonet-ctl is the fleet telemetry aggregator and control CLI: it
+// subscribes to the /stream endpoint of N mimonet nodes (gateway, access
+// point, receiver — anything serving the obs telemetry surface), merges the
+// per-node journals and delta-encoded metric snapshots into one fleet view
+// keyed by node/session/station, and drives the node control APIs. Verbs:
+//
+//	mimonet-ctl -nodes gw=http://127.0.0.1:9801,ap=http://127.0.0.1:9901 tail
+//	    Stream every merged message as one JSON object per line — the
+//	    machine-readable mode CI and log pipelines consume.
+//
+//	mimonet-ctl -nodes ... watch
+//	    Live text dashboard: per-node journal position, restarts, session
+//	    and station tables with per-station PER / throughput / CSI age,
+//	    refreshed every -interval.
+//
+//	mimonet-ctl -nodes ... sessions | stations
+//	    One-shot control reads: print each node's live session or station
+//	    table.
+//
+//	mimonet-ctl -nodes gw=http://... -bytes 262144 transfer
+//	    Start a loopback transfer through a gateway node and print the
+//	    session ID it was assigned.
+//
+//	mimonet-ctl -nodes rx=http://... -reason why dump
+//	    Trigger a flight-recorder dump on a node and print the artifact.
+//
+// -duration bounds tail/watch (0 runs until interrupt); -node picks the
+// target for transfer/dump when several nodes are configured.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/obs/stream"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "", "comma-separated name=base-url telemetry endpoints (e.g. gw=http://127.0.0.1:9801,ap=http://127.0.0.1:9901)")
+		duration  = flag.Duration("duration", 0, "tail/watch: stop after this long (0 = until interrupt)")
+		interval  = flag.Duration("interval", time.Second, "watch: dashboard refresh cadence")
+		bytesN    = flag.Int("bytes", 64*1024, "transfer: payload size in bytes")
+		reason    = flag.String("reason", "mimonet-ctl", "dump: flight-recorder dump reason")
+		nodeName  = flag.String("node", "", "transfer/dump: target node name (default: the first configured node)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	)
+	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, *logJSON, "ctl")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		os.Exit(1)
+	}
+	nodes, err := parseNodes(*nodesFlag)
+	if err != nil {
+		fatal("bad -nodes", err)
+	}
+	verb := flag.Arg(0)
+	if verb == "" {
+		verb = "watch"
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 && (verb == "tail" || verb == "watch") {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	switch verb {
+	case "tail":
+		err = runTail(ctx, nodes, os.Stdout)
+	case "watch":
+		err = runWatch(ctx, nodes, os.Stdout, *interval)
+	case "sessions":
+		err = runGet(ctx, nodes, "/api/sessions", os.Stdout, logger)
+	case "stations":
+		err = runGet(ctx, nodes, "/api/stations", os.Stdout, logger)
+	case "transfer":
+		n, perr := pickNode(nodes, *nodeName)
+		if perr != nil {
+			fatal("transfer", perr)
+		}
+		err = runPost(ctx, n, fmt.Sprintf("/api/transfer?bytes=%d", *bytesN), os.Stdout)
+	case "dump":
+		n, perr := pickNode(nodes, *nodeName)
+		if perr != nil {
+			fatal("dump", perr)
+		}
+		err = runPost(ctx, n, "/api/dump?reason="+url.QueryEscape(*reason), os.Stdout)
+	default:
+		fatal("verb", fmt.Errorf("unknown verb %q (want tail, watch, sessions, stations, transfer or dump)", verb))
+	}
+	if err != nil {
+		fatal(verb+" failed", err)
+	}
+}
+
+// parseNodes decodes the -nodes flag: comma-separated name=base-url pairs.
+func parseNodes(s string) ([]stream.NodeRef, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("need -nodes name=base-url[,name=base-url...]")
+	}
+	var out []stream.NodeRef
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, base, ok := strings.Cut(part, "=")
+		if !ok || name == "" || base == "" {
+			return nil, fmt.Errorf("entry %q: want name=base-url", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("node name %q given twice", name)
+		}
+		seen[name] = true
+		out = append(out, stream.NodeRef{Name: name, BaseURL: strings.TrimRight(base, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("need at least one node")
+	}
+	return out, nil
+}
+
+func pickNode(nodes []stream.NodeRef, name string) (stream.NodeRef, error) {
+	if name == "" {
+		return nodes[0], nil
+	}
+	for _, n := range nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return stream.NodeRef{}, fmt.Errorf("node %q not in -nodes", name)
+}
+
+// runTail streams every merged message as one JSON object per line.
+func runTail(ctx context.Context, nodes []stream.NodeRef, w io.Writer) error {
+	out := make(chan stream.Msg, 256)
+	done := make(chan error, 1)
+	agg := &stream.Aggregator{Nodes: nodes}
+	go func() { done <- agg.Run(ctx, out) }()
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	for {
+		select {
+		case m := <-out:
+			if err := enc.Encode(m); err != nil {
+				return err
+			}
+			// Line-buffered semantics: a consumer tailing the pipe sees
+			// each message as soon as it is merged.
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case err := <-done:
+			for {
+				select {
+				case m := <-out:
+					if eerr := enc.Encode(m); eerr != nil {
+						return eerr
+					}
+				default:
+					return err
+				}
+			}
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// runWatch folds the merged stream into a Fleet and renders the dashboard
+// on every interval tick.
+func runWatch(ctx context.Context, nodes []stream.NodeRef, w io.Writer, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	fleet := stream.NewFleet()
+	out := make(chan stream.Msg, 256)
+	done := make(chan error, 1)
+	agg := &stream.Aggregator{Nodes: nodes}
+	go func() { done <- agg.Run(ctx, out) }()
+	clk := clock.Or(nil)
+	tk := clk.NewTicker(interval)
+	defer tk.Stop()
+	for {
+		select {
+		case m := <-out:
+			fleet.Apply(m)
+		case <-tk.C:
+			render(w, fleet.Snapshot())
+		case err := <-done:
+			render(w, fleet.Snapshot())
+			return err
+		case <-ctx.Done():
+			render(w, fleet.Snapshot())
+			return nil
+		}
+	}
+}
+
+// render draws the fleet dashboard: one block per node with its journal
+// position and the session/station tables.
+func render(w io.Writer, views []stream.NodeView) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	fmt.Fprint(bw, "\033[2J\033[H") // clear screen, home cursor
+	if len(views) == 0 {
+		fmt.Fprintln(bw, "mimonet-ctl: waiting for streams...")
+		return
+	}
+	for _, n := range views {
+		fmt.Fprintf(bw, "== %s  seq=%d events=%d snapshots=%d series=%d restarts=%d",
+			n.Name, n.Seq, n.Events, n.Snapshots, len(n.Metrics), n.Restarts)
+		if n.OrderViolations > 0 {
+			fmt.Fprintf(bw, " ORDER-VIOLATIONS=%d", n.OrderViolations)
+		}
+		if n.LastEvent != "" {
+			fmt.Fprintf(bw, " last=%s", n.LastEvent)
+		}
+		fmt.Fprintln(bw)
+		if len(n.Sessions) > 0 {
+			fmt.Fprintf(bw, "  %-10s %-10s %12s %8s\n", "session", "state", "bytes", "resumes")
+			for _, s := range sortedSessions(n.Sessions) {
+				fmt.Fprintf(bw, "  %-10d %-10s %12d %8d\n", s.ID, s.State, s.Bytes, s.Resumes)
+			}
+		}
+		if len(n.Stations) > 0 {
+			fmt.Fprintf(bw, "  %-8s %-4s %-11s %8s %12s %10s %s\n",
+				"station", "slot", "state", "per", "tx_bytes", "csi_age_s", "csi")
+			for _, s := range sortedStations(n.Stations) {
+				csi := "fresh"
+				if s.CSIStale {
+					csi = "STALE"
+				}
+				fmt.Fprintf(bw, "  %-8d %-4d %-11s %8.3f %12.0f %10.3f %s\n",
+					s.ID, s.Slot, s.State, s.PER, s.TxBytes, s.CSIAgeS, csi)
+			}
+		}
+	}
+}
+
+func sortedSessions(m map[uint64]*stream.SessionView) []*stream.SessionView {
+	out := make([]*stream.SessionView, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func sortedStations(m map[uint16]*stream.StationView) []*stream.StationView {
+	out := make([]*stream.StationView, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// runGet prints each node's answer to a control read, tagged by node name.
+func runGet(ctx context.Context, nodes []stream.NodeRef, path string, w io.Writer, logger *slog.Logger) error {
+	failures := 0
+	for _, n := range nodes {
+		body, err := fetch(ctx, http.MethodGet, n.BaseURL+path)
+		if err != nil {
+			failures++
+			logger.Warn("control read failed", slog.String(obs.KeyNode, n.Name), slog.String("err", err.Error()))
+			continue
+		}
+		fmt.Fprintf(w, "%s:\n%s", n.Name, body)
+	}
+	if failures == len(nodes) {
+		return fmt.Errorf("every node refused %s", path)
+	}
+	return nil
+}
+
+// runPost drives one control verb on one node and prints the answer.
+func runPost(ctx context.Context, n stream.NodeRef, path string, w io.Writer) error {
+	body, err := fetch(ctx, http.MethodPost, n.BaseURL+path)
+	if err != nil {
+		return fmt.Errorf("%s: %w", n.Name, err)
+	}
+	fmt.Fprintf(w, "%s:\n%s", n.Name, body)
+	return nil
+}
+
+func fetch(ctx context.Context, method, u string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, method, u, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}

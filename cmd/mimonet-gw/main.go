@@ -29,14 +29,17 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/stream"
 	"repro/internal/session"
 )
 
@@ -123,10 +126,12 @@ func main() {
 
 	default:
 		reg := obs.NewRegistry()
+		obs.BuildInfo(reg, "gw")
 		var rec *flight.Recorder
 		if *flightDir != "" {
 			rec = flight.New(flight.Config{Dir: *flightDir, Node: "gw", OnFailure: true})
 		}
+		hub := stream.NewHub(stream.Config{Node: "gw", Registry: reg})
 		var newSink func(uint64) io.Writer
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -147,6 +152,7 @@ func main() {
 			Logger:      logger,
 			Registry:    reg,
 			Recorder:    rec,
+			Events:      hub,
 			IdleTimeout: *idleTimeout,
 			MaxSessions: *maxSessions,
 			NewSink:     newSink,
@@ -159,6 +165,48 @@ func main() {
 			if rec != nil {
 				srv.SetDumper(rec.Dump)
 			}
+			srv.Handle("/stream", stream.Handler(hub))
+			// One advancing source shared by every control-API transfer: a
+			// fresh client per request would fall back to the fixed-seed
+			// default and draw the same session ID each time, colliding
+			// with the previous transfer's tombstone.
+			var ctlMu sync.Mutex
+			ctlRand := rand.New(rand.NewSource(1)) //mimonet:globalrand-ok seeded once per process, advanced per transfer
+			ctl := &stream.Control{
+				ListSessions: func() any { return gw.Sessions() },
+				StartTransfer: func(n int) (any, error) {
+					ctlMu.Lock()
+					id := uint64(0)
+					for id == 0 {
+						id = ctlRand.Uint64()
+					}
+					ctlMu.Unlock()
+					c, err := session.NewClient(session.ClientConfig{
+						Addr:      gw.Addr().String(),
+						SessionID: id,
+						Logger:    logger,
+					})
+					if err != nil {
+						return nil, err
+					}
+					payload := make([]byte, n)
+					for i := range payload {
+						payload[i] = byte(i)
+					}
+					go func() {
+						if err := c.Send(ctx, payload); err != nil {
+							logger.Warn("control transfer failed",
+								slog.Uint64("session", c.SessionID()), slog.String("err", err.Error()))
+						}
+					}()
+					return map[string]any{"session": c.SessionID(), "bytes": n}, nil
+				},
+			}
+			if rec != nil {
+				ctl.FlightDump = rec.Dump
+			}
+			srv.Handle("/api/", ctl.Handler())
+			go hub.Run(ctx)
 			maddr, err := srv.Listen(*metricsListen)
 			if err != nil {
 				fatal("telemetry listen failed", err)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/stream"
 	"repro/internal/phy"
 	"repro/internal/radio"
 )
@@ -69,8 +70,10 @@ func main() {
 		rxObs  *phy.RxObs
 		rec    *flight.Recorder
 	)
+	var hub *stream.Hub
 	if *metricsListen != "" {
 		reg = obs.NewRegistry()
+		obs.BuildInfo(reg, "rx")
 	}
 	if *metricsListen != "" || *flightDir != "" {
 		tracer = obs.NewTracer(256, nil)
@@ -186,10 +189,24 @@ func main() {
 			fatal("graph connect failed", err)
 		}
 	}
+	if reg != nil {
+		hub = stream.NewHub(stream.Config{Node: "rx", Registry: reg, Tracer: tracer})
+	}
 	pol := flowgraph.Policy{TrackHealth: true, Metrics: reg, Logger: logger}
-	if rec != nil {
+	if rec != nil || hub != nil {
 		pol.OnRestart = func(block string, attempt int, err error) {
+			reason := ""
+			if err != nil {
+				reason = err.Error()
+			}
+			hub.Publish(stream.Event{Type: stream.EventSupervisorRestart,
+				Block: block, Attempt: attempt, Reason: reason})
+			if rec == nil {
+				return
+			}
 			if file, derr := rec.RestartObserved(block, attempt, err); derr == nil && file != "" {
+				hub.Publish(stream.Event{Type: stream.EventFlightDump,
+					Block: block, Reason: "restart", File: file})
 				logger.Warn("flight dump on restart", obs.LogBlock(block), slog.String("file", file))
 			}
 		}
@@ -203,6 +220,13 @@ func main() {
 		if rec != nil {
 			srv.SetDumper(rec.Dump)
 		}
+		srv.Handle("/stream", stream.Handler(hub))
+		ctl := &stream.Control{}
+		if rec != nil {
+			ctl.FlightDump = rec.Dump
+		}
+		srv.Handle("/api/", ctl.Handler())
+		go hub.Run(context.Background())
 		addr, err := srv.Listen(*metricsListen)
 		if err != nil {
 			fatal("telemetry listen failed", err)

@@ -42,6 +42,7 @@ func main() {
 	var done *obs.Counter
 	if *metricsListen != "" {
 		reg := obs.NewRegistry()
+		obs.BuildInfo(reg, "sim")
 		done = reg.Counter("mimonet_sim_experiments_total", "experiments completed this run")
 		srv := obs.NewServer(reg, nil, nil)
 		addr, err := srv.Listen(*metricsListen)

@@ -60,6 +60,7 @@ func main() {
 	var frames, samples *obs.Counter
 	if *metricsListen != "" {
 		reg := obs.NewRegistry()
+		obs.BuildInfo(reg, "tx")
 		frames = reg.Counter("mimonet_tx_frames_total", "PPDU bursts transmitted")
 		samples = reg.Counter("mimonet_tx_samples_total", "baseband samples produced per chain")
 		srv := obs.NewServer(reg, nil, nil)

@@ -1,10 +1,12 @@
 // Command promcheck validates a Prometheus text exposition read from stdin
 // (or files named as arguments): every line must be a well-formed comment,
-// sample, or blank, every sample family must be typed, and histogram
-// families must expose their _bucket/_sum/_count series coherently. With
-// -require it additionally asserts that specific metric families are
-// present, which is how CI checks a scraped /metrics endpoint actually
-// carries the receiver's telemetry:
+// sample, or blank, every sample family must be typed, histogram families
+// must expose their _bucket/_sum/_count series coherently, label names must
+// be legal and outside the reserved __ namespace, and no two samples may
+// share a name and label set (a duplicate series silently loses data on
+// scrape — the last sample wins). With -require it additionally asserts
+// that specific metric families are present, which is how CI checks a
+// scraped /metrics endpoint actually carries the receiver's telemetry:
 //
 //	curl -s http://127.0.0.1:9751/metrics | promcheck -require mimonet_rx_snr_db,mimonet_rx_per
 package main
@@ -54,6 +56,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := obs.ValidateHistograms(bytes.NewReader(input)); err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.ValidateSeries(bytes.NewReader(input)); err != nil {
 		log.Fatal(err)
 	}
 	if *list {

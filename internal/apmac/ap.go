@@ -14,6 +14,7 @@ import (
 	"repro/internal/flowgraph"
 	"repro/internal/mumimo"
 	"repro/internal/obs"
+	"repro/internal/obs/stream"
 	"repro/internal/radio"
 )
 
@@ -31,6 +32,7 @@ type AP struct {
 	table *Table
 	cache *mumimo.Cache
 	sched *mumimo.Scheduler
+	hub   *stream.Hub
 
 	mu     sync.Mutex
 	closed bool
@@ -88,6 +90,10 @@ type APConfig struct {
 	Logger *slog.Logger
 	// Registry receives the AP gauges and flowgraph health metrics.
 	Registry *obs.Registry
+	// Events, when set, receives the AP journal — station assoc / drop,
+	// CSI staleness evictions, and supervisor restarts — on the live
+	// telemetry stream. Nil publishes nothing (the hub is nil-safe).
+	Events *stream.Hub
 	// Clock injects time; nil is the system clock.
 	Clock clock.Clock
 }
@@ -143,6 +149,7 @@ func NewAP(cfg APConfig) (*AP, error) {
 		table:   NewTable(cfg.Clock),
 		cache:   mumimo.NewCache(cfg.Clock, mumimo.DefaultMaxCSIAge),
 		sched:   &mumimo.Scheduler{NTX: cfg.NTX},
+		hub:     cfg.Events,
 		addrs:   map[uint16]*net.UDPAddr{},
 		links:   map[uint16]*linkStats{},
 		dropRng: rand.New(rand.NewSource(cfg.Seed)),
@@ -158,6 +165,9 @@ func (a *AP) Addr() net.Addr { return a.conn.LocalAddr() }
 
 // Stations returns the current association count.
 func (a *AP) Stations() int { return a.table.Len() }
+
+// StationList snapshots every association for the control API.
+func (a *AP) StationList() []StationInfo { return a.table.Infos() }
 
 // Run serves until ctx is cancelled. The ingress and scheduler pumps run
 // under flowgraph supervision; a contained panic restarts the block with
@@ -193,6 +203,16 @@ func (a *AP) Run(ctx context.Context) error {
 		Metrics:     a.cfg.Registry,
 		Logger:      a.log,
 		Clock:       a.clk,
+		OnRestart: func(block string, attempt int, err error) {
+			reason := ""
+			if err != nil {
+				reason = err.Error()
+			}
+			a.hub.Publish(stream.Event{
+				Type:  stream.EventSupervisorRestart,
+				Block: block, Attempt: attempt, Reason: reason,
+			})
+		},
 	}); err != nil {
 		return err
 	}
@@ -306,6 +326,8 @@ func (a *AP) route(d datagram) {
 			Kind: KindAssocAck, AssignedID: s.ID, Slot: s.Slot,
 			CWMinExp: DefaultCWMinExp, CWMaxExp: DefaultCWMaxExp,
 		})
+		a.hub.Publish(stream.Event{Type: stream.EventStationAssoc,
+			Station: s.ID, Slot: s.Slot})
 		a.log.Info("station associated", slog.Int("station", int(s.ID)),
 			slog.Int("slot", int(s.Slot)), slog.Int("rx_antennas", int(s.RXAntennas)))
 	case KindFeedback:
@@ -338,6 +360,12 @@ func (a *AP) route(d datagram) {
 		if a.table.Teardown(h.StationID) {
 			a.cache.Remove(h.StationID)
 			delete(a.addrs, h.StationID)
+			reason := m.Reason
+			if reason == "" {
+				reason = "bye"
+			}
+			a.hub.Publish(stream.Event{Type: stream.EventStationDrop,
+				Station: h.StationID, Reason: reason})
 			a.log.Info("station departed", slog.Int("station", int(h.StationID)),
 				slog.String("reason", m.Reason))
 		}
@@ -354,9 +382,13 @@ func (a *AP) tick() {
 	for _, id := range a.table.ExpireIdle(a.cfg.IdleTimeout) {
 		a.cache.Remove(id)
 		delete(a.addrs, id)
+		a.hub.Publish(stream.Event{Type: stream.EventStationDrop,
+			Station: id, Reason: "idle-timeout"})
 		a.log.Info("station expired", slog.Int("station", int(id)))
 	}
-	a.cache.Sweep()
+	for _, id := range a.cache.SweepList() {
+		a.hub.Publish(stream.Event{Type: stream.EventCSIStale, Station: id})
+	}
 
 	ids := a.table.IDs()
 	if a.ticks%a.cfg.SoundEvery == 0 {

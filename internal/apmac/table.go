@@ -215,6 +215,34 @@ func (t *Table) ExpireIdle(maxIdle time.Duration) []uint16 {
 	return out
 }
 
+// StationInfo is one association's control-API view — what GET
+// /api/stations reports per station.
+type StationInfo struct {
+	ID          uint16  `json:"id"`
+	Slot        uint8   `json:"slot"`
+	RXAntennas  int     `json:"rx_antennas"`
+	AgeSeconds  float64 `json:"age_seconds"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// Infos snapshots every association, sorted by ID.
+func (t *Table) Infos() []StationInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StationInfo, 0, len(t.stations))
+	for _, s := range t.stations {
+		out = append(out, StationInfo{
+			ID:          s.ID,
+			Slot:        s.Slot,
+			RXAntennas:  s.RXAntennas,
+			AgeSeconds:  t.clk.Since(s.Associated).Seconds(),
+			IdleSeconds: t.clk.Since(s.LastSeen).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Len returns the associated station count.
 func (t *Table) Len() int {
 	t.mu.Lock()

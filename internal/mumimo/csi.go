@@ -140,17 +140,22 @@ func (c *Cache) Remove(station uint16) {
 }
 
 // Sweep evicts every stale entry and returns how many were dropped.
-func (c *Cache) Sweep() int {
+func (c *Cache) Sweep() int { return len(c.SweepList()) }
+
+// SweepList evicts every stale entry and returns the evicted station IDs,
+// sorted — the AP keys its CSI-stale journal events off this list.
+func (c *Cache) SweepList() []uint16 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
+	var out []uint16
 	for id, e := range c.entries {
 		if c.clk.Since(e.Updated) > c.maxAge {
 			delete(c.entries, id)
-			n++
+			out = append(out, id)
 		}
 	}
-	return n
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Live returns the stations with fresh CSI, sorted by ID — the

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo registers the mimonet_build_info gauge on reg: the standard
+// constant-1 info-metric idiom whose labels carry the node identity —
+// module version (VCS revision when stamped), Go toolchain, and the node
+// role ("gw", "ap", "rx", "tx", "sim"). Every binary that serves /metrics
+// exports it, which is what lets the fleet aggregator label merged streams
+// by node identity instead of by scrape address. Nil-safe on a nil
+// registry.
+func BuildInfo(reg *Registry, role string) {
+	reg.Gauge("mimonet_build_info",
+		"constant 1; labels carry the build and node identity",
+		Label{Key: "version", Value: moduleVersion()},
+		Label{Key: "go_version", Value: runtime.Version()},
+		Label{Key: "role", Value: role},
+	).Set(1)
+}
+
+// moduleVersion extracts the best available build identity: the module
+// version for tagged builds, the VCS revision (short) for source builds,
+// "devel" otherwise.
+func moduleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+}

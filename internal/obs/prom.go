@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -155,4 +156,120 @@ func ValidateExposition(r io.Reader) (map[string]Kind, error) {
 		return families, err
 	}
 	return families, nil
+}
+
+var labelNameRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// ValidateSeries enforces series-level hygiene on a Prometheus text stream,
+// beyond the line-shape checks ValidateExposition makes:
+//
+//   - every label name must be legal ([a-zA-Z_][a-zA-Z0-9_]*) and must not
+//     use the double-underscore prefix Prometheus reserves for internal
+//     labels (__name__ and friends);
+//   - no sample may repeat a label name;
+//   - no two samples may share a name and label set — a duplicate series is
+//     how a scrape silently loses data, since the last sample wins.
+//
+// Comments and blank lines pass through; malformed samples fail, so the
+// check composes with ValidateExposition on the same buffered stream.
+func ValidateSeries(r io.Reader) error {
+	seen := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := m[1]
+		labels, err := parsePromLabels(m[2])
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		ids := make([]string, 0, len(labels))
+		dup := make(map[string]bool, len(labels))
+		for _, l := range labels {
+			if !labelNameRe.MatchString(l.Key) {
+				return fmt.Errorf("line %d: illegal label name %q", lineNo, l.Key)
+			}
+			if strings.HasPrefix(l.Key, "__") {
+				return fmt.Errorf("line %d: label %q uses the reserved __ prefix", lineNo, l.Key)
+			}
+			if dup[l.Key] {
+				return fmt.Errorf("line %d: label %q repeated within one sample", lineNo, l.Key)
+			}
+			dup[l.Key] = true
+			ids = append(ids, l.Key+"="+strconv.Quote(l.Value))
+		}
+		sort.Strings(ids)
+		series := name + "{" + strings.Join(ids, ",") + "}"
+		if first, ok := seen[series]; ok {
+			return fmt.Errorf("line %d: duplicate series %s (first sample at line %d)", lineNo, series, first)
+		}
+		seen[series] = lineNo
+	}
+	return sc.Err()
+}
+
+// parsePromLabels decodes a {k="v",...} label block (as matched by
+// sampleLine) into pairs, unescaping the quoted values.
+func parsePromLabels(block string) ([]Label, error) {
+	if block == "" {
+		return nil, nil
+	}
+	s := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var out []Label
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label block %q", block)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label %q: unquoted value in %q", key, block)
+		}
+		i++
+		var b strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q: unterminated value in %q", key, block)
+		}
+		//mimonet:obshygiene-ok exposition parser reconstructs labels from scraped text
+		out = append(out, Label{Key: key, Value: b.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("malformed label block %q", block)
+			}
+			i++
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateSeriesAcceptsRealExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mimonet_rx_packets_total", "h", Label{Key: "result", Value: "ok"}).Add(3)
+	reg.Counter("mimonet_rx_packets_total", "h", Label{Key: "result", Value: "crc"}).Add(1)
+	reg.Gauge("mimonet_rx_snr_db", "h").Set(21.5)
+	reg.Histogram("mimonet_rx_latency_seconds", "h", []float64{0.001, 0.01}).Observe(0.002)
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSeries(&buf); err != nil {
+		t.Fatalf("real exposition rejected: %v", err)
+	}
+}
+
+func TestValidateSeriesRejections(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{
+			name:    "reserved double underscore prefix",
+			input:   `m{__name__="x"} 1` + "\n",
+			wantErr: "reserved __ prefix",
+		},
+		{
+			name:    "duplicate label within one sample",
+			input:   `m{a="1",a="2"} 1` + "\n",
+			wantErr: "repeated within one sample",
+		},
+		{
+			name:    "duplicate series exact",
+			input:   "m{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+			wantErr: "duplicate series",
+		},
+		{
+			name:    "duplicate series across label order",
+			input:   "m{a=\"1\",b=\"2\"} 1\nm{b=\"2\",a=\"1\"} 2\n",
+			wantErr: "duplicate series",
+		},
+		{
+			name:    "duplicate bare series",
+			input:   "m 1\nm 2\n",
+			wantErr: "duplicate series",
+		},
+		{
+			name:    "malformed sample",
+			input:   "not a sample\n",
+			wantErr: "malformed sample",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSeries(strings.NewReader(tc.input))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateSeriesAllowsDistinctSeries(t *testing.T) {
+	input := "# HELP m h\n# TYPE m counter\n" +
+		"m{a=\"1\"} 1\n" +
+		"m{a=\"2\"} 2\n" +
+		"m{a=\"1\",b=\"x\"} 3\n" +
+		// Escaped quote inside a value must not merge with its neighbour.
+		"m{a=\"q\\\"1\"} 4\n" +
+		"other 5\n"
+	if err := ValidateSeries(strings.NewReader(input)); err != nil {
+		t.Fatalf("distinct series rejected: %v", err)
+	}
+}
+
+func TestValidateSeriesValueUnescaping(t *testing.T) {
+	// The same logical value spelled with and without escapes is the same
+	// series: \n in one sample and a literal backslash-n pair differ, but
+	// two identical escape spellings collide.
+	input := "m{a=\"x\\ny\"} 1\nm{a=\"x\\ny\"} 2\n"
+	if err := ValidateSeries(strings.NewReader(input)); err == nil {
+		t.Fatal("escaped duplicate series accepted")
+	}
+}

@@ -39,7 +39,23 @@ type Server struct {
 	mu     sync.Mutex
 	ln     net.Listener
 	hs     *http.Server
+	closed bool
+	extra  map[string]http.Handler
 	dumper func(reason string) (string, error)
+}
+
+// Handle mounts an extra handler on the server's mux — the seam the
+// streaming hub (/stream) and the control API (/api/) use so obs stays
+// decoupled from the packages that implement them. Patterns follow
+// http.ServeMux semantics. Call before Listen; a pattern registered twice
+// keeps the latest handler.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	s.extra[pattern] = h
 }
 
 // SetDumper registers the hook behind POST /dump — typically a flight
@@ -132,6 +148,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mu.Lock()
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
+	s.mu.Unlock()
 	return mux
 }
 
@@ -144,15 +165,31 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // Listen binds addr and starts serving in a background goroutine, returning
-// the bound address (useful with port 0).
+// the bound address (useful with port 0). Listen after Close fails rather
+// than resurrecting a server the caller already tore down — the guarantee
+// that makes a Close racing a Listen safe: whichever order the two land in,
+// no listener survives.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %q: %w", addr, err)
 	}
+	// Build the mux before taking the state lock: Handler itself locks mu
+	// to copy the extra routes.
+	handler := s.Handler()
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("obs: listen %q: server already closed", addr)
+	}
+	if s.hs != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("obs: listen %q: server already listening", addr)
+	}
 	s.ln = ln
-	s.hs = &http.Server{Handler: s.Handler()}
+	s.hs = &http.Server{Handler: handler}
 	hs := s.hs
 	s.mu.Unlock()
 	go func() {
@@ -166,9 +203,13 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 // Close stops the listener and drains in-flight handlers: new connections
 // are refused immediately, while active requests (a scrape mid-exposition, a
 // /dump writing its artifact) get up to ShutdownTimeout to complete before
-// being cut off. Safe to call without a prior Listen.
+// being cut off. Idempotent and race-safe: Close without a prior Listen is
+// a no-op that still poisons the server (a later Listen fails), concurrent
+// Closes each return nil once the shutdown has happened, and a Close racing
+// a Listen leaves no listener behind whichever wins.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	s.closed = true
 	hs := s.hs
 	s.hs, s.ln = nil, nil
 	s.mu.Unlock()

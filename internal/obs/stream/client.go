@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// NodeRef names one node's telemetry endpoint for the aggregator: BaseURL
+// is the obs.Server root (e.g. http://127.0.0.1:9751); the stream is at
+// BaseURL/stream and the control API under BaseURL/api/.
+type NodeRef struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+}
+
+// Msg is one decoded frame from one node, as the aggregator merges them.
+// Kind is "hello", "journal", "metrics", "error" (stream failed; Err set)
+// or "eof" (stream ended cleanly).
+type Msg struct {
+	Node    string      `json:"node"`
+	Kind    string      `json:"kind"`
+	Hello   *Hello      `json:"hello,omitempty"`
+	Event   *Event      `json:"event,omitempty"`
+	Metrics *MetricsMsg `json:"metrics,omitempty"`
+	Err     string      `json:"err,omitempty"`
+}
+
+// Aggregator subscribes to N nodes concurrently and merges their streams
+// into one channel of tagged messages — the engine behind mimonet-ctl.
+type Aggregator struct {
+	// Nodes are the endpoints to subscribe to.
+	Nodes []NodeRef
+	// Client is the HTTP client; nil uses http.DefaultClient. Streams are
+	// long-lived, so a client with a response timeout will cut them short.
+	Client *http.Client
+}
+
+// Run subscribes to every node and forwards decoded messages to out until
+// all streams end or ctx is cancelled. Stream failures are reported as
+// Kind "error" messages, not returned — one dead node must not take down
+// the fleet view. Run does not close out.
+func (a *Aggregator) Run(ctx context.Context, out chan<- Msg) error {
+	if len(a.Nodes) == 0 {
+		return fmt.Errorf("stream: aggregator needs at least one node")
+	}
+	cl := a.Client
+	if cl == nil {
+		cl = http.DefaultClient
+	}
+	var wg sync.WaitGroup
+	for _, node := range a.Nodes {
+		wg.Add(1)
+		go func(n NodeRef) {
+			defer wg.Done()
+			err := a.watch(ctx, cl, n, out)
+			kind, errStr := "eof", ""
+			if err != nil && ctx.Err() == nil {
+				kind, errStr = "error", err.Error()
+			}
+			emit(ctx, out, Msg{Node: n.Name, Kind: kind, Err: errStr})
+		}(node)
+	}
+	wg.Wait()
+	return nil
+}
+
+// watch runs one node's subscription: connect, parse SSE, decode, tag,
+// forward.
+func (a *Aggregator) watch(ctx context.Context, cl *http.Client, n NodeRef, out chan<- Msg) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.BaseURL+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: %s answered %s", n.BaseURL, resp.Status)
+	}
+	return ReadSSE(resp.Body, func(f Frame) error {
+		m, err := decodeFrame(n.Name, f)
+		if err != nil {
+			return err
+		}
+		if !emit(ctx, out, m) {
+			return ctx.Err()
+		}
+		return nil
+	})
+}
+
+func decodeFrame(node string, f Frame) (Msg, error) {
+	m := Msg{Node: node, Kind: f.Event}
+	switch f.Event {
+	case "hello":
+		m.Hello = new(Hello)
+		return m, json.Unmarshal(f.Data, m.Hello)
+	case "journal":
+		m.Event = new(Event)
+		return m, json.Unmarshal(f.Data, m.Event)
+	case "metrics":
+		m.Metrics = new(MetricsMsg)
+		return m, json.Unmarshal(f.Data, m.Metrics)
+	default:
+		// Unknown frame types pass through undecoded so old aggregators
+		// survive new servers.
+		return m, nil
+	}
+}
+
+func emit(ctx context.Context, out chan<- Msg, m Msg) bool {
+	select {
+	case out <- m:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Control is the node control API mounted on obs.Server under /api/: a
+// small set of hooks each service binary fills in for what it actually
+// runs. A nil hook answers 404, so the surface is uniform across node
+// roles without every role faking every verb.
+//
+//	GET  /api/sessions        list live sessions (session gateway)
+//	GET  /api/stations        list associated stations (AP)
+//	POST /api/transfer?bytes= start a loopback transfer through the
+//	                          gateway; answers the session ID immediately
+//	POST /api/dump?reason=    trigger a flight-recorder dump
+type Control struct {
+	// ListSessions returns the gateway's live session table.
+	ListSessions func() any
+	// ListStations returns the AP's association table.
+	ListStations func() any
+	// StartTransfer launches a transfer of n bytes and returns a JSON-able
+	// description (at minimum the session ID).
+	StartTransfer func(n int) (any, error)
+	// FlightDump triggers an on-demand evidence dump and returns the
+	// artifact path.
+	FlightDump func(reason string) (string, error)
+}
+
+// Handler returns the /api/ route mux.
+func (c *Control) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/sessions", func(w http.ResponseWriter, r *http.Request) {
+		if c.ListSessions == nil {
+			http.Error(w, "no session gateway on this node", http.StatusNotFound)
+			return
+		}
+		controlJSON(w, c.ListSessions())
+	})
+	mux.HandleFunc("/api/stations", func(w http.ResponseWriter, r *http.Request) {
+		if c.ListStations == nil {
+			http.Error(w, "no access point on this node", http.StatusNotFound)
+			return
+		}
+		controlJSON(w, c.ListStations())
+	})
+	mux.HandleFunc("/api/transfer", func(w http.ResponseWriter, r *http.Request) {
+		if c.StartTransfer == nil {
+			http.Error(w, "no session gateway on this node", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		n := 64 * 1024
+		if v := r.URL.Query().Get("bytes"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed <= 0 {
+				http.Error(w, "bytes must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		res, err := c.StartTransfer(n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		controlJSON(w, res)
+	})
+	mux.HandleFunc("/api/dump", func(w http.ResponseWriter, r *http.Request) {
+		if c.FlightDump == nil {
+			http.Error(w, "no flight recorder on this node", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "control-api"
+		}
+		file, err := c.FlightDump(reason)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		controlJSON(w, map[string]string{"file": file, "reason": reason})
+	})
+	return mux
+}
+
+func controlJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,114 @@
+package stream_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/stream"
+)
+
+func controlDo(t *testing.T, srv *httptest.Server, method, path string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestControlNilHooksAnswer404(t *testing.T) {
+	srv := httptest.NewServer((&stream.Control{}).Handler())
+	defer srv.Close()
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/api/sessions"},
+		{http.MethodGet, "/api/stations"},
+		{http.MethodPost, "/api/transfer"},
+		{http.MethodPost, "/api/dump"},
+	} {
+		if code, _ := controlDo(t, srv, tc.method, tc.path); code != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", tc.method, tc.path, code)
+		}
+	}
+}
+
+func TestControlListAndTransfer(t *testing.T) {
+	var gotBytes int
+	ctl := &stream.Control{
+		ListSessions: func() any { return []map[string]any{{"id": 3, "state": "open"}} },
+		StartTransfer: func(n int) (any, error) {
+			gotBytes = n
+			return map[string]any{"session": 42, "bytes": n}, nil
+		},
+		FlightDump: func(reason string) (string, error) {
+			return "/tmp/dump-" + reason + ".jsonl", nil
+		},
+	}
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	code, body := controlDo(t, srv, http.MethodGet, "/api/sessions")
+	if code != http.StatusOK || !strings.Contains(body, `"state": "open"`) {
+		t.Fatalf("sessions = %d %q", code, body)
+	}
+
+	// Transfer: POST required, bytes parsed, default applied.
+	if code, _ := controlDo(t, srv, http.MethodGet, "/api/transfer"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET transfer = %d, want 405", code)
+	}
+	code, body = controlDo(t, srv, http.MethodPost, "/api/transfer?bytes=4096")
+	if code != http.StatusOK {
+		t.Fatalf("transfer = %d %q", code, body)
+	}
+	var tr struct {
+		Session int `json:"session"`
+		Bytes   int `json:"bytes"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Session != 42 || tr.Bytes != 4096 || gotBytes != 4096 {
+		t.Fatalf("transfer answered %+v (hook saw %d)", tr, gotBytes)
+	}
+	if code, _ := controlDo(t, srv, http.MethodPost, "/api/transfer"); code != http.StatusOK || gotBytes != 64*1024 {
+		t.Fatalf("default transfer: code %d, hook saw %d, want 65536", code, gotBytes)
+	}
+	if code, _ := controlDo(t, srv, http.MethodPost, "/api/transfer?bytes=-1"); code != http.StatusBadRequest {
+		t.Fatalf("negative bytes = %d, want 400", code)
+	}
+
+	// Dump: reason threaded through, default filled in.
+	code, body = controlDo(t, srv, http.MethodPost, "/api/dump?reason=why%20not")
+	if code != http.StatusOK || !strings.Contains(body, "/tmp/dump-why not.jsonl") {
+		t.Fatalf("dump = %d %q", code, body)
+	}
+	code, body = controlDo(t, srv, http.MethodPost, "/api/dump")
+	if code != http.StatusOK || !strings.Contains(body, "control-api") {
+		t.Fatalf("default dump = %d %q", code, body)
+	}
+}
+
+func TestControlHookErrorsBecome500(t *testing.T) {
+	ctl := &stream.Control{
+		StartTransfer: func(int) (any, error) { return nil, fmt.Errorf("gateway saturated") },
+	}
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+	code, body := controlDo(t, srv, http.MethodPost, "/api/transfer")
+	if code != http.StatusInternalServerError || !strings.Contains(body, "gateway saturated") {
+		t.Fatalf("transfer error = %d %q", code, body)
+	}
+}

@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// MetricsMsg is one snapshot broadcast: either the full registry state
+// (Full, sent once per subscriber at attach) or the delta since the
+// previous tick (only the points whose value moved).
+type MetricsMsg struct {
+	Node   string `json:"node"`
+	UnixNs int64  `json:"unix_ns"`
+	// Full marks the attach-time baseline snapshot; deltas that follow
+	// apply on top of it.
+	Full   bool          `json:"full,omitempty"`
+	Points []MetricPoint `json:"points"`
+}
+
+// MetricPoint is one instrument's state in a snapshot. For counters and
+// gauges Value is the current value and Delta the change since the
+// previous tick (zero in a full snapshot). Histograms report Count and
+// Sum, with Delta carrying the observation-count change.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   obs.Kind          `json:"kind"`
+	Value  float64           `json:"value,omitempty"`
+	Delta  float64           `json:"delta,omitempty"`
+	Count  int64             `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+}
+
+// pointID canonicalizes one series: family name plus the sorted label set
+// (Gather returns labels pre-sorted by key).
+func pointID(name string, labels []obs.Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func labelMap(labels []obs.Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// scalar reduces a point to the single number change detection runs on:
+// counter/gauge value, or histogram observation count.
+func scalar(kind obs.Kind, p obs.PointSnapshot) float64 {
+	if kind == obs.KindHistogram {
+		return float64(p.Count)
+	}
+	return p.Value
+}
+
+func makePoint(f obs.FamilySnapshot, p obs.PointSnapshot, delta float64) MetricPoint {
+	mp := MetricPoint{
+		Name:   f.Name,
+		Labels: labelMap(p.Labels),
+		Kind:   f.Kind,
+		Delta:  delta,
+	}
+	if f.Kind == obs.KindHistogram {
+		mp.Count = p.Count
+		mp.Sum = p.Sum
+	} else {
+		mp.Value = p.Value
+	}
+	return mp
+}
+
+// allPoints flattens a Gather result into the full-snapshot point list.
+func allPoints(snap []obs.FamilySnapshot) []MetricPoint {
+	var out []MetricPoint
+	for _, f := range snap {
+		for _, p := range f.Points {
+			out = append(out, makePoint(f, p, 0))
+		}
+	}
+	if out == nil {
+		out = []MetricPoint{}
+	}
+	return out
+}
+
+// differ holds the per-hub delta state: the scalar of every series as of
+// the previous tick. The zero value is ready to use.
+type differ struct {
+	last map[string]float64
+}
+
+// delta returns the points whose scalar moved since the previous call and
+// advances the state. The first call reports every series (delta from an
+// empty baseline) — subscribers attached before the first tick already
+// hold the full snapshot, and re-applying a delta is idempotent for state
+// trackers keyed on Value/Count.
+func (d *differ) delta(snap []obs.FamilySnapshot) []MetricPoint {
+	if d.last == nil {
+		d.last = make(map[string]float64)
+	}
+	var out []MetricPoint
+	for _, f := range snap {
+		for _, p := range f.Points {
+			id := pointID(f.Name, p.Labels)
+			cur := scalar(f.Kind, p)
+			prev, seen := d.last[id]
+			if seen && prev == cur {
+				continue
+			}
+			d.last[id] = cur
+			out = append(out, makePoint(f, p, cur-prev))
+		}
+	}
+	return out
+}

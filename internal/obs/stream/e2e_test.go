@@ -1,0 +1,257 @@
+package stream_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apmac"
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/obs/stream"
+	"repro/internal/session"
+)
+
+// TestFleetEndToEnd is the issue's acceptance test: a live session gateway
+// and a live AP run in-process over loopback UDP (real clocks), each with
+// its telemetry hub on a fake clock, both mounted on an obs.Server with the
+// /stream and /api surfaces. One aggregator subscribes to both nodes, a
+// transfer and a station association are driven through the real protocol
+// stacks, and the merged stream must carry:
+//
+//	(a) the per-session (gateway lane gauge) and per-station (AP slot
+//	    gauges) metric deltas within ONE fake-clock snapshot period of the
+//	    work completing;
+//	(b) journal events with strictly increasing per-node sequence numbers
+//	    (the Fleet's OrderViolations counter stays zero);
+//	(c) answers on the control API for both node roles.
+func TestFleetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live UDP + HTTP e2e")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// --- gateway node ---
+	gwReg := obs.NewRegistry()
+	gwClk := clock.NewFake(time.Unix(4000, 0))
+	gwHub := stream.NewHub(stream.Config{Node: "gw", Registry: gwReg, Clock: gwClk, SnapshotPeriod: time.Second})
+	gw, err := session.NewGateway(session.Config{Listen: "127.0.0.1:0", Registry: gwReg, Events: gwHub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Run(ctx)
+
+	gwSrv := obs.NewServer(gwReg, nil, nil)
+	gwSrv.Handle("/stream", stream.Handler(gwHub))
+	gwSrv.Handle("/api/", (&stream.Control{ListSessions: func() any { return gw.Sessions() }}).Handler())
+	gwAddr, err := gwSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+	go gwHub.Run(ctx)
+	gwClk.BlockUntilWaiters(1)
+
+	// --- AP node ---
+	apReg := obs.NewRegistry()
+	apClk := clock.NewFake(time.Unix(4000, 0))
+	apHub := stream.NewHub(stream.Config{Node: "ap", Registry: apReg, Clock: apClk, SnapshotPeriod: time.Second})
+	ap, err := apmac.NewAP(apmac.APConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 2 * time.Millisecond,
+		SoundEvery:   5,
+		Registry:     apReg,
+		Events:       apHub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ap.Run(ctx)
+
+	apSrv := obs.NewServer(apReg, nil, nil)
+	apSrv.Handle("/stream", stream.Handler(apHub))
+	apSrv.Handle("/api/", (&stream.Control{ListStations: func() any { return ap.StationList() }}).Handler())
+	apAddr, err := apSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer apSrv.Close()
+	go apHub.Run(ctx)
+	apClk.BlockUntilWaiters(1)
+
+	// --- aggregator over both nodes ---
+	gwURL := "http://" + gwAddr.String()
+	apURL := "http://" + apAddr.String()
+	out := make(chan stream.Msg, 1024)
+	agg := &stream.Aggregator{Nodes: []stream.NodeRef{
+		{Name: "gw", BaseURL: gwURL},
+		{Name: "ap", BaseURL: apURL},
+	}}
+	go agg.Run(ctx, out)
+
+	fleet := stream.NewFleet()
+	// waitFor folds merged messages into the fleet until cond holds. The
+	// first return is the message that satisfied it.
+	waitFor := func(what string, cond func(stream.Msg) bool) stream.Msg {
+		t.Helper()
+		deadline := time.After(15 * time.Second)
+		for {
+			select {
+			case m := <-out:
+				if m.Kind == "error" {
+					t.Fatalf("node %s stream failed: %s", m.Node, m.Err)
+				}
+				fleet.Apply(m)
+				if cond(m) {
+					return m
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %s; fleet = %+v", what, fleet.Snapshot())
+			}
+		}
+	}
+
+	// Both subscriptions attach: hello then the full baseline snapshot.
+	seen := map[string]bool{}
+	waitFor("both hellos", func(m stream.Msg) bool {
+		if m.Kind == "hello" {
+			seen[m.Node] = true
+		}
+		return seen["gw"] && seen["ap"]
+	})
+
+	// --- drive a real transfer through the gateway ---
+	const sessionID = 7
+	payload := make([]byte, 32*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	cl, err := session.NewClient(session.ClientConfig{Addr: gw.Addr().String(), SessionID: sessionID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Send(ctx, payload); err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+
+	// The journal events arrive live, without any snapshot tick.
+	waitFor("session_completed journal event", func(m stream.Msg) bool {
+		return m.Node == "gw" && m.Kind == "journal" && m.Event.Type == stream.EventSessionCompleted &&
+			m.Event.Session == sessionID && m.Event.Bytes == int64(len(payload))
+	})
+
+	// (a) one fake-clock period later the per-session lane gauge delta is on
+	// the wire. Session 7 lives in lane 07.
+	gwClk.Advance(time.Second)
+	waitFor("per-session metric delta", func(m stream.Msg) bool {
+		if m.Node != "gw" || m.Kind != "metrics" || m.Metrics.Full {
+			return false
+		}
+		p := findPoint(m.Metrics.Points, "mimonet_gw_session_cum_bytes")
+		return p != nil && p.Labels["lane"] == "07" && p.Value == float64(len(payload)) && p.Delta > 0
+	})
+
+	// --- associate a station with the AP ---
+	stn, err := apmac.NewClient(apmac.ClientConfig{Addr: ap.Addr().String(), Index: 0, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); stn.Run(ctx) }()
+
+	assoc := waitFor("station_assoc journal event", func(m stream.Msg) bool {
+		return m.Node == "ap" && m.Kind == "journal" && m.Event.Type == stream.EventStationAssoc
+	})
+	stationID := assoc.Event.Station
+
+	// Let the downlink serve the station so the slot gauges move, then tick.
+	deadline := time.After(10 * time.Second)
+	for stn.Snapshot().DataFrames < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("station never served downlink frames")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	apClk.Advance(time.Second)
+	waitFor("per-station metric delta", func(m stream.Msg) bool {
+		if m.Node != "ap" || m.Kind != "metrics" || m.Metrics.Full {
+			return false
+		}
+		for _, p := range m.Metrics.Points {
+			if strings.HasPrefix(p.Name, "mimonet_ap_station_") && p.Labels["slot"] != "" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// (b) per-node journal ordering held throughout, and the fleet view
+	// carries the joined object state.
+	for _, n := range fleet.Snapshot() {
+		if n.OrderViolations != 0 {
+			t.Fatalf("node %s saw %d order violations", n.Name, n.OrderViolations)
+		}
+		switch n.Name {
+		case "gw":
+			s := n.Sessions[sessionID]
+			if s == nil || s.State != "completed" || s.Bytes != int64(len(payload)) {
+				t.Fatalf("fleet gw session = %+v", s)
+			}
+		case "ap":
+			st := n.Stations[stationID]
+			if st == nil || st.State != "associated" {
+				t.Fatalf("fleet ap station = %+v", st)
+			}
+		}
+	}
+
+	// (c) the control APIs answer on both roles.
+	var stations []apmac.StationInfo
+	controlGet(t, apURL+"/api/stations", &stations)
+	if len(stations) != 1 || stations[0].ID != stationID {
+		t.Fatalf("control stations = %+v, want station %d", stations, stationID)
+	}
+	var sessions []session.SessionInfo
+	controlGet(t, gwURL+"/api/sessions", &sessions)
+	// The transfer already completed and drained, so the table may be empty —
+	// the API answering well-formed JSON is the contract.
+	for _, s := range sessions {
+		if s.ID != sessionID {
+			t.Fatalf("unexpected session in control table: %+v", s)
+		}
+	}
+	// A verb this node does not serve answers 404.
+	resp, err := http.Get(gwURL + "/api/stations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("gw /api/stations = %d, want 404", resp.StatusCode)
+	}
+
+	cancel()
+	wg.Wait()
+}
+
+func controlGet(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

@@ -1,0 +1,233 @@
+package stream
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SessionView is one session's state as derived from the journal.
+type SessionView struct {
+	ID      uint64 `json:"id"`
+	State   string `json:"state"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Resumes int    `json:"resumes,omitempty"`
+}
+
+// StationView is one station's state, merged from journal events (identity,
+// lifecycle) and per-slot metric points (PER, bytes, CSI age).
+type StationView struct {
+	ID       uint16  `json:"id"`
+	Slot     uint8   `json:"slot"`
+	State    string  `json:"state"`
+	PER      float64 `json:"per,omitempty"`
+	TxBytes  float64 `json:"tx_bytes,omitempty"`
+	CSIAgeS  float64 `json:"csi_age_s,omitempty"`
+	CSIStale bool    `json:"csi_stale,omitempty"`
+}
+
+// NodeView is the merged live state of one node.
+type NodeView struct {
+	Name string `json:"name"`
+	// Seq is the highest journal sequence seen; OrderViolations counts
+	// events that arrived with a non-increasing sequence — the per-node
+	// monotonic-ordering invariant the E-series test asserts.
+	Seq             uint64 `json:"seq"`
+	Events          int    `json:"events"`
+	OrderViolations int    `json:"order_violations"`
+	Restarts        int    `json:"restarts"`
+	LastEvent       string `json:"last_event,omitempty"`
+	// Metrics is the latest value of every series seen, keyed by the
+	// canonical series ID (name{k=v,...}).
+	Metrics map[string]MetricPoint `json:"metrics,omitempty"`
+	// Snapshots counts metric messages (full + delta) received.
+	Snapshots int `json:"snapshots"`
+	// Sessions and Stations are the journal-derived object tables.
+	Sessions map[uint64]*SessionView `json:"sessions,omitempty"`
+	Stations map[uint16]*StationView `json:"stations,omitempty"`
+	slots    map[string]*StationView // slot label → station, for metric joins
+}
+
+// Fleet folds the aggregator's merged message stream into per-node state
+// keyed by node/session/station. Safe for concurrent Apply/Snapshot — the
+// dashboard renders from one goroutine while the aggregator feeds another.
+type Fleet struct {
+	mu    sync.Mutex
+	nodes map[string]*NodeView
+}
+
+// NewFleet returns an empty fleet state.
+func NewFleet() *Fleet { return &Fleet{nodes: make(map[string]*NodeView)} }
+
+func (f *Fleet) node(name string) *NodeView {
+	n, ok := f.nodes[name]
+	if !ok {
+		n = &NodeView{
+			Name:     name,
+			Metrics:  make(map[string]MetricPoint),
+			Sessions: make(map[uint64]*SessionView),
+			Stations: make(map[uint16]*StationView),
+			slots:    make(map[string]*StationView),
+		}
+		f.nodes[name] = n
+	}
+	return n
+}
+
+// Apply folds one aggregator message into the fleet state.
+func (f *Fleet) Apply(m Msg) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.node(m.Node)
+	switch m.Kind {
+	case "journal":
+		if m.Event == nil {
+			return
+		}
+		f.applyEvent(n, *m.Event)
+	case "metrics":
+		if m.Metrics == nil {
+			return
+		}
+		n.Snapshots++
+		for _, p := range m.Metrics.Points {
+			n.Metrics[metricKey(p)] = p
+			f.joinStationMetric(n, p)
+		}
+	}
+}
+
+func (f *Fleet) applyEvent(n *NodeView, ev Event) {
+	n.Events++
+	if ev.Seq <= n.Seq {
+		n.OrderViolations++
+	} else {
+		n.Seq = ev.Seq
+	}
+	n.LastEvent = string(ev.Type)
+	switch ev.Type {
+	case EventSessionOpened:
+		n.Sessions[ev.Session] = &SessionView{ID: ev.Session, State: "open", Bytes: ev.Bytes}
+	case EventSessionResumed:
+		s := f.session(n, ev.Session)
+		s.State = "open"
+		s.Resumes++
+	case EventSessionCompleted:
+		s := f.session(n, ev.Session)
+		s.State = "completed"
+		s.Bytes = ev.Bytes
+	case EventSessionFailed:
+		s := f.session(n, ev.Session)
+		s.State = "failed"
+		s.Reason = ev.Reason
+	case EventStationAssoc:
+		st := &StationView{ID: ev.Station, Slot: ev.Slot, State: "associated"}
+		n.Stations[ev.Station] = st
+		n.slots[slotKey(ev.Slot)] = st
+	case EventStationDrop:
+		if st, ok := n.Stations[ev.Station]; ok {
+			st.State = "dropped"
+		}
+	case EventCSIStale:
+		if st, ok := n.Stations[ev.Station]; ok {
+			st.CSIStale = true
+		}
+	case EventSupervisorRestart:
+		n.Restarts++
+	case EventFlightDump, EventTraceFail:
+		// Counted via Events; nothing object-shaped to track.
+	}
+}
+
+func (f *Fleet) session(n *NodeView, id uint64) *SessionView {
+	s, ok := n.Sessions[id]
+	if !ok {
+		s = &SessionView{ID: id, State: "open"}
+		n.Sessions[id] = s
+	}
+	return s
+}
+
+// joinStationMetric folds slot-labelled AP metrics into the matching
+// station view.
+func (f *Fleet) joinStationMetric(n *NodeView, p MetricPoint) {
+	slot, ok := p.Labels["slot"]
+	if !ok {
+		return
+	}
+	st, ok := n.slots[slot]
+	if !ok {
+		return
+	}
+	switch p.Name {
+	case "mimonet_ap_station_per":
+		st.PER = p.Value
+	case "mimonet_ap_station_tx_bytes_total":
+		st.TxBytes = p.Value
+	case "mimonet_ap_station_csi_age_seconds":
+		st.CSIAgeS = p.Value
+		st.CSIStale = false
+	}
+}
+
+func slotKey(slot uint8) string {
+	const digits = "0123456789"
+	return string([]byte{digits[slot/10%10], digits[slot%10]})
+}
+
+func metricKey(p MetricPoint) string {
+	if len(p.Labels) == 0 {
+		return p.Name
+	}
+	keys := make([]string, 0, len(p.Labels))
+	for k := range p.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(p.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snapshot returns a deep copy of every node view, sorted by name, safe to
+// render while the aggregator keeps feeding Apply.
+func (f *Fleet) Snapshot() []NodeView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NodeView, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		cp := NodeView{
+			Name: n.Name, Seq: n.Seq, Events: n.Events,
+			OrderViolations: n.OrderViolations, Restarts: n.Restarts,
+			LastEvent: n.LastEvent, Snapshots: n.Snapshots,
+			Metrics:  make(map[string]MetricPoint, len(n.Metrics)),
+			Sessions: make(map[uint64]*SessionView, len(n.Sessions)),
+			Stations: make(map[uint16]*StationView, len(n.Stations)),
+		}
+		for k, v := range n.Metrics {
+			cp.Metrics[k] = v
+		}
+		for k, v := range n.Sessions {
+			s := *v
+			cp.Sessions[k] = &s
+		}
+		for k, v := range n.Stations {
+			s := *v
+			cp.Stations[k] = &s
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,112 @@
+package stream_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/stream"
+)
+
+func journalMsg(node string, ev stream.Event) stream.Msg {
+	return stream.Msg{Node: node, Kind: "journal", Event: &ev}
+}
+
+func metricsMsg(node string, points ...stream.MetricPoint) stream.Msg {
+	return stream.Msg{Node: node, Kind: "metrics", Metrics: &stream.MetricsMsg{Node: node, Points: points}}
+}
+
+func nodeView(t *testing.T, f *stream.Fleet, name string) stream.NodeView {
+	t.Helper()
+	for _, n := range f.Snapshot() {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("node %q not in fleet snapshot", name)
+	panic("unreachable")
+}
+
+func TestFleetSessionLifecycle(t *testing.T) {
+	f := stream.NewFleet()
+	f.Apply(journalMsg("gw", stream.Event{Seq: 1, Type: stream.EventSessionOpened, Session: 9, Bytes: 1000}))
+	f.Apply(journalMsg("gw", stream.Event{Seq: 2, Type: stream.EventSessionResumed, Session: 9}))
+	f.Apply(journalMsg("gw", stream.Event{Seq: 3, Type: stream.EventSessionCompleted, Session: 9, Bytes: 1000}))
+	f.Apply(journalMsg("gw", stream.Event{Seq: 4, Type: stream.EventSessionFailed, Session: 10, Reason: "expired"}))
+
+	n := nodeView(t, f, "gw")
+	if n.Seq != 4 || n.Events != 4 || n.OrderViolations != 0 {
+		t.Fatalf("node = %+v", n)
+	}
+	s := n.Sessions[9]
+	if s == nil || s.State != "completed" || s.Resumes != 1 || s.Bytes != 1000 {
+		t.Fatalf("session 9 = %+v", s)
+	}
+	if s := n.Sessions[10]; s == nil || s.State != "failed" || s.Reason != "expired" {
+		t.Fatalf("session 10 = %+v", s)
+	}
+}
+
+func TestFleetStationMetricJoin(t *testing.T) {
+	f := stream.NewFleet()
+	f.Apply(journalMsg("ap", stream.Event{Seq: 1, Type: stream.EventStationAssoc, Station: 17, Slot: 3}))
+	f.Apply(journalMsg("ap", stream.Event{Seq: 2, Type: stream.EventCSIStale, Station: 17}))
+	f.Apply(metricsMsg("ap",
+		stream.MetricPoint{Name: "mimonet_ap_station_per", Labels: map[string]string{"slot": "03"}, Kind: obs.KindGauge, Value: 0.25},
+		stream.MetricPoint{Name: "mimonet_ap_station_tx_bytes_total", Labels: map[string]string{"slot": "03"}, Kind: obs.KindCounter, Value: 8192},
+		stream.MetricPoint{Name: "mimonet_ap_station_csi_age_seconds", Labels: map[string]string{"slot": "03"}, Kind: obs.KindGauge, Value: 0.5},
+		// A slot nobody associated on: joins nothing, still lands in Metrics.
+		stream.MetricPoint{Name: "mimonet_ap_station_per", Labels: map[string]string{"slot": "09"}, Kind: obs.KindGauge, Value: 1},
+	))
+
+	n := nodeView(t, f, "ap")
+	st := n.Stations[17]
+	if st == nil || st.Slot != 3 || st.PER != 0.25 || st.TxBytes != 8192 || st.CSIAgeS != 0.5 {
+		t.Fatalf("station 17 = %+v", st)
+	}
+	// A fresh CSI age metric clears the stale flag the journal event set.
+	if st.CSIStale {
+		t.Fatal("csi_age metric did not clear the stale flag")
+	}
+	if n.Snapshots != 1 || len(n.Metrics) != 4 {
+		t.Fatalf("snapshots=%d metrics=%d", n.Snapshots, len(n.Metrics))
+	}
+
+	f.Apply(journalMsg("ap", stream.Event{Seq: 3, Type: stream.EventStationDrop, Station: 17, Reason: "idle-timeout"}))
+	if st := nodeView(t, f, "ap").Stations[17]; st.State != "dropped" {
+		t.Fatalf("after drop: %+v", st)
+	}
+}
+
+func TestFleetOrderViolationCounting(t *testing.T) {
+	f := stream.NewFleet()
+	f.Apply(journalMsg("gw", stream.Event{Seq: 5, Type: stream.EventSessionOpened, Session: 1}))
+	f.Apply(journalMsg("gw", stream.Event{Seq: 4, Type: stream.EventSessionOpened, Session: 2})) // regression
+	f.Apply(journalMsg("gw", stream.Event{Seq: 5, Type: stream.EventSessionOpened, Session: 3})) // duplicate
+	f.Apply(journalMsg("gw", stream.Event{Seq: 6, Type: stream.EventSessionOpened, Session: 4}))
+
+	n := nodeView(t, f, "gw")
+	if n.OrderViolations != 2 || n.Seq != 6 || n.Events != 4 {
+		t.Fatalf("node = %+v", n)
+	}
+	// Supervisor restarts tally separately per node.
+	f.Apply(journalMsg("gw", stream.Event{Seq: 7, Type: stream.EventSupervisorRestart, Block: "sync", Attempt: 1}))
+	if n := nodeView(t, f, "gw"); n.Restarts != 1 {
+		t.Fatalf("restarts = %d", n.Restarts)
+	}
+}
+
+func TestFleetSnapshotIsDeepCopy(t *testing.T) {
+	f := stream.NewFleet()
+	f.Apply(journalMsg("gw", stream.Event{Seq: 1, Type: stream.EventSessionOpened, Session: 1}))
+	snap := f.Snapshot()
+	snap[0].Sessions[1].State = "mutated"
+	if n := nodeView(t, f, "gw"); n.Sessions[1].State != "open" {
+		t.Fatal("Snapshot aliases internal state")
+	}
+	// Nodes come out sorted by name.
+	f.Apply(journalMsg("ap", stream.Event{Seq: 1, Type: stream.EventStationAssoc, Station: 1}))
+	views := f.Snapshot()
+	if len(views) != 2 || views[0].Name != "ap" || views[1].Name != "gw" {
+		t.Fatalf("snapshot order = %+v", []string{views[0].Name, views[1].Name})
+	}
+}

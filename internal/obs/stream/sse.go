@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler serves the hub as a server-sent-events stream (RFC-less but
+// ubiquitous: text/event-stream frames of "event:" + "data:" lines). Each
+// connection gets the standard attach sequence — hello, journal replay,
+// full metric snapshot — then live frames until the client disconnects,
+// the hub closes, or the subscriber stalls past its bounded queue and is
+// dropped.
+//
+// A stalled HTTP client blocks only its own handler goroutine in Write;
+// the hub has already detached the subscriber, so publishers and healthy
+// subscribers never notice.
+func Handler(h *Hub) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		sub, err := h.Subscribe()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer sub.Close()
+		hdr := w.Header()
+		hdr.Set("Content-Type", "text/event-stream")
+		hdr.Set("Cache-Control", "no-cache")
+		hdr.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case f, ok := <-sub.C:
+				if !ok {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.Event, f.Data); err != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	})
+}
+
+// ReadSSE parses a text/event-stream from r and invokes fn for every
+// complete frame, until EOF (nil return), a read error, or fn returning an
+// error. Comment lines (":" prefix) and unknown fields are skipped.
+func ReadSSE(r io.Reader, fn func(Frame) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var event string
+	var data bytes.Buffer
+	flush := func() error {
+		if event == "" && data.Len() == 0 {
+			return nil
+		}
+		f := Frame{Event: event, Data: append([]byte(nil), data.Bytes()...)}
+		event = ""
+		data.Reset()
+		return fn(f)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case line[0] == ':':
+			// comment / keep-alive
+		case bytes.HasPrefix([]byte(line), []byte("event:")):
+			event = trimField(line[len("event:"):])
+		case bytes.HasPrefix([]byte(line), []byte("data:")):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(trimField(line[len("data:"):]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}
+
+// trimField strips the single optional leading space SSE allows after the
+// field colon.
+func trimField(s string) string {
+	if len(s) > 0 && s[0] == ' ' {
+		return s[1:]
+	}
+	return s
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/stream"
 	"repro/internal/radio"
 )
 
@@ -33,6 +35,11 @@ type Config struct {
 	// Recorder, when set, records per-session terminal evidence; failures
 	// trip its OnFailure dump trigger.
 	Recorder *flight.Recorder
+	// Events, when set, receives the session journal — opened / resumed /
+	// completed / failed transitions, supervisor restarts, and flight-dump
+	// triggers — on the live telemetry stream. Nil publishes nothing (the
+	// hub is nil-safe).
+	Events *stream.Hub
 
 	// HandshakeTimeout evicts a session that never completes its first
 	// exchange. Default 2s.
@@ -110,6 +117,43 @@ type Stats struct {
 	FailReasons map[string]int64 `json:"fail_reasons,omitempty"`
 }
 
+// SessionInfo is one live session's state as reported by the control API.
+// The worker goroutine owns the underlying session; the fields here are
+// mirrored through atomics after every step, so a snapshot never races it.
+type SessionInfo struct {
+	ID      uint64 `json:"id"`
+	State   string `json:"state"`
+	Bytes   uint64 `json:"bytes"`
+	Total   uint64 `json:"total"`
+	Resumes int    `json:"resumes"`
+	// AgeSeconds is the session lifetime so far on the gateway clock.
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// Sessions snapshots every live session, sorted by ID — the control API's
+// GET /api/sessions payload.
+func (g *Gateway) Sessions() []SessionInfo {
+	g.mu.Lock()
+	workers := make([]*gwSession, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		workers = append(workers, s)
+	}
+	g.mu.Unlock()
+	out := make([]SessionInfo, 0, len(workers))
+	for _, s := range workers {
+		out = append(out, SessionInfo{
+			ID:         s.id,
+			State:      State(s.statState.Load()).String(),
+			Bytes:      s.statCum.Load(),
+			Total:      s.statTotal.Load(),
+			Resumes:    int(s.statResumes.Load()),
+			AgeSeconds: g.clk.Since(s.created).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // datagram is one inbound UDP payload queued between ingress and demux.
 type datagram struct {
 	data []byte
@@ -136,6 +180,7 @@ type Gateway struct {
 	clk  clock.Clock
 	log  *slog.Logger
 	rec  *flight.Recorder
+	hub  *stream.Hub
 	conn *net.UDPConn
 
 	inbox chan datagram
@@ -181,6 +226,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		clk:         cfg.Clock,
 		log:         cfg.Logger,
 		rec:         cfg.Recorder,
+		hub:         cfg.Events,
 		conn:        conn,
 		inbox:       make(chan datagram, 4*cfg.MailboxDepth),
 		sessions:    make(map[uint64]*gwSession),
@@ -275,6 +321,16 @@ func (g *Gateway) Run(ctx context.Context) error {
 		Metrics:     g.cfg.Registry,
 		Logger:      g.log,
 		Clock:       g.clk,
+		OnRestart: func(block string, attempt int, err error) {
+			reason := ""
+			if err != nil {
+				reason = err.Error()
+			}
+			g.hub.Publish(stream.Event{
+				Type:  stream.EventSupervisorRestart,
+				Block: block, Attempt: attempt, Reason: reason,
+			})
+		},
 	}); err != nil {
 		return err
 	}
@@ -433,6 +489,8 @@ func (g *Gateway) finish(s *gwSession) {
 	if s.mach.Outcome() == OutcomeCompleted {
 		g.completed.Add(1)
 		g.cCompleted.Inc()
+		g.hub.Publish(stream.Event{Type: stream.EventSessionCompleted,
+			Session: s.id, Bytes: int64(s.cum)})
 		if g.log != nil {
 			g.log.Info("session completed", "session", s.id,
 				"bytes", s.cum, "lifetime", life, "reconnects", s.resumes)
@@ -445,6 +503,8 @@ func (g *Gateway) finish(s *gwSession) {
 	g.reasonMu.Lock()
 	g.failReasons[reason]++
 	g.reasonMu.Unlock()
+	g.hub.Publish(stream.Event{Type: stream.EventSessionFailed,
+		Session: s.id, Bytes: int64(s.cum), Reason: reason})
 	if g.log != nil {
 		g.log.Warn("session failed", "session", s.id, "reason", reason,
 			"state_bytes", s.cum, "of", s.total, "lifetime", life)
@@ -452,11 +512,15 @@ func (g *Gateway) finish(s *gwSession) {
 	// The flight recorder treats any verdict outside the ok-set as a
 	// failure, so this Record trips its OnFailure dump trigger.
 	if g.rec.Enabled() {
-		g.rec.Record(flight.Evidence{ //nolint:errcheck // best-effort evidence
+		file, dumpReason, err := g.rec.Record(flight.Evidence{
 			PacketID: s.id,
 			Verdict:  "session-" + reason,
 			Note:     fmt.Sprintf("bytes %d of %d, state %v", s.cum, s.total, s.mach.State()),
 		})
+		if err == nil && file != "" {
+			g.hub.Publish(stream.Event{Type: stream.EventFlightDump,
+				Session: s.id, Reason: dumpReason, File: file})
+		}
 	}
 }
 
@@ -556,6 +620,27 @@ type gwSession struct {
 
 	txSeq   uint64
 	resumes int
+
+	// gBytes is the per-session progress gauge, labelled by the bounded
+	// 64-value lane (id mod 64) — the slot-label discipline the AP table
+	// uses, so a churning session population cannot fork unbounded metric
+	// families. Registered at open, nil-safe before.
+	gBytes *obs.Gauge
+
+	// Mirrors of worker-owned state for the control API (see SessionInfo).
+	statState   atomic.Int32
+	statCum     atomic.Uint64
+	statTotal   atomic.Uint64
+	statResumes atomic.Int32
+}
+
+// syncInfo mirrors worker-owned state into the atomics Sessions reads.
+func (s *gwSession) syncInfo() {
+	s.statState.Store(int32(s.mach.State()))
+	s.statCum.Store(s.cum)
+	s.statTotal.Store(s.total)
+	s.statResumes.Store(int32(s.resumes))
+	s.gBytes.Set(float64(s.cum))
 }
 
 // run is the worker loop: one mailbox message or one deadline at a time,
@@ -590,6 +675,7 @@ func (s *gwSession) run() {
 			t.Stop()
 			s.mach.Step(EvShutdown, "shutdown")
 		}
+		s.syncInfo()
 	}
 }
 
@@ -639,6 +725,8 @@ func (s *gwSession) handle(env inEnv) {
 			s.resumes++
 			s.g.reconnects.Add(1)
 			s.g.cReconnects.Inc()
+			s.g.hub.Publish(stream.Event{Type: stream.EventSessionResumed,
+				Session: s.id, Bytes: int64(s.cum)})
 			if s.g.log != nil {
 				s.g.log.Info("session resumed", "session", s.id, "cum", s.cum, "peer", env.addr.String())
 			}
@@ -678,6 +766,13 @@ func (s *gwSession) open(m *Msg, ackKind Kind) {
 		if s.g.cfg.NewSink != nil {
 			s.sink = s.g.cfg.NewSink(s.id)
 		}
+		if reg := s.g.cfg.Registry; reg != nil {
+			s.gBytes = reg.Gauge("mimonet_gw_session_cum_bytes",
+				"per-session reassembled bytes, labelled by the bounded session lane (id mod 64)",
+				obs.Label{Key: "lane", Value: fmt.Sprintf("%02d", s.id%64)})
+		}
+		s.g.hub.Publish(stream.Event{Type: stream.EventSessionOpened,
+			Session: s.id, Bytes: int64(s.total)})
 		if s.g.log != nil {
 			s.g.log.Info("session opened", "session", s.id, "total", s.total,
 				"chunk", s.chunkSize, "kind", m.Kind.String())
